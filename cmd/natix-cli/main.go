@@ -1,0 +1,170 @@
+// Command natix-cli manages a NATIX store from the shell.
+//
+// Usage:
+//
+//	natix-cli -db plays.natix import othello othello.xml
+//	natix-cli -db plays.natix import -flat raw raw.xml
+//	natix-cli -db plays.natix ls
+//	natix-cli -db plays.natix query othello '/PLAY/ACT[3]/SCENE[2]//SPEAKER'
+//	natix-cli -db plays.natix export othello > othello-out.xml
+//	natix-cli -db plays.natix rm othello
+//	natix-cli -db plays.natix stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"natix"
+)
+
+func main() {
+	var (
+		dbPath   = flag.String("db", "natix.db", "database file")
+		pageSize = flag.Int("pagesize", 8192, "page size for new stores")
+		buffer   = flag.Int("buffer", 2<<20, "buffer pool bytes")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	db, err := natix.Open(natix.Options{Path: *dbPath, PageSize: *pageSize, BufferBytes: *buffer})
+	if err != nil {
+		fatalf("open %s: %v", *dbPath, err)
+	}
+	defer db.Close()
+
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "import":
+		flat := false
+		if len(rest) > 0 && rest[0] == "-flat" {
+			flat = true
+			rest = rest[1:]
+		}
+		if len(rest) != 2 {
+			fatalf("usage: import [-flat] <name> <file.xml>")
+		}
+		f, err := os.Open(rest[1])
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if flat {
+			err = db.ImportXMLFlat(rest[0], f)
+		} else {
+			err = db.ImportXML(rest[0], f)
+		}
+		if err != nil {
+			fatalf("import: %v", err)
+		}
+		fmt.Printf("imported %q\n", rest[0])
+	case "export":
+		if len(rest) != 1 {
+			fatalf("usage: export <name>")
+		}
+		if err := db.ExportXML(rest[0], os.Stdout); err != nil {
+			fatalf("export: %v", err)
+		}
+		fmt.Println()
+	case "query":
+		if len(rest) != 2 {
+			fatalf("usage: query <name> <path>")
+		}
+		matches, err := db.Query(rest[0], rest[1])
+		if err != nil {
+			fatalf("query: %v", err)
+		}
+		for i, m := range matches {
+			markup, err := m.Markup()
+			if err != nil {
+				fatalf("match %d: %v", i, err)
+			}
+			fmt.Println(markup)
+		}
+		fmt.Fprintf(os.Stderr, "%d match(es)\n", len(matches))
+	case "ls":
+		docs, err := db.Documents()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, d := range docs {
+			mode := "tree"
+			if d.Flat {
+				mode = "flat"
+			}
+			fmt.Printf("%-8s %s\n", mode, d.Name)
+		}
+	case "validate":
+		if len(rest) != 1 {
+			fatalf("usage: validate <file.xml>")
+		}
+		f, err := os.Open(rest[0])
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		msgs, err := natix.ValidateXML(f)
+		if err != nil {
+			fatalf("validate: %v", err)
+		}
+		if len(msgs) == 0 {
+			fmt.Println("valid")
+			break
+		}
+		for _, m := range msgs {
+			fmt.Println(m)
+		}
+		os.Exit(1)
+	case "rm":
+		if len(rest) != 1 {
+			fatalf("usage: rm <name>")
+		}
+		if err := db.Delete(rest[0]); err != nil {
+			fatalf("rm: %v", err)
+		}
+		fmt.Printf("removed %q\n", rest[0])
+	case "stats":
+		st, err := db.Stats()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("page size:        %d\n", st.PageSize)
+		fmt.Printf("space on disk:    %d bytes\n", st.SpaceBytes)
+		fmt.Printf("physical reads:   %d\n", st.PhysReads)
+		fmt.Printf("physical writes:  %d\n", st.PhysWrites)
+		fmt.Printf("buffer hits:      %d / %d logical reads\n", st.BufferHits, st.LogicalReads)
+		fmt.Printf("record splits:    %d\n", st.Splits)
+		fmt.Printf("records created:  %d\n", st.RecordsCreated)
+		fmt.Printf("records deleted:  %d\n", st.RecordsDeleted)
+		fmt.Printf("parent patches:   %d\n", st.ParentPatches)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `natix-cli — manage a NATIX XML store
+
+usage: natix-cli [-db file] [-pagesize n] [-buffer n] <command> [args]
+
+commands:
+  import [-flat] <name> <file.xml>   store a document (tree or flat mode)
+  export <name>                      write a document's XML to stdout
+  query <name> <path>                evaluate a path query
+  validate <file.xml>                check a document against its own DTD
+  ls                                 list documents
+  rm <name>                          remove a document
+  stats                              storage statistics
+`)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "natix-cli: "+format+"\n", args...)
+	os.Exit(1)
+}

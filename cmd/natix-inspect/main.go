@@ -1,0 +1,193 @@
+// Command natix-inspect dumps the physical structure of a NATIX store:
+// the segment layout, per-page occupancy, and the record tree of each
+// stored document, annotated with the paper's terminology (standalone/
+// embedded, facade/scaffolding, aggregates/literals/proxies).
+//
+// Usage:
+//
+//	natix-inspect -db plays.natix                 # segment summary
+//	natix-inspect -db plays.natix -pages          # per-page occupancy
+//	natix-inspect -db plays.natix -doc othello    # record tree of a doc
+//	natix-inspect -db plays.natix -check          # verify invariants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"natix/internal/buffer"
+	"natix/internal/core"
+	"natix/internal/dict"
+	"natix/internal/docstore"
+	"natix/internal/noderep"
+	"natix/internal/pagedev"
+	"natix/internal/pageformat"
+	"natix/internal/records"
+	"natix/internal/segment"
+)
+
+func main() {
+	var (
+		dbPath   = flag.String("db", "natix.db", "database file")
+		pageSize = flag.Int("pagesize", 8192, "page size of the store")
+		pages    = flag.Bool("pages", false, "list per-page occupancy")
+		doc      = flag.String("doc", "", "dump the record tree of this document")
+		check    = flag.Bool("check", false, "verify invariants of every document")
+	)
+	flag.Parse()
+
+	dev, err := pagedev.OpenFile(*dbPath, *pageSize)
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	defer dev.Close()
+	pool, err := buffer.NewSized(dev, 4<<20)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	seg, err := segment.Open(pool)
+	if err != nil {
+		fatalf("open segment: %v", err)
+	}
+	rm := records.New(seg)
+	d, err := dict.Open(rm)
+	if err != nil {
+		fatalf("open dictionary: %v", err)
+	}
+	trees := core.New(rm, core.Config{})
+	store, err := docstore.Open(trees, d)
+	if err != nil {
+		fatalf("open docstore: %v", err)
+	}
+
+	fmt.Printf("segment: %d pages × %d bytes = %d bytes\n",
+		seg.NumPages(), seg.PageSize(), seg.TotalBytes())
+	fmt.Printf("labels:  %d in dictionary\n", d.Len())
+	fmt.Printf("documents:\n")
+	for _, info := range store.Documents() {
+		mode := "tree"
+		if info.Mode == docstore.ModeFlat {
+			mode = "flat"
+		}
+		fmt.Printf("  %-8s %-20s root %s\n", mode, info.Name, info.Root)
+	}
+
+	if *pages {
+		dumpPages(seg, pool)
+	}
+	if *doc != "" {
+		dumpDoc(store, trees, d, *doc)
+	}
+	if *check {
+		checkAll(store)
+	}
+}
+
+func dumpPages(seg *segment.Segment, pool *buffer.Pool) {
+	fmt.Printf("\npage occupancy:\n")
+	err := seg.ForEachDataPage(func(p pagedev.PageNo) error {
+		f, err := pool.Get(p)
+		if err != nil {
+			return err
+		}
+		defer f.Release()
+		sl, err := pageformat.AsSlotted(f.Data())
+		if err != nil {
+			fmt.Printf("  page %-8d (unformatted)\n", p)
+			return nil
+		}
+		fmt.Printf("  page %-8d %3d records, %5d bytes used, %5d free\n",
+			p, sl.LiveCells(), sl.UsedBytes(), sl.FreeBytes())
+		return nil
+	})
+	if err != nil {
+		fatalf("pages: %v", err)
+	}
+}
+
+func dumpDoc(store *docstore.Store, trees *core.Store, d *dict.Dict, name string) {
+	info, err := store.Lookup(name)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if info.Mode != docstore.ModeTree {
+		fatalf("%q is flat; nothing to dump", name)
+	}
+	fmt.Printf("\nrecord tree of %q:\n", name)
+	dumpRecord(trees, d, info.Root, 0)
+}
+
+func dumpRecord(trees *core.Store, d *dict.Dict, rid records.RID, depth int) {
+	rec, err := trees.LoadRecordForInspection(rid)
+	if err != nil {
+		fatalf("record %s: %v", rid, err)
+	}
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	fmt.Printf("%srecord %s (%d bytes, parent %s)\n",
+		indent, rid, noderep.EncodedSize(rec), rec.ParentRID)
+	var dump func(n *noderep.Node, nd int)
+	dump = func(n *noderep.Node, nd int) {
+		pad := indent
+		for i := 0; i < nd+1; i++ {
+			pad += "  "
+		}
+		switch n.Kind {
+		case noderep.KindAggregate:
+			label, _ := d.Name(n.Label)
+			role := "facade"
+			if n.Scaffold {
+				role = "scaffolding"
+			}
+			fmt.Printf("%saggregate %s (%s, %d children)\n", pad, label, role, len(n.Children))
+			for _, c := range n.Children {
+				dump(c, nd+1)
+			}
+		case noderep.KindLiteral:
+			v, _ := n.StringValue()
+			if len(v) > 32 {
+				v = v[:32] + "..."
+			}
+			fmt.Printf("%sliteral %q (%d bytes)\n", pad, v, len(n.Payload))
+		case noderep.KindProxy:
+			fmt.Printf("%sproxy -> %s\n", pad, n.Target)
+			dumpRecord(trees, d, n.Target, depth+1)
+		}
+	}
+	dump(rec.Root, 0)
+}
+
+func checkAll(store *docstore.Store) {
+	fmt.Printf("\ninvariant check:\n")
+	failed := false
+	for _, info := range store.Documents() {
+		if info.Mode != docstore.ModeTree {
+			continue
+		}
+		tree, err := store.Tree(info.Name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			fmt.Printf("  %-20s FAIL: %v\n", info.Name, err)
+			failed = true
+			continue
+		}
+		n, err := tree.RecordCount()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("  %-20s ok (%d records)\n", info.Name, n)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "natix-inspect: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+package natix
+
+import (
+	"fmt"
+
+	"natix/internal/core"
+	"natix/internal/noderep"
+)
+
+// Document is an editable handle to a tree-mode document. Node positions
+// are addressed by logical paths: a sequence of child indexes from the
+// document root (attributes count as leading children, in declaration
+// order).
+type Document struct {
+	db   *DB
+	name string
+	tree *core.Tree
+}
+
+// Document returns an editable handle to the named tree-mode document.
+func (db *DB) Document(name string) (*Document, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	tree, err := db.store.Tree(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{db: db, name: name, tree: tree}, nil
+}
+
+// Name returns the document's catalog name.
+func (d *Document) Name() string { return d.name }
+
+// save persists root-RID movement after mutations. Callers hold db.mu.
+func (d *Document) save() error {
+	return d.db.store.FinishBulk(d.name, d.tree)
+}
+
+// InsertElement inserts a new element named name as child idx of the
+// node at parentPath (idx == -1 appends).
+func (d *Document) InsertElement(parentPath []int, idx int, name string) error {
+	d.db.mu.Lock()
+	defer d.db.mu.Unlock()
+	if d.db.closed {
+		return ErrClosed
+	}
+	label, err := d.db.store.Dict().Intern(name)
+	if err != nil {
+		return err
+	}
+	if err := d.tree.InsertChild(core.Path(parentPath), idx, noderep.NewAggregate(label)); err != nil {
+		return err
+	}
+	return d.save()
+}
+
+// InsertText inserts a text node as child idx of the node at parentPath
+// (idx == -1 appends).
+func (d *Document) InsertText(parentPath []int, idx int, text string) error {
+	d.db.mu.Lock()
+	defer d.db.mu.Unlock()
+	if d.db.closed {
+		return ErrClosed
+	}
+	if err := d.tree.InsertChild(core.Path(parentPath), idx, noderep.NewTextLiteral(text)); err != nil {
+		return err
+	}
+	return d.save()
+}
+
+// DeleteNode removes the node at path together with its subtree.
+func (d *Document) DeleteNode(path []int) error {
+	d.db.mu.Lock()
+	defer d.db.mu.Unlock()
+	if d.db.closed {
+		return ErrClosed
+	}
+	if err := d.tree.Delete(core.Path(path)); err != nil {
+		return err
+	}
+	return d.save()
+}
+
+// NodeCount returns the number of logical nodes in the document.
+func (d *Document) NodeCount() (int, error) {
+	d.db.mu.Lock()
+	defer d.db.mu.Unlock()
+	if d.db.closed {
+		return 0, ErrClosed
+	}
+	c, err := d.tree.Cursor()
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	err = c.WalkPreOrder(func(*core.Cursor) bool {
+		count++
+		return true
+	})
+	return count, err
+}
+
+// RecordCount returns the number of physical records the document
+// occupies — the visible effect of clustering decisions.
+func (d *Document) RecordCount() (int, error) {
+	d.db.mu.Lock()
+	defer d.db.mu.Unlock()
+	if d.db.closed {
+		return 0, ErrClosed
+	}
+	return d.tree.RecordCount()
+}
+
+// Check verifies the document's physical invariants (record sizes,
+// proxy/parent consistency, scaffolding rules). Intended for tests and
+// diagnostics.
+func (d *Document) Check() error {
+	d.db.mu.Lock()
+	defer d.db.mu.Unlock()
+	if d.db.closed {
+		return ErrClosed
+	}
+	return d.tree.CheckInvariants()
+}
+
+// Walk visits every logical node of the document in pre-order. For
+// elements, name is the tag; for text nodes, name is "" and text holds
+// the data. Returning false from fn prunes that node's subtree.
+func (d *Document) Walk(fn func(path []int, name, text string) bool) error {
+	d.db.mu.Lock()
+	defer d.db.mu.Unlock()
+	if d.db.closed {
+		return ErrClosed
+	}
+	c, err := d.tree.Cursor()
+	if err != nil {
+		return err
+	}
+	dictionary := d.db.store.Dict()
+	return c.WalkPreOrder(func(c *core.Cursor) bool {
+		if c.IsLiteral() {
+			text, err := c.Ref().Literal().StringValue()
+			if err != nil {
+				text = fmt.Sprintf("<binary literal: %v>", err)
+			}
+			return fn(c.Path(), "", text)
+		}
+		name, err := dictionary.Name(c.Label())
+		if err != nil {
+			name = fmt.Sprintf("<label %d>", c.Label())
+		}
+		return fn(c.Path(), name, "")
+	})
+}

@@ -1,0 +1,94 @@
+// Quickstart: store an XML document in NATIX, query it, edit it, and
+// export it back to markup.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"natix"
+)
+
+const othello = `<PLAY>
+<TITLE>The Tragedy of Othello, the Moor of Venice</TITLE>
+<ACT><TITLE>ACT I</TITLE>
+<SCENE><TITLE>SCENE I. Venice. A street.</TITLE>
+<SPEECH><SPEAKER>RODERIGO</SPEAKER>
+<LINE>Tush! never tell me; I take it much unkindly</LINE>
+<LINE>That thou, Iago, who hast had my purse</LINE>
+</SPEECH>
+<SPEECH><SPEAKER>IAGO</SPEAKER>
+<LINE>'Sblood, but you will not hear me:</LINE>
+<LINE>If ever I did dream of such a matter, Abhor me.</LINE>
+</SPEECH>
+</SCENE>
+</ACT>
+</PLAY>`
+
+func main() {
+	// An empty Path gives an in-memory store; set Path to persist.
+	db, err := natix.Open(natix.Options{PageSize: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Store a document. The tree storage manager clusters connected
+	// subtrees into page-sized records automatically.
+	if err := db.ImportXML("othello", strings.NewReader(othello)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Path queries: the paper's query language.
+	matches, err := db.Query("othello", "/PLAY//SPEAKER")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("speakers:")
+	for _, m := range matches {
+		text, err := m.Text()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", text)
+	}
+
+	// Reconstruct a fragment's markup (the paper's query 2 pattern).
+	frag, err := db.Query("othello", "//SCENE/SPEECH[1]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	markup, err := frag[0].Markup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst speech of the first scene:\n%s\n", markup)
+
+	// Edit the stored tree directly: append a speech to the scene at
+	// path /1/1 (child 1 = ACT, its child 1 = SCENE).
+	doc, err := db.Document("othello")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := doc.InsertElement([]int{1, 1}, -1, "SPEECH"); err != nil {
+		log.Fatal(err)
+	}
+	if err := doc.InsertElement([]int{1, 1, 3}, 0, "SPEAKER"); err != nil {
+		log.Fatal(err)
+	}
+	if err := doc.InsertText([]int{1, 1, 3, 0}, 0, "BRABANTIO"); err != nil {
+		log.Fatal(err)
+	}
+	nodes, _ := doc.NodeCount()
+	recs, _ := doc.RecordCount()
+	fmt.Printf("\nafter edit: %d logical nodes in %d physical record(s)\n", nodes, recs)
+
+	// Export the whole document back to XML.
+	fmt.Println("\nexported document:")
+	if err := db.ExportXML("othello", os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,86 @@
+// Shakespeare: load a corpus of plays (the paper's document collection)
+// and run the three evaluation queries of §4.3, reporting storage
+// statistics along the way.
+//
+// With no arguments a synthetic corpus at reduced scale is generated;
+// pass paths to real play XML files to use those instead:
+//
+//	go run ./examples/shakespeare [play1.xml play2.xml ...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"natix"
+	"natix/internal/corpus"
+	"natix/internal/xmlkit"
+)
+
+func main() {
+	db, err := natix.Open(natix.Options{PageSize: 8192})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	var names []string
+	if len(os.Args) > 1 {
+		for _, path := range os.Args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := strings.TrimSuffix(filepath.Base(path), ".xml")
+			if err := db.ImportXML(name, f); err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			f.Close()
+			names = append(names, name)
+		}
+	} else {
+		spec := corpus.SmallSpec(5)
+		for i := 0; i < spec.Plays; i++ {
+			play := corpus.GeneratePlay(spec, i)
+			name := fmt.Sprintf("play-%02d", i)
+			if err := db.ImportXML(name, strings.NewReader(xmlkit.SerializeString(play))); err != nil {
+				log.Fatal(err)
+			}
+			names = append(names, name)
+		}
+		fmt.Printf("generated %d synthetic plays\n", len(names))
+	}
+
+	st, _ := db.Stats()
+	fmt.Printf("store: %d bytes on disk, %d records, %d splits\n\n",
+		st.SpaceBytes, st.RecordsCreated-st.RecordsDeleted, st.Splits)
+
+	// The paper's three retrieval queries (§4.3).
+	queries := []struct{ label, path string }{
+		{"query 1 — speakers in act 3, scene 2", "/PLAY/ACT[3]/SCENE[2]//SPEAKER"},
+		{"query 2 — first speech of every scene", "//SCENE/SPEECH[1]"},
+		{"query 3 — the opening speech", "/PLAY/ACT[1]/SCENE[1]/SPEECH[1]"},
+	}
+	for _, q := range queries {
+		fmt.Printf("%s\n  %s\n", q.label, q.path)
+		total := 0
+		for _, name := range names {
+			matches, err := db.Query(name, q.path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += len(matches)
+			if len(matches) > 0 && name == names[0] {
+				text, _ := matches[0].Text()
+				if len(text) > 60 {
+					text = text[:60] + "..."
+				}
+				fmt.Printf("  e.g. %s: %q\n", name, text)
+			}
+		}
+		fmt.Printf("  %d matches across %d plays\n\n", total, len(names))
+	}
+}

@@ -1,0 +1,189 @@
+package natix
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"natix/internal/corpus"
+	"natix/internal/xmlkit"
+)
+
+// TestIntegrationLifecycles drives a full store lifecycle over a file
+// device at several page sizes: import a small corpus, edit documents,
+// restart, verify contents and invariants.
+func TestIntegrationLifecycle(t *testing.T) {
+	for _, pageSize := range []int{2048, 8192} {
+		t.Run(fmt.Sprintf("page%d", pageSize), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "store.natix")
+			spec := corpus.SmallSpec(3)
+			plays := make([]string, spec.Plays)
+			for i := range plays {
+				plays[i] = xmlkit.SerializeString(corpus.GeneratePlay(spec, i))
+			}
+
+			// Phase 1: import and edit.
+			db, err := Open(Options{Path: path, PageSize: pageSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, text := range plays {
+				if err := db.ImportXML(fmt.Sprintf("play-%d", i), strings.NewReader(text)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			doc, err := db.Document("play-1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := db.QueryCount("play-1", "//STAGEDIR")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 50; i++ {
+				// Scatter stage directions into random scenes.
+				var scenes [][]int
+				if err := doc.Walk(func(p []int, name, _ string) bool {
+					if name == "SCENE" {
+						scenes = append(scenes, append([]int(nil), p...))
+					}
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				sc := scenes[rng.Intn(len(scenes))]
+				if err := doc.InsertElement(sc, 1, "STAGEDIR"); err != nil {
+					t.Fatal(err)
+				}
+				if err := doc.InsertText(append(append([]int(nil), sc...), 1), 0,
+					fmt.Sprintf("edit %d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := doc.Check(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Phase 2: restart and verify.
+			db2, err := Open(Options{Path: path, PageSize: pageSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			docs, err := db2.Documents()
+			if err != nil || len(docs) != 3 {
+				t.Fatalf("docs after restart: %v, %v", docs, err)
+			}
+			// Unedited plays round-trip exactly.
+			for _, i := range []int{0, 2} {
+				var out bytes.Buffer
+				if err := db2.ExportXML(fmt.Sprintf("play-%d", i), &out); err != nil {
+					t.Fatal(err)
+				}
+				want, _ := xmlkit.ParseString(plays[i], xmlkit.ParseOptions{})
+				got, err := xmlkit.ParseString(out.String(), xmlkit.ParseOptions{})
+				if err != nil || !xmlkit.Equal(want.Root, got.Root) {
+					t.Fatalf("play-%d changed across restart", i)
+				}
+			}
+			// The edited play holds all 50 edits and passes checks.
+			doc2, err := db2.Document("play-1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := doc2.Check(); err != nil {
+				t.Fatal(err)
+			}
+			n, err := db2.QueryCount("play-1", "//STAGEDIR")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != base+50 {
+				t.Fatalf("stagedirs = %d, want %d", n, base+50)
+			}
+		})
+	}
+}
+
+// TestQueryAgreementAcrossConfigurations: the same documents under
+// different physical configurations must answer a battery of queries
+// identically.
+func TestQueryAgreementAcrossConfigurations(t *testing.T) {
+	spec := corpus.SmallSpec(2)
+	text := make([]string, spec.Plays)
+	for i := range text {
+		text[i] = xmlkit.SerializeString(corpus.GeneratePlay(spec, i))
+	}
+	open := func(opts Options) *DB {
+		db, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tx := range text {
+			if err := db.ImportXML(fmt.Sprintf("p%d", i), strings.NewReader(tx)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+	dbs := map[string]*DB{
+		"native-2k":     open(Options{PageSize: 2048}),
+		"native-32k":    open(Options{PageSize: 32768}),
+		"standalone-4k": open(Options{PageSize: 4096, DefaultPolicy: Standalone}),
+		"left-split":    open(Options{PageSize: 2048, SplitTarget: 0.2}),
+	}
+	defer func() {
+		for _, db := range dbs {
+			db.Close()
+		}
+	}()
+	queries := []string{
+		"/PLAY//SPEAKER",
+		"/PLAY/ACT[2]/SCENE[1]//SPEAKER",
+		"//SCENE/SPEECH[1]",
+		"/PLAY/ACT[1]/SCENE[1]/SPEECH[1]",
+		"/PLAY/*",
+		"//LINE",
+	}
+	for _, q := range queries {
+		for d := 0; d < spec.Plays; d++ {
+			name := fmt.Sprintf("p%d", d)
+			var want []string
+			first := true
+			for label, db := range dbs {
+				matches, err := db.Query(name, q)
+				if err != nil {
+					t.Fatalf("%s %s: %v", label, q, err)
+				}
+				var got []string
+				for _, m := range matches {
+					s, err := m.Markup()
+					if err != nil {
+						t.Fatal(err)
+					}
+					got = append(got, s)
+				}
+				if first {
+					want = got
+					first = false
+					continue
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s %s on %s: %d matches, want %d", label, q, name, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s %s on %s: match %d differs", label, q, name, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+
+	"natix/internal/corpus"
+)
+
+// Ablations probe the design choices DESIGN.md calls out, beyond the
+// paper's own figures: the split target, the split tolerance, the buffer
+// size, and the parsed-record cache.
+
+// AblationRow is one measured cell of an ablation sweep.
+type AblationRow struct {
+	Param     string
+	Value     string
+	Insert    Metrics
+	Traverse  Metrics
+	Query2    Metrics
+	SpaceByte int64
+}
+
+// SplitTargetAblation sweeps the split target (§3.2.2: "the desired
+// ratio between the sizes of L and R is a configuration parameter"),
+// measuring its effect on append loads, traversal and fragment queries.
+func SplitTargetAblation(spec corpus.Spec, pageSize int, buffer int, out io.Writer) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, target := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		cfg := Config{
+			PageSize: pageSize, BufferBytes: buffer,
+			Mode: ModeNative, Order: OrderAppend, SplitTarget: target,
+		}
+		row, err := ablationCell(spec, cfg, "split-target", fmt.Sprintf("%.2f", target))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	printAblation(out, "Split target (fraction of bytes left of the separator)", rows)
+	return rows, nil
+}
+
+// SplitToleranceAblation sweeps the split tolerance (§3.2.2: minimum
+// subtree size; "subtrees smaller than this value are not split ... to
+// prevent fragmentation").
+func SplitToleranceAblation(spec corpus.Spec, pageSize int, buffer int, out io.Writer) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, frac := range []int{50, 20, 10, 5, 2} {
+		tol := pageSize / frac
+		cfg := Config{
+			PageSize: pageSize, BufferBytes: buffer,
+			Mode: ModeNative, Order: OrderIncremental, SplitTolerance: tol,
+		}
+		row, err := ablationCell(spec, cfg, "split-tolerance", fmt.Sprintf("1/%d page (%dB)", frac, tol))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	printAblation(out, "Split tolerance (minimum splittable subtree)", rows)
+	return rows, nil
+}
+
+// BufferAblation sweeps the buffer pool size around the paper's 2 MB.
+func BufferAblation(spec corpus.Spec, pageSize int, out io.Writer) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, buf := range []int{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20} {
+		cfg := Config{
+			PageSize: pageSize, BufferBytes: buf,
+			Mode: ModeNative, Order: OrderIncremental,
+		}
+		row, err := ablationCell(spec, cfg, "buffer", fmt.Sprintf("%dKB", buf>>10))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	printAblation(out, "Buffer pool size (paper: 2048KB)", rows)
+	return rows, nil
+}
+
+// CacheAblation compares the parsed-record cache on and off. The cache
+// is CPU-side only, so simulated times must match while wall times
+// differ — this ablation doubles as a check that the cache cannot
+// distort the I/O metrics.
+func CacheAblation(spec corpus.Spec, pageSize int, buffer int, out io.Writer) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, cache := range []int{-1, 4096} {
+		cfg := Config{
+			PageSize: pageSize, BufferBytes: buffer,
+			Mode: ModeNative, Order: OrderAppend, CacheRecords: cache,
+		}
+		label := "on"
+		if cache < 0 {
+			label = "off"
+		}
+		row, err := ablationCell(spec, cfg, "record-cache", label)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	printAblation(out, "Parsed-record cache (wall time only; sim ms must match)", rows)
+	return rows, nil
+}
+
+func ablationCell(spec corpus.Spec, cfg Config, param, value string) (AblationRow, error) {
+	env, err := BuildEnv(spec, cfg)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("%s=%s: %w", param, value, err)
+	}
+	trav, err := env.Traverse()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	q2, err := env.RunQuery("query2", Query2, true)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Param:     param,
+		Value:     value,
+		Insert:    env.Insertion(),
+		Traverse:  trav,
+		Query2:    q2,
+		SpaceByte: env.Space().SpaceBytes,
+	}, nil
+}
+
+func printAblation(w io.Writer, title string, rows []AblationRow) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "Ablation — %s\n", title)
+	fmt.Fprintf(w, "%-18s %14s %14s %14s %14s %12s\n",
+		"value", "insert sim-ms", "insert wall", "traverse ms", "query2 ms", "space")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %14.1f %14.1f %14.1f %14.1f %12d\n",
+			r.Value, r.Insert.SimMS, r.Insert.WallMS, r.Traverse.SimMS, r.Query2.SimMS, r.SpaceByte)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,189 @@
+package benchkit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"natix/internal/corpus"
+)
+
+// tinySpec keeps unit tests fast.
+func tinySpec() corpus.Spec {
+	return corpus.SmallSpec(2)
+}
+
+func TestBuildEnvAllModes(t *testing.T) {
+	for _, cfg := range []Config{
+		{PageSize: 2048, Mode: ModeNative, Order: OrderAppend},
+		{PageSize: 2048, Mode: ModeNative, Order: OrderIncremental},
+		{PageSize: 2048, Mode: ModeOneToOne, Order: OrderAppend},
+		{PageSize: 2048, Mode: ModeOneToOne, Order: OrderIncremental},
+		{PageSize: 2048, Mode: ModeFlat},
+	} {
+		t.Run(cfg.Series(), func(t *testing.T) {
+			env, err := BuildEnv(tinySpec(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ins := env.Insertion()
+			if ins.SimMS <= 0 || ins.PhysWrites == 0 {
+				t.Fatalf("insertion metrics empty: %+v", ins)
+			}
+			if len(env.Docs()) != 2 {
+				t.Fatalf("docs = %v", env.Docs())
+			}
+			// Storage invariants hold for tree modes.
+			if cfg.Mode != ModeFlat {
+				for _, name := range env.Docs() {
+					tree, err := env.Store().Tree(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := tree.CheckInvariants(); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInsertionOrdersProduceSameDocuments: append and incremental loads
+// must yield identical logical documents.
+func TestInsertionOrdersProduceSameDocuments(t *testing.T) {
+	a, err := BuildEnv(tinySpec(), Config{PageSize: 1024, Mode: ModeNative, Order: OrderAppend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildEnv(tinySpec(), Config{PageSize: 1024, Mode: ModeNative, Order: OrderIncremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xa, xb bytes.Buffer
+	if err := a.Store().ExportXML("play-00", &xa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Store().ExportXML("play-00", &xb); err != nil {
+		t.Fatal(err)
+	}
+	if xa.String() != xb.String() {
+		t.Fatal("insertion orders produced different documents")
+	}
+}
+
+func TestOperationsProduceWork(t *testing.T) {
+	env, err := BuildEnv(tinySpec(), Config{PageSize: 2048, Mode: ModeNative, Order: OrderAppend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trav, err := env.Traverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := corpus.Measure(corpus.Generate(tinySpec()))
+	if trav.Work != int64(st.Nodes) {
+		t.Fatalf("traversal visited %d nodes, corpus has %d", trav.Work, st.Nodes)
+	}
+	q1, err := env.RunQuery("fig11", Query1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Work == 0 {
+		t.Fatal("query 1 found nothing")
+	}
+	q2, err := env.RunQuery("fig12", Query2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Work == 0 {
+		t.Fatal("query 2 produced no markup")
+	}
+	sp := env.Space()
+	if sp.SpaceBytes == 0 {
+		t.Fatal("space metric empty")
+	}
+}
+
+// TestFlatVsTreeSameQueryAnswers: both representations must agree on
+// query results.
+func TestFlatVsTreeSameQueryAnswers(t *testing.T) {
+	tree, err := BuildEnv(tinySpec(), Config{PageSize: 2048, Mode: ModeNative, Order: OrderAppend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := BuildEnv(tinySpec(), Config{PageSize: 2048, Mode: ModeFlat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{Query1, Query2, Query3} {
+		rt, err := tree.Store().Query("play-00", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := flat.Store().Query("play-00", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rt) != len(rf) {
+			t.Fatalf("%s: tree %d matches, flat %d", q, len(rt), len(rf))
+		}
+		for i := range rt {
+			mt, err := rt[i].Markup()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mf, err := rf[i].Markup()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mt != mf {
+				t.Fatalf("%s match %d differs:\n%s\n%s", q, i, mt, mf)
+			}
+		}
+	}
+}
+
+func TestRunSuiteSmall(t *testing.T) {
+	suite, err := RunSuite(SuiteOptions{
+		Spec:        corpus.SmallSpec(1),
+		PageSizes:   []int{1024, 2048},
+		BufferBytes: 64 << 10,
+		IncludeFlat: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 series × 2 page sizes × 6 figures.
+	if len(suite.Results) != 5*2*6 {
+		t.Fatalf("results = %d, want 60", len(suite.Results))
+	}
+	var out bytes.Buffer
+	suite.PrintAll(&out)
+	text := out.String()
+	for _, fig := range Figures {
+		if !strings.Contains(text, fig.ID) {
+			t.Fatalf("output missing %s:\n%s", fig.ID, text)
+		}
+	}
+	var csv bytes.Buffer
+	if err := suite.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != 61 {
+		t.Fatalf("csv lines = %d, want 61", lines)
+	}
+}
+
+// TestSeriesLabels pins the paper's legend names.
+func TestSeriesLabels(t *testing.T) {
+	if got := (Config{Mode: ModeOneToOne, Order: OrderIncremental}).Series(); got != "1:1 incr" {
+		t.Fatalf("series = %q", got)
+	}
+	if got := (Config{Mode: ModeNative, Order: OrderAppend}).Series(); got != "1:n append" {
+		t.Fatalf("series = %q", got)
+	}
+	if got := (Config{Mode: ModeFlat}).Series(); got != "flat" {
+		t.Fatalf("series = %q", got)
+	}
+}

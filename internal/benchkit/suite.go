@@ -1,0 +1,217 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"natix/internal/corpus"
+)
+
+// PaperPageSizes are the x-axis of every figure: the paper varies page
+// size between 2K and 32K (§4.2).
+var PaperPageSizes = []int{2048, 4096, 8192, 16384, 32768}
+
+// PaperSeries are the four measured series of §4.4, in the figures'
+// legend order.
+var PaperSeries = []Config{
+	{Mode: ModeOneToOne, Order: OrderIncremental},
+	{Mode: ModeNative, Order: OrderIncremental},
+	{Mode: ModeOneToOne, Order: OrderAppend},
+	{Mode: ModeNative, Order: OrderAppend},
+}
+
+// Figure identifies one reproducible experiment.
+type Figure struct {
+	ID    string
+	Title string
+	// Metric selects the reported column ("sim_ms" or "space_bytes").
+	Metric string
+}
+
+// Figures lists every figure of the paper's evaluation section.
+var Figures = []Figure{
+	{"fig9", "Insertion", "sim_ms"},
+	{"fig10", "Full tree traversal", "sim_ms"},
+	{"fig11", "Selection on leaf nodes of document subtree (Query 1)", "sim_ms"},
+	{"fig12", "Small contiguous fragments (Query 2)", "sim_ms"},
+	{"fig13", "Single path for each document (Query 3)", "sim_ms"},
+	{"fig14", "Space requirements", "space_bytes"},
+}
+
+// SuiteOptions configure a full run.
+type SuiteOptions struct {
+	Spec        corpus.Spec
+	PageSizes   []int // default PaperPageSizes
+	BufferBytes int   // default 2 MB
+	IncludeFlat bool  // add the flat-stream extension series
+	Progress    io.Writer
+}
+
+// Suite holds the results of all figures over all cells.
+type Suite struct {
+	Options SuiteOptions
+	Results []Metrics // every measured cell of every figure
+}
+
+// RunSuite builds each (series × page size) store once and measures all
+// six figures on it.
+func RunSuite(opts SuiteOptions) (*Suite, error) {
+	if opts.PageSizes == nil {
+		opts.PageSizes = PaperPageSizes
+	}
+	if opts.Spec.Plays == 0 {
+		opts.Spec = corpus.DefaultSpec()
+	}
+	suite := &Suite{Options: opts}
+	series := append([]Config(nil), PaperSeries...)
+	if opts.IncludeFlat {
+		series = append(series, Config{Mode: ModeFlat})
+	}
+	for _, base := range series {
+		for _, ps := range opts.PageSizes {
+			cfg := base
+			cfg.PageSize = ps
+			cfg.BufferBytes = opts.BufferBytes
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "building %-12s page %-6d ... ", cfg.Series(), ps)
+			}
+			env, err := BuildEnv(opts.Spec, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%d: %w", cfg.Series(), ps, err)
+			}
+			ins := env.Insertion()
+			ins.Op = "fig9"
+			suite.Results = append(suite.Results, ins)
+
+			trav, err := env.Traverse()
+			if err != nil {
+				return nil, fmt.Errorf("%s/%d traverse: %w", cfg.Series(), ps, err)
+			}
+			trav.Op = "fig10"
+			suite.Results = append(suite.Results, trav)
+
+			for _, q := range []struct {
+				op     string
+				query  string
+				markup bool
+			}{
+				{"fig11", Query1, false},
+				{"fig12", Query2, true},
+				{"fig13", Query3, true},
+			} {
+				m, err := env.RunQuery(q.op, q.query, q.markup)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%d %s: %w", cfg.Series(), ps, q.op, err)
+				}
+				suite.Results = append(suite.Results, m)
+			}
+
+			sp := env.Space()
+			sp.Op = "fig14"
+			suite.Results = append(suite.Results, sp)
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "done (insert %.0f sim-ms, %.0f wall-ms)\n",
+					ins.SimMS, ins.WallMS)
+			}
+		}
+	}
+	return suite, nil
+}
+
+// Cells returns the metrics of one figure keyed by (series, page size).
+func (s *Suite) Cells(figID string) map[string]map[int]Metrics {
+	out := map[string]map[int]Metrics{}
+	for _, m := range s.Results {
+		if m.Op != figID {
+			continue
+		}
+		if out[m.Series] == nil {
+			out[m.Series] = map[int]Metrics{}
+		}
+		out[m.Series][m.PageSize] = m
+	}
+	return out
+}
+
+// seriesOrder returns the series labels present, legend order first.
+func (s *Suite) seriesOrder(cells map[string]map[int]Metrics) []string {
+	want := []string{"1:1 incr", "1:n incr", "1:1 append", "1:n append", "flat"}
+	var out []string
+	for _, w := range want {
+		if _, ok := cells[w]; ok {
+			out = append(out, w)
+		}
+	}
+	var extra []string
+	for k := range cells {
+		found := false
+		for _, o := range out {
+			if o == k {
+				found = true
+			}
+		}
+		if !found {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// PrintFigure renders one figure as an aligned table. Time figures print
+// simulated milliseconds; the space figure prints bytes.
+func (s *Suite) PrintFigure(w io.Writer, fig Figure) {
+	cells := s.Cells(fig.ID)
+	series := s.seriesOrder(cells)
+	fmt.Fprintf(w, "%s — %s", fig.ID, fig.Title)
+	if fig.Metric == "space_bytes" {
+		fmt.Fprintf(w, " (bytes on disk)\n")
+	} else {
+		fmt.Fprintf(w, " (simulated ms on DCAS-34330W)\n")
+	}
+	fmt.Fprintf(w, "%-10s", "page")
+	for _, ser := range series {
+		fmt.Fprintf(w, "%14s", ser)
+	}
+	fmt.Fprintln(w)
+	for _, ps := range s.Options.PageSizes {
+		fmt.Fprintf(w, "%-10d", ps)
+		for _, ser := range series {
+			m, ok := cells[ser][ps]
+			if !ok {
+				fmt.Fprintf(w, "%14s", "-")
+				continue
+			}
+			if fig.Metric == "space_bytes" {
+				fmt.Fprintf(w, "%14d", m.SpaceBytes)
+			} else {
+				fmt.Fprintf(w, "%14.1f", m.SimMS)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintAll renders every figure.
+func (s *Suite) PrintAll(w io.Writer) {
+	for _, fig := range Figures {
+		s.PrintFigure(w, fig)
+	}
+}
+
+// WriteCSV emits all cells in long form for downstream plotting.
+func (s *Suite) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,series,page_size,sim_ms,wall_ms,phys_reads,phys_writes,space_bytes,work"); err != nil {
+		return err
+	}
+	for _, m := range s.Results {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%.3f,%.3f,%d,%d,%d,%d\n",
+			m.Op, m.Series, m.PageSize, m.SimMS, m.WallMS,
+			m.PhysReads, m.PhysWrites, m.SpaceBytes, m.Work); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package blobstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"natix/internal/buffer"
+	"natix/internal/pagedev"
+	"natix/internal/records"
+	"natix/internal/segment"
+)
+
+func newStore(t *testing.T, pageSize int) (*Store, *records.Manager) {
+	t.Helper()
+	dev, err := pagedev.NewMem(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := buffer.New(dev, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := segment.Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := records.New(seg)
+	return New(rm), rm
+}
+
+func TestRoundTripSizes(t *testing.T) {
+	s, _ := newStore(t, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 8, 100, 1000, 1016, 1017, 5000, 50000} {
+		data := make([]byte, n)
+		rng.Read(data)
+		id, err := s.Write(data, 0)
+		if err != nil {
+			t.Fatalf("Write(%d bytes): %v", n, err)
+		}
+		got, err := s.Read(id)
+		if err != nil {
+			t.Fatalf("Read(%d bytes): %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%d-byte blob corrupted (got %d bytes)", n, len(got))
+		}
+		sz, err := s.Size(id)
+		if err != nil || sz != int64(n) {
+			t.Fatalf("Size = %d, %v; want %d", sz, err, n)
+		}
+	}
+}
+
+func TestDeleteFreesAllChunks(t *testing.T) {
+	s, rm := newStore(t, 1024)
+	data := bytes.Repeat([]byte{0xAA}, 10_000)
+	before := rm.Segment().NumPages()
+	id, err := s.Write(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(id); err == nil {
+		t.Fatal("Read after Delete succeeded")
+	}
+	// All freed space is reusable: a second identical write must not grow
+	// the segment beyond one extra allocation round.
+	grown := rm.Segment().NumPages()
+	if _, err := s.Write(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := rm.Segment().NumPages()
+	if after > grown {
+		t.Fatalf("rewrite after delete grew segment %d -> %d (first write grew from %d)", grown, after, before)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s, _ := newStore(t, 1024)
+	id, err := s.Write(bytes.Repeat([]byte{1}, 3000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{2}, 7000)
+	id2, err := s.Overwrite(id, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(id2)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("overwritten blob corrupted: %v", err)
+	}
+}
+
+func TestChunksAreClustered(t *testing.T) {
+	s, rm := newStore(t, 1024)
+	data := make([]byte, 20_000)
+	id, err := s.Write(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the chain and check page monotonicity-ish: consecutive chunks
+	// should live on nearby pages (within a few pages of each other).
+	cur := id
+	var prev pagedev.PageNo
+	first := true
+	for !cur.IsNil() {
+		body, err := rm.Read(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !first {
+			d := int64(cur.Page) - int64(prev)
+			if d < -4 || d > 4 {
+				t.Fatalf("chunk jumped from page %d to %d", prev, cur.Page)
+			}
+		}
+		prev = cur.Page
+		first = false
+		cur = records.DecodeRID(body[:8])
+	}
+}
+
+func TestLargeBlobAcrossManyPages(t *testing.T) {
+	s, _ := newStore(t, 512)
+	rng := rand.New(rand.NewSource(99))
+	data := make([]byte, 100_000)
+	rng.Read(data)
+	id, err := s.Write(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("large blob corrupted")
+	}
+}

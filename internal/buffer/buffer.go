@@ -1,0 +1,286 @@
+// Package buffer implements the NATIX buffer manager: a fixed-capacity
+// pool of page frames over a pagedev.Device with pin counting, LRU
+// replacement and write-back of dirty pages.
+//
+// The paper's experiments use a 2 MB buffer that is cleared at the start
+// of each measured operation (§4.2); Clear provides exactly that. The pool
+// tracks logical and physical I/O counts so the benchmark harness can
+// report both, and it verifies/refreshes per-page checksums at the
+// physical I/O boundary.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"natix/internal/pagedev"
+	"natix/internal/pageformat"
+)
+
+// Errors returned by the pool.
+var (
+	ErrPoolFull  = errors.New("buffer: all frames pinned")
+	ErrPinned    = errors.New("buffer: page still pinned")
+	ErrNoFrames  = errors.New("buffer: capacity must be at least one frame")
+	ErrReleased  = errors.New("buffer: frame already released")
+	ErrCorrupted = errors.New("buffer: page failed checksum verification")
+)
+
+// Stats counts buffer activity since the last ResetStats.
+type Stats struct {
+	LogicalReads int64 // Get/GetNew/Touch calls
+	Hits         int64 // logical reads served from the pool
+	PhysReads    int64 // pages read from the device
+	PhysWrites   int64 // pages written to the device
+	Evictions    int64 // frames evicted to make room
+}
+
+// Pool is a buffer pool. All methods are safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	dev      pagedev.Device
+	capacity int
+	frames   map[pagedev.PageNo]*Frame
+	lru      *list.List // unpinned frames, front = least recently used
+	stats    Stats
+	verify   bool
+}
+
+// Frame is a pinned page image. Callers must Release every frame they
+// obtain; Data is valid only while the frame is pinned.
+type Frame struct {
+	pool  *Pool
+	page  pagedev.PageNo
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // non-nil while unpinned and on the LRU list
+}
+
+// New creates a pool of numFrames frames over dev.
+func New(dev pagedev.Device, numFrames int) (*Pool, error) {
+	if numFrames < 1 {
+		return nil, ErrNoFrames
+	}
+	return &Pool{
+		dev:      dev,
+		capacity: numFrames,
+		frames:   make(map[pagedev.PageNo]*Frame, numFrames),
+		lru:      list.New(),
+		verify:   true,
+	}, nil
+}
+
+// NewSized creates a pool whose total frame memory is approximately
+// bufBytes (at least one frame), matching the paper's "2 MB buffer".
+func NewSized(dev pagedev.Device, bufBytes int) (*Pool, error) {
+	n := bufBytes / dev.PageSize()
+	if n < 1 {
+		n = 1
+	}
+	return New(dev, n)
+}
+
+// SetVerifyChecksums toggles checksum verification on physical reads.
+func (p *Pool) SetVerifyChecksums(v bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.verify = v
+}
+
+// Capacity returns the number of frames in the pool.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Device returns the underlying page device.
+func (p *Pool) Device() pagedev.Device { return p.dev }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the pool counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Get pins the frame for page pn, reading it from the device on a miss.
+func (p *Pool) Get(pn pagedev.PageNo) (*Frame, error) {
+	return p.get(pn, true)
+}
+
+// GetNew pins a frame for a freshly allocated page without reading the
+// device. The frame contents are zeroed; the caller is expected to format
+// and dirty the page.
+func (p *Pool) GetNew(pn pagedev.PageNo) (*Frame, error) {
+	return p.get(pn, false)
+}
+
+func (p *Pool) get(pn pagedev.PageNo, read bool) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.LogicalReads++
+	if f, ok := p.frames[pn]; ok {
+		p.stats.Hits++
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		f.pins++
+		return f, nil
+	}
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{pool: p, page: pn, data: make([]byte, p.dev.PageSize()), pins: 1}
+	if read {
+		if err := p.dev.Read(pn, f.data); err != nil {
+			return nil, err
+		}
+		p.stats.PhysReads++
+		if p.verify {
+			if err := pageformat.VerifyChecksum(f.data); err != nil {
+				return nil, fmt.Errorf("%w: page %d: %v", ErrCorrupted, pn, err)
+			}
+		}
+	}
+	p.frames[pn] = f
+	return f, nil
+}
+
+// Touch registers a logical access to a page without keeping it pinned.
+// Upper-level caches call this so their hits still exercise the buffer
+// (and pay physical I/O if the page was evicted).
+func (p *Pool) Touch(pn pagedev.PageNo) error {
+	f, err := p.Get(pn)
+	if err != nil {
+		return err
+	}
+	f.Release()
+	return nil
+}
+
+// evictLocked removes the least recently used unpinned frame, writing it
+// back if dirty. Callers hold p.mu.
+func (p *Pool) evictLocked() error {
+	e := p.lru.Front()
+	if e == nil {
+		return ErrPoolFull
+	}
+	f := e.Value.(*Frame)
+	if f.dirty {
+		if err := p.writeBackLocked(f); err != nil {
+			return err
+		}
+	}
+	p.lru.Remove(e)
+	delete(p.frames, f.page)
+	p.stats.Evictions++
+	return nil
+}
+
+func (p *Pool) writeBackLocked(f *Frame) error {
+	if pageformat.TypeOf(f.data) != pageformat.TypeInvalid {
+		pageformat.UpdateChecksum(f.data)
+	}
+	if err := p.dev.Write(f.page, f.data); err != nil {
+		return err
+	}
+	p.stats.PhysWrites++
+	f.dirty = false
+	return nil
+}
+
+// FlushAll writes every dirty frame back to the device and syncs it.
+// Frames stay cached and pins are unaffected. Dirty pages are written in
+// ascending page order (elevator order), as any real write-back cache
+// would, which matters to the simulated disk's seek accounting.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushAllLocked()
+}
+
+func (p *Pool) flushAllLocked() error {
+	dirty := make([]*Frame, 0, len(p.frames))
+	for _, f := range p.frames {
+		if f.dirty {
+			dirty = append(dirty, f)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].page < dirty[j].page })
+	for _, f := range dirty {
+		if err := p.writeBackLocked(f); err != nil {
+			return err
+		}
+	}
+	return p.dev.Sync()
+}
+
+// Clear flushes all dirty frames and then empties the pool. It fails with
+// ErrPinned if any frame is still pinned. The paper clears the buffer at
+// the start of each measured operation.
+func (p *Pool) Clear() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for pn, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("%w: page %d (%d pins)", ErrPinned, pn, f.pins)
+		}
+	}
+	if err := p.flushAllLocked(); err != nil {
+		return err
+	}
+	for pn, f := range p.frames {
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+		}
+		delete(p.frames, pn)
+	}
+	return nil
+}
+
+// Cached returns the number of frames currently held (pinned or not).
+func (p *Pool) Cached() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// Page returns the page number this frame images.
+func (f *Frame) Page() pagedev.PageNo { return f.page }
+
+// Data returns the page image. Mutations must be followed by MarkDirty.
+// The slice is valid only while the frame is pinned.
+func (f *Frame) Data() []byte { return f.data }
+
+// MarkDirty records that the frame differs from the on-device page.
+func (f *Frame) MarkDirty() {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	f.dirty = true
+}
+
+// Release unpins the frame. The frame becomes eligible for eviction once
+// its pin count reaches zero. Releasing an unpinned frame panics: it
+// indicates a pin-accounting bug in the caller.
+func (f *Frame) Release() {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	if f.pins <= 0 {
+		panic(ErrReleased)
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = f.pool.lru.PushBack(f)
+	}
+}

@@ -1,0 +1,91 @@
+// Package core implements the NATIX tree storage manager (paper §3): the
+// online algorithm that maintains the distribution of a logical XML tree
+// over physical records, each at most one page in size.
+//
+// The manager maps logical trees onto the physical node model of package
+// noderep. Inserting a node that overflows its record triggers the tree
+// growth procedure of figure 5: choose the insertion record, try to move
+// the record, otherwise split it by slicing a small subtree (the
+// separator) off the record's root and distributing the remaining forest
+// onto partition records, recursively pushing the separator into the
+// parent record. A Split Matrix (§3.3) biases both the insertion-location
+// choice and separator membership, and configuring it with all-zero
+// entries reproduces the "one record per node" systems the paper
+// benchmarks against.
+package core
+
+import "natix/internal/dict"
+
+// Policy is one entry of the split matrix: the desired clustering of a
+// child label under a parent label (§3.3).
+type Policy uint8
+
+// Split matrix entry values.
+const (
+	// PolicyOther lets the algorithm decide ("other" in the paper).
+	PolicyOther Policy = iota
+	// PolicyStandalone (the paper's 0) always stores the child as a
+	// standalone record, never clustered with the parent.
+	PolicyStandalone
+	// PolicyCluster (the paper's ∞) keeps the child in the parent's
+	// record as long as possible.
+	PolicyCluster
+)
+
+// String returns the paper's notation for the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyStandalone:
+		return "0"
+	case PolicyCluster:
+		return "∞"
+	default:
+		return "other"
+	}
+}
+
+type matrixKey struct {
+	parent, child dict.LabelID
+}
+
+// SplitMatrix holds clustering preferences indexed by (parent label,
+// child label). Unset pairs fall back to a default policy. The zero
+// value is not usable; call NewSplitMatrix.
+type SplitMatrix struct {
+	def     Policy
+	entries map[matrixKey]Policy
+}
+
+// NewSplitMatrix creates a matrix whose unset entries read as def. The
+// paper's "default" matrix has all entries set to other.
+func NewSplitMatrix(def Policy) *SplitMatrix {
+	return &SplitMatrix{def: def, entries: make(map[matrixKey]Policy)}
+}
+
+// AllOther returns the paper's default matrix (the 1:n / "native XML"
+// configuration of §4.2).
+func AllOther() *SplitMatrix { return NewSplitMatrix(PolicyOther) }
+
+// AllStandalone returns the matrix with every entry 0: one record per
+// node (the 1:1 configuration of §4.2, emulating POET/Excelon/LORE).
+func AllStandalone() *SplitMatrix { return NewSplitMatrix(PolicyStandalone) }
+
+// Set records the policy for child nodes labelled child under parents
+// labelled parent.
+func (m *SplitMatrix) Set(parent, child dict.LabelID, p Policy) {
+	m.entries[matrixKey{parent, child}] = p
+}
+
+// Get returns the policy for the (parent, child) label pair.
+func (m *SplitMatrix) Get(parent, child dict.LabelID) Policy {
+	if p, ok := m.entries[matrixKey{parent, child}]; ok {
+		return p
+	}
+	return m.def
+}
+
+// Default returns the matrix's default policy.
+func (m *SplitMatrix) Default() Policy { return m.def }
+
+// Len returns the number of explicit entries.
+func (m *SplitMatrix) Len() int { return len(m.entries) }

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"natix/internal/dict"
+	"natix/internal/noderep"
+	"natix/internal/pagedev"
+	"natix/internal/records"
+)
+
+// Config tunes the tree storage manager.
+type Config struct {
+	// SplitTarget is the desired fraction of a split record's bytes that
+	// end up in the left partition (§3.2.2). The paper's experiments use
+	// 1/2. Values must lie in (0, 1); 0 means "use the default" (0.5).
+	SplitTarget float64
+
+	// SplitTolerance is the minimum subtree size, in bytes, that the
+	// separator descent is allowed to split. Subtrees smaller than this
+	// move whole into one partition ("set to 1/10th of a page" in §4.2).
+	// 0 means one tenth of the net page capacity.
+	SplitTolerance int
+
+	// Matrix is the split matrix (§3.3). nil means all-other.
+	Matrix *SplitMatrix
+
+	// CacheRecords bounds the parsed-record cache (number of records).
+	// The cache saves re-decoding CPU but never hides I/O: hits still
+	// touch the buffer manager. 0 disables the cache.
+	CacheRecords int
+
+	// MergeOnDelete inlines a shrunken record back into its parent
+	// record when deletion leaves both small enough ("clustered nodes
+	// can ... again be merged into clusters", §1). Off by default, as in
+	// the paper's experiments.
+	MergeOnDelete bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults(maxRec int) Config {
+	if c.SplitTarget <= 0 || c.SplitTarget >= 1 {
+		c.SplitTarget = 0.5
+	}
+	if c.SplitTolerance <= 0 {
+		c.SplitTolerance = maxRec / 10
+	}
+	if c.Matrix == nil {
+		c.Matrix = AllOther()
+	}
+	return c
+}
+
+// Stats counts storage-manager activity.
+type Stats struct {
+	Splits         int64 // record splits performed
+	RecordsCreated int64
+	RecordsDeleted int64
+	ParentPatches  int64 // standalone parent-RID fixups written
+	CacheHits      int64
+	CacheMisses    int64
+}
+
+// Errors.
+var (
+	ErrNodeTooLarge = errors.New("core: node too large for a record (use an overflow literal)")
+	ErrBadPath      = errors.New("core: path does not resolve to a node")
+	ErrNotAggregate = errors.New("core: operation requires an aggregate node")
+	ErrCannotSplit  = errors.New("core: record cannot be split further")
+	ErrIsRoot       = errors.New("core: operation not allowed on the tree root")
+)
+
+// Store is the tree storage manager. It is not safe for concurrent use;
+// callers (package docstore, the public API) serialize access.
+type Store struct {
+	rm    *records.Manager
+	cfg   Config
+	cache *recCache
+	stats Stats
+}
+
+// New creates a tree storage manager over rm.
+func New(rm *records.Manager, cfg Config) *Store {
+	cfg = cfg.withDefaults(rm.MaxRecordSize())
+	s := &Store{rm: rm, cfg: cfg}
+	if cfg.CacheRecords > 0 {
+		s.cache = newRecCache(cfg.CacheRecords)
+	}
+	return s
+}
+
+// Records exposes the underlying record manager.
+func (s *Store) Records() *records.Manager { return s.rm }
+
+// Config returns the effective configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the manager's counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *Store) ResetStats() { s.stats = Stats{} }
+
+// InvalidateCache drops all parsed records (e.g. after a buffer clear).
+func (s *Store) InvalidateCache() {
+	if s.cache != nil {
+		s.cache.clear()
+	}
+}
+
+// maxRecordSize is the net page capacity (§3.2.2).
+func (s *Store) maxRecordSize() int { return s.rm.MaxRecordSize() }
+
+// loadRecord returns the parsed form of a record. Cache hits still touch
+// the record's page through the buffer manager so I/O accounting (and
+// eviction-driven physical reads) remain faithful.
+func (s *Store) loadRecord(rid records.RID) (*noderep.Record, error) {
+	if s.cache != nil {
+		if rec, ok := s.cache.get(rid); ok {
+			s.stats.CacheHits++
+			if err := s.rm.Touch(rid); err != nil {
+				return nil, err
+			}
+			return rec, nil
+		}
+		s.stats.CacheMisses++
+	}
+	body, err := s.rm.Read(rid)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := noderep.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("record %s: %w", rid, err)
+	}
+	if s.cache != nil {
+		s.cache.put(rid, rec)
+	}
+	return rec, nil
+}
+
+// writeRecord re-encodes rec under its existing RID.
+func (s *Store) writeRecord(rid records.RID, rec *noderep.Record) error {
+	body, err := noderep.Encode(rec)
+	if err != nil {
+		return err
+	}
+	if err := s.rm.Update(rid, body); err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.cache.put(rid, rec)
+	}
+	return nil
+}
+
+// insertRecord stores rec as a new record near the hint page.
+func (s *Store) insertRecord(rec *noderep.Record, near pagedev.PageNo) (records.RID, error) {
+	body, err := noderep.Encode(rec)
+	if err != nil {
+		return records.NilRID, err
+	}
+	rid, err := s.rm.Insert(body, near)
+	if err != nil {
+		return records.NilRID, err
+	}
+	s.stats.RecordsCreated++
+	if s.cache != nil {
+		s.cache.put(rid, rec)
+	}
+	return rid, nil
+}
+
+// deleteRecord removes a record and its cache entry.
+func (s *Store) deleteRecord(rid records.RID) error {
+	if s.cache != nil {
+		s.cache.remove(rid)
+	}
+	s.stats.RecordsDeleted++
+	return s.rm.Delete(rid)
+}
+
+// patchParentRID rewrites the standalone parent pointer of child in
+// place (8 bytes, no record move).
+func (s *Store) patchParentRID(child, parent records.RID) error {
+	rec, err := s.loadRecord(child)
+	if err != nil {
+		return err
+	}
+	if rec.ParentRID == parent {
+		return nil
+	}
+	rec.ParentRID = parent
+	var enc [records.RIDSize]byte
+	parent.Put(enc[:])
+	off := noderep.RecordParentRIDOffset(rec)
+	s.stats.ParentPatches++
+	return s.rm.Patch(child, off, enc[:])
+}
+
+// Tree is a handle to one stored document tree. The root record RID
+// changes when the root record splits; callers persist RootRID after
+// mutating operations.
+type Tree struct {
+	store   *Store
+	rootRID records.RID
+}
+
+// CreateTree stores a new tree consisting of a single facade aggregate
+// root with the given label.
+func (s *Store) CreateTree(rootLabel dict.LabelID) (*Tree, error) {
+	rec := &noderep.Record{ParentRID: records.NilRID, Root: noderep.NewAggregate(rootLabel)}
+	rid, err := s.insertRecord(rec, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{store: s, rootRID: rid}, nil
+}
+
+// OpenTree attaches to an existing tree by its root record RID.
+func (s *Store) OpenTree(rootRID records.RID) *Tree {
+	return &Tree{store: s, rootRID: rootRID}
+}
+
+// RootRID returns the RID of the record holding the tree's root node.
+func (t *Tree) RootRID() records.RID { return t.rootRID }
+
+// Store returns the storage manager the tree lives in.
+func (t *Tree) Store() *Store { return t.store }
+
+// DeleteTree removes the whole tree: every record reachable from the
+// root record.
+func (t *Tree) DeleteTree() error {
+	return t.store.deleteRecordTree(t.rootRID)
+}
+
+// LoadRecordForInspection exposes the parsed form of a record for
+// diagnostic tools (cmd/natix-inspect). The returned record must be
+// treated as read-only.
+func (s *Store) LoadRecordForInspection(rid records.RID) (*noderep.Record, error) {
+	return s.loadRecord(rid)
+}
+
+// deleteRecordTree removes rid and every record reachable through its
+// proxies.
+func (s *Store) deleteRecordTree(rid records.RID) error {
+	rec, err := s.loadRecord(rid)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	rec.Root.Walk(func(n *noderep.Node) bool {
+		if n.Kind == noderep.KindProxy {
+			if err := s.deleteRecordTree(n.Target); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return true
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	return s.deleteRecord(rid)
+}
+
+// recCache is a small LRU of parsed records. Mutating operations always
+// write through (writeRecord/insertRecord) so cache contents never
+// diverge from disk.
+type recCache struct {
+	capacity int
+	entries  map[records.RID]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type cacheItem struct {
+	rid records.RID
+	rec *noderep.Record
+}
+
+func newRecCache(capacity int) *recCache {
+	return &recCache{
+		capacity: capacity,
+		entries:  make(map[records.RID]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+func (c *recCache) get(rid records.RID) (*noderep.Record, bool) {
+	e, ok := c.entries[rid]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(e)
+	return e.Value.(*cacheItem).rec, true
+}
+
+func (c *recCache) put(rid records.RID, rec *noderep.Record) {
+	if e, ok := c.entries[rid]; ok {
+		e.Value.(*cacheItem).rec = rec
+		c.order.MoveToFront(e)
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheItem).rid)
+	}
+	c.entries[rid] = c.order.PushFront(&cacheItem{rid: rid, rec: rec})
+}
+
+func (c *recCache) remove(rid records.RID) {
+	if e, ok := c.entries[rid]; ok {
+		c.order.Remove(e)
+		delete(c.entries, rid)
+	}
+}
+
+func (c *recCache) clear() {
+	c.entries = make(map[records.RID]*list.Element, c.capacity)
+	c.order.Init()
+}

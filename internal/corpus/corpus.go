@@ -1,0 +1,205 @@
+// Package corpus generates the experimental document collection. The
+// paper evaluates NATIX on Jon Bosak's XML markup of Shakespeare's plays
+// (§4.1): ≈8 MB of XML whose tree representations hold ≈320 000 nodes
+// across 37 plays. That exact corpus is not bundled here, so this
+// package synthesizes a deterministic stand-in with the same DTD
+// (PLAY/TITLE/PERSONAE/ACT/SCENE/SPEECH/SPEAKER/LINE/STAGEDIR), the same
+// document count and node count, and comparable depth, fan-out and
+// text-length distributions. The storage manager sees only tree shape
+// and byte sizes, both of which are matched (DESIGN.md §4.2); real play
+// files can be substituted through the same APIs.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"natix/internal/xmlkit"
+)
+
+// Element names of the play DTD (the node alphabet Σ_DTD).
+const (
+	ElemPlay     = "PLAY"
+	ElemTitle    = "TITLE"
+	ElemPersonae = "PERSONAE"
+	ElemPersona  = "PERSONA"
+	ElemAct      = "ACT"
+	ElemScene    = "SCENE"
+	ElemSpeech   = "SPEECH"
+	ElemSpeaker  = "SPEAKER"
+	ElemLine     = "LINE"
+	ElemStageDir = "STAGEDIR"
+)
+
+// ElementNames lists the DTD alphabet in a stable order.
+var ElementNames = []string{
+	ElemPlay, ElemTitle, ElemPersonae, ElemPersona, ElemAct,
+	ElemScene, ElemSpeech, ElemSpeaker, ElemLine, ElemStageDir,
+}
+
+// Spec parameterizes corpus generation. All ranges are inclusive.
+type Spec struct {
+	Plays          int
+	Seed           int64
+	ActsPerPlay    int
+	ScenesMin      int
+	ScenesMax      int
+	SpeechesMin    int
+	SpeechesMax    int
+	LinesMin       int
+	LinesMax       int
+	WordsMin       int
+	WordsMax       int
+	StageDirEvery  int // one stage direction per this many speeches
+	PersonaePerDoc int
+}
+
+// DefaultSpec reproduces the paper's scale: 37 plays, ≈320k logical
+// nodes, ≈8 MB of XML text.
+func DefaultSpec() Spec {
+	return Spec{
+		Plays:          37,
+		Seed:           1999, // the year of the tech report
+		ActsPerPlay:    5,
+		ScenesMin:      3,
+		ScenesMax:      6,
+		SpeechesMin:    20,
+		SpeechesMax:    48,
+		LinesMin:       1,
+		LinesMax:       7,
+		WordsMin:       4,
+		WordsMax:       13,
+		StageDirEvery:  8,
+		PersonaePerDoc: 20,
+	}
+}
+
+// SmallSpec is a reduced corpus for unit tests and `go test -bench`.
+func SmallSpec(plays int) Spec {
+	s := DefaultSpec()
+	s.Plays = plays
+	s.ScenesMin, s.ScenesMax = 2, 3
+	s.SpeechesMin, s.SpeechesMax = 4, 8
+	s.ActsPerPlay = 3
+	return s
+}
+
+var words = strings.Fields(`
+	thou thy thee hath doth love death night day sweet fair good lord
+	lady king queen crown sword blood heart eyes face hand tongue soul
+	heaven earth stars moon sun light dark shadow dream sleep wake
+	honour grace mercy treason friend enemy battle peace war noble
+	villain fool jest wit sorrow joy tears laughter fortune fate time
+	world stage players exit enter alas prithee wherefore hither anon
+	forsooth marry nay yea verily methinks perchance haply withal
+`)
+
+var speakerNames = []string{
+	"HAMLET", "OPHELIA", "CLAUDIUS", "GERTRUDE", "HORATIO", "LAERTES",
+	"POLONIUS", "OTHELLO", "IAGO", "DESDEMONA", "CASSIO", "EMILIA",
+	"MACBETH", "LADY MACBETH", "BANQUO", "MACDUFF", "DUNCAN", "LEAR",
+	"CORDELIA", "GONERIL", "REGAN", "EDMUND", "EDGAR", "KENT",
+	"ROMEO", "JULIET", "MERCUTIO", "TYBALT", "NURSE", "FRIAR LAURENCE",
+	"PROSPERO", "ARIEL", "CALIBAN", "MIRANDA", "PUCK", "OBERON",
+	"TITANIA", "BOTTOM", "SHYLOCK", "PORTIA",
+}
+
+// gen wraps the deterministic random stream.
+type gen struct {
+	rng *rand.Rand
+}
+
+func (g *gen) intIn(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+func (g *gen) sentence(nWords int) string {
+	var b strings.Builder
+	for i := 0; i < nWords; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(words[g.rng.Intn(len(words))])
+	}
+	return b.String()
+}
+
+// GeneratePlay builds play number i (0-based) of the corpus. Generation
+// is deterministic: the same spec and index always yield the same tree.
+func GeneratePlay(spec Spec, i int) *xmlkit.Node {
+	g := &gen{rng: rand.New(rand.NewSource(spec.Seed + int64(i)*7919))}
+	play := xmlkit.NewElement(ElemPlay)
+	play.Append(el(ElemTitle, fmt.Sprintf("The Tragedy of Play %d, %s", i+1, g.sentence(3))))
+
+	personae := xmlkit.NewElement(ElemPersonae)
+	personae.Append(el(ElemTitle, "Dramatis Personae"))
+	for p := 0; p < spec.PersonaePerDoc; p++ {
+		name := speakerNames[(p+i)%len(speakerNames)]
+		personae.Append(el(ElemPersona, name+", "+g.sentence(3)))
+	}
+	play.Append(personae)
+
+	for a := 0; a < spec.ActsPerPlay; a++ {
+		act := xmlkit.NewElement(ElemAct)
+		act.Append(el(ElemTitle, fmt.Sprintf("ACT %d", a+1)))
+		scenes := g.intIn(spec.ScenesMin, spec.ScenesMax)
+		for sc := 0; sc < scenes; sc++ {
+			scene := xmlkit.NewElement(ElemScene)
+			scene.Append(el(ElemTitle, fmt.Sprintf("SCENE %d. %s.", sc+1, g.sentence(4))))
+			scene.Append(el(ElemStageDir, "Enter "+speakerNames[g.rng.Intn(len(speakerNames))]))
+			speeches := g.intIn(spec.SpeechesMin, spec.SpeechesMax)
+			for sp := 0; sp < speeches; sp++ {
+				speech := xmlkit.NewElement(ElemSpeech)
+				speech.Append(el(ElemSpeaker, speakerNames[g.rng.Intn(len(speakerNames))]))
+				lines := g.intIn(spec.LinesMin, spec.LinesMax)
+				for l := 0; l < lines; l++ {
+					speech.Append(el(ElemLine, g.sentence(g.intIn(spec.WordsMin, spec.WordsMax))))
+				}
+				scene.Append(speech)
+				if spec.StageDirEvery > 0 && (sp+1)%spec.StageDirEvery == 0 {
+					scene.Append(el(ElemStageDir, "Exit "+speakerNames[g.rng.Intn(len(speakerNames))]))
+				}
+			}
+			act.Append(scene)
+		}
+		play.Append(act)
+	}
+	return play
+}
+
+// el builds <name>text</name>.
+func el(name, text string) *xmlkit.Node {
+	n := xmlkit.NewElement(name)
+	n.Append(xmlkit.NewText(text))
+	return n
+}
+
+// Generate builds the full corpus.
+func Generate(spec Spec) []*xmlkit.Node {
+	out := make([]*xmlkit.Node, spec.Plays)
+	for i := range out {
+		out[i] = GeneratePlay(spec, i)
+	}
+	return out
+}
+
+// Stats summarizes a generated corpus.
+type Stats struct {
+	Documents int
+	Nodes     int   // logical tree nodes
+	TextBytes int64 // serialized XML bytes
+}
+
+// Measure computes corpus statistics.
+func Measure(docs []*xmlkit.Node) Stats {
+	st := Stats{Documents: len(docs)}
+	for _, d := range docs {
+		st.Nodes += d.CountNodes()
+		st.TextBytes += int64(len(xmlkit.SerializeString(d)))
+	}
+	return st
+}

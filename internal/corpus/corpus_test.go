@@ -1,0 +1,149 @@
+package corpus
+
+import (
+	"testing"
+
+	"natix/internal/xmlkit"
+)
+
+func TestDeterminism(t *testing.T) {
+	spec := SmallSpec(2)
+	a := GeneratePlay(spec, 0)
+	b := GeneratePlay(spec, 0)
+	if !xmlkit.Equal(a, b) {
+		t.Fatal("generation is not deterministic")
+	}
+	c := GeneratePlay(spec, 1)
+	if xmlkit.Equal(a, c) {
+		t.Fatal("different plays are identical")
+	}
+}
+
+func TestDefaultSpecMatchesPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus generation")
+	}
+	docs := Generate(DefaultSpec())
+	st := Measure(docs)
+	if st.Documents != 37 {
+		t.Fatalf("documents = %d, want 37", st.Documents)
+	}
+	// Paper: "about 8 MB", "about 320000 nodes". Stay within ±25%.
+	if st.Nodes < 240_000 || st.Nodes > 400_000 {
+		t.Fatalf("nodes = %d, want ≈320k", st.Nodes)
+	}
+	if st.TextBytes < 6<<20 || st.TextBytes > 10<<20 {
+		t.Fatalf("text bytes = %d, want ≈8MB", st.TextBytes)
+	}
+}
+
+func TestStructureIsWellFormedXML(t *testing.T) {
+	play := GeneratePlay(SmallSpec(1), 0)
+	text := xmlkit.SerializeString(play)
+	doc, err := xmlkit.ParseString(text, xmlkit.ParseOptions{})
+	if err != nil {
+		t.Fatalf("generated play does not parse: %v", err)
+	}
+	if !xmlkit.Equal(play, doc.Root) {
+		t.Fatal("serialize/parse changed the play")
+	}
+	if play.Name != ElemPlay {
+		t.Fatalf("root = %q", play.Name)
+	}
+	// Acts and scenes exist with the query targets the paper uses.
+	acts := 0
+	for _, c := range play.Children {
+		if c.Name == ElemAct {
+			acts++
+		}
+	}
+	if acts != SmallSpec(1).ActsPerPlay {
+		t.Fatalf("acts = %d", acts)
+	}
+}
+
+func TestPreOrderOpsRebuildDocument(t *testing.T) {
+	play := GeneratePlay(SmallSpec(1), 0)
+	ops := PreOrderOps(play)
+	rebuilt := xmlkit.NewElement(play.Name)
+	applyOps(t, rebuilt, ops)
+	if !xmlkit.Equal(play, rebuilt) {
+		t.Fatal("pre-order ops do not rebuild the document")
+	}
+	// Pre-order property: every op's parent path is a prefix chain that
+	// was itself inserted earlier; indexes are appends.
+	seen := map[string]int{}
+	key := func(p []int) string {
+		s := ""
+		for _, i := range p {
+			s += string(rune(i)) + "/"
+		}
+		return s
+	}
+	for i, op := range ops {
+		if op.Index != seen[key(op.ParentPath)] {
+			t.Fatalf("op %d: index %d, want %d (append-only)", i, op.Index, seen[key(op.ParentPath)])
+		}
+		seen[key(op.ParentPath)]++
+	}
+}
+
+func TestBinaryBFSOpsRebuildDocument(t *testing.T) {
+	play := GeneratePlay(SmallSpec(1), 0)
+	ops := BinaryBFSOps(play)
+	rebuilt := xmlkit.NewElement(play.Name)
+	applyOps(t, rebuilt, ops)
+	if !xmlkit.Equal(play, rebuilt) {
+		t.Fatal("binary-BFS ops do not rebuild the document")
+	}
+	// Same op multiset as pre-order, different order.
+	pre := PreOrderOps(play)
+	if len(pre) != len(ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(pre), len(ops))
+	}
+	same := true
+	for i := range ops {
+		if ops[i].Name != pre[i].Name || ops[i].Text != pre[i].Text {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("BFS order identical to pre-order; expected interleaving")
+	}
+}
+
+// applyOps replays insert ops against an in-memory tree, verifying the
+// "paths already exist, indexes are valid" contract.
+func applyOps(t *testing.T, root *xmlkit.Node, ops []InsertOp) {
+	t.Helper()
+	for i, op := range ops {
+		cur := root
+		for _, idx := range op.ParentPath {
+			if idx >= len(cur.Children) {
+				t.Fatalf("op %d: parent path %v does not exist yet", i, op.ParentPath)
+			}
+			cur = cur.Children[idx]
+		}
+		if op.Index > len(cur.Children) {
+			t.Fatalf("op %d: index %d of %d children", i, op.Index, len(cur.Children))
+		}
+		var n *xmlkit.Node
+		if op.IsText {
+			n = xmlkit.NewText(op.Text)
+		} else {
+			n = xmlkit.NewElement(op.Name)
+		}
+		cur.Children = append(cur.Children, nil)
+		copy(cur.Children[op.Index+1:], cur.Children[op.Index:])
+		cur.Children[op.Index] = n
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	docs := Generate(SmallSpec(2))
+	st := Measure(docs)
+	if st.Documents != 2 || st.Nodes == 0 || st.TextBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,106 @@
+package corpus
+
+import "natix/internal/xmlkit"
+
+// InsertOp describes the insertion of one logical node: make it child
+// number Index of the node at ParentPath. Ops are designed so that when
+// they are applied in sequence, every referenced path already exists and
+// no existing node's path changes (children always arrive left of no
+// sibling that is already present).
+type InsertOp struct {
+	ParentPath []int
+	Index      int
+	IsText     bool
+	Name       string // element name (IsText == false)
+	Text       string // character data (IsText == true)
+}
+
+// node paths: the corpus tree is static, so each node's final path is
+// its insertion path.
+
+// PreOrderOps linearizes the document in pre-order: the paper's
+// "bulkload" / append workload ("First, in pre-order, to represent a
+// 'bulkload' of or consecutive appends to a textual representation",
+// §4.3). The root element itself is not part of the op list; callers
+// create it when they create the tree.
+func PreOrderOps(root *xmlkit.Node) []InsertOp {
+	var ops []InsertOp
+	var walk func(n *xmlkit.Node, path []int)
+	walk = func(n *xmlkit.Node, path []int) {
+		for i, c := range n.Children {
+			ops = append(ops, makeOp(c, path, i))
+			if !c.IsText() {
+				walk(c, append(path, i))
+			}
+		}
+	}
+	walk(root, nil)
+	return ops
+}
+
+// BinaryBFSOps linearizes the document by breadth-first search over its
+// binary-tree representation (first child = left child, next sibling =
+// right child, Knuth §2.3.2), the paper's "incremental update" workload:
+// "resulting in an incremental update pattern where inserts occur
+// distributed over the whole document" (§4.3).
+func BinaryBFSOps(root *xmlkit.Node) []InsertOp {
+	type item struct {
+		n    *xmlkit.Node
+		path []int
+	}
+	var ops []InsertOp
+	// Seed the queue with the root's first child; BFS then follows
+	// left-child (first child) and right-child (next sibling) edges.
+	if len(root.Children) == 0 {
+		return nil
+	}
+	queue := []item{{n: root.Children[0], path: []int{0}}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		parentPath := it.path[:len(it.path)-1]
+		idx := it.path[len(it.path)-1]
+		ops = append(ops, makeOp(it.n, parentPath, idx))
+		// Left binary child: first child.
+		if !it.n.IsText() && len(it.n.Children) > 0 {
+			queue = append(queue, item{n: it.n.Children[0], path: appendPath(it.path, 0)})
+		}
+		// Right binary child: next sibling.
+		parent := locate(root, parentPath)
+		if idx+1 < len(parent.Children) {
+			sib := parent.Children[idx+1]
+			sp := appendPath(parentPath, idx+1)
+			queue = append(queue, item{n: sib, path: sp})
+		}
+	}
+	return ops
+}
+
+func appendPath(p []int, i int) []int {
+	out := make([]int, len(p)+1)
+	copy(out, p)
+	out[len(p)] = i
+	return out
+}
+
+func locate(root *xmlkit.Node, path []int) *xmlkit.Node {
+	cur := root
+	for _, i := range path {
+		cur = cur.Children[i]
+	}
+	return cur
+}
+
+func makeOp(n *xmlkit.Node, parentPath []int, idx int) InsertOp {
+	op := InsertOp{
+		ParentPath: append([]int(nil), parentPath...),
+		Index:      idx,
+	}
+	if n.IsText() {
+		op.IsText = true
+		op.Text = n.Text
+	} else {
+		op.Name = n.Name
+	}
+	return op
+}

@@ -1,0 +1,205 @@
+// Package dict maintains the label dictionary: a persistent, bidirectional
+// mapping between node labels (element/attribute names, Σ_DTD in the
+// paper's logical model, §2.2) and compact 16-bit ids used throughout the
+// physical representation ("the tag or attribute name ... is stored in the
+// object header as 2 byte offset into a node type table", App. A).
+//
+// A handful of ids are reserved for labels that are not element names:
+// text literals, scaffolding objects and attribute containers.
+package dict
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"natix/internal/blobstore"
+	"natix/internal/records"
+	"natix/internal/segment"
+)
+
+// LabelID is a compact label identifier.
+type LabelID uint16
+
+// Reserved label ids. User labels start at FirstUserID.
+const (
+	Invalid  LabelID = 0 // never a valid label
+	Text     LabelID = 1 // literal text nodes (#text)
+	Scaffold LabelID = 2 // scaffolding aggregates/proxies (#scaffold)
+
+	FirstUserID LabelID = 3
+)
+
+// reservedNames maps the reserved ids to their display names.
+var reservedNames = []string{"", "#text", "#scaffold"}
+
+// Errors.
+var (
+	ErrUnknownID = errors.New("dict: unknown label id")
+	ErrFull      = errors.New("dict: dictionary record full")
+	ErrCorrupt   = errors.New("dict: corrupt dictionary record")
+)
+
+// Dict is the persistent label dictionary. It is serialized as a blob
+// whose id is registered in the segment header's RootDict slot.
+type Dict struct {
+	blobs  *blobstore.Store
+	seg    *segment.Segment
+	blobID blobstore.ID
+	byName map[string]LabelID
+	names  []string
+}
+
+// Create initializes an empty dictionary, persists it, and registers it
+// in the segment header.
+func Create(rm *records.Manager) (*Dict, error) {
+	d := &Dict{blobs: blobstore.New(rm), seg: rm.Segment(), byName: make(map[string]LabelID)}
+	d.names = append(d.names, reservedNames...)
+	for id, n := range d.names {
+		if id > 0 {
+			d.byName[n] = LabelID(id)
+		}
+	}
+	id, err := d.blobs.Write(d.encode(), 0)
+	if err != nil {
+		return nil, fmt.Errorf("dict: persist: %w", err)
+	}
+	d.blobID = id
+	if err := d.registerRoot(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Open loads the dictionary registered in the segment header.
+func Open(rm *records.Manager) (*Dict, error) {
+	seg := rm.Segment()
+	raw, err := seg.RootRID(segment.RootDict)
+	if err != nil {
+		return nil, err
+	}
+	if raw == 0 {
+		return nil, errors.New("dict: no dictionary in segment")
+	}
+	var enc [records.RIDSize]byte
+	binary.LittleEndian.PutUint64(enc[:], raw)
+	d := &Dict{blobs: blobstore.New(rm), seg: seg, blobID: records.DecodeRID(enc[:]), byName: make(map[string]LabelID)}
+	body, err := d.blobs.Read(d.blobID)
+	if err != nil {
+		return nil, fmt.Errorf("dict: load: %w", err)
+	}
+	if err := d.decode(body); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// registerRoot stores the current blob id in the segment header.
+func (d *Dict) registerRoot() error {
+	var enc [records.RIDSize]byte
+	d.blobID.Put(enc[:])
+	return d.seg.SetRootRID(segment.RootDict, binary.LittleEndian.Uint64(enc[:]))
+}
+
+// encode serializes the dictionary: count, then (len, bytes) per name.
+func (d *Dict) encode() []byte {
+	out := make([]byte, 2, 64)
+	binary.LittleEndian.PutUint16(out, uint16(len(d.names)))
+	var l [2]byte
+	for _, n := range d.names {
+		binary.LittleEndian.PutUint16(l[:], uint16(len(n)))
+		out = append(out, l[:]...)
+		out = append(out, n...)
+	}
+	// Records have a minimum size; the empty dictionary is padded by the
+	// trailing count of zero-length entries naturally exceeding it.
+	for len(out) < records.MinRecordSize {
+		out = append(out, 0)
+	}
+	return out
+}
+
+func (d *Dict) decode(b []byte) error {
+	if len(b) < 2 {
+		return ErrCorrupt
+	}
+	count := int(binary.LittleEndian.Uint16(b))
+	pos := 2
+	d.names = d.names[:0]
+	for i := 0; i < count; i++ {
+		if pos+2 > len(b) {
+			return fmt.Errorf("%w: truncated at entry %d", ErrCorrupt, i)
+		}
+		n := int(binary.LittleEndian.Uint16(b[pos:]))
+		pos += 2
+		if pos+n > len(b) {
+			return fmt.Errorf("%w: truncated name at entry %d", ErrCorrupt, i)
+		}
+		name := string(b[pos : pos+n])
+		pos += n
+		d.names = append(d.names, name)
+		if i > 0 {
+			d.byName[name] = LabelID(i)
+		}
+	}
+	if len(d.names) < len(reservedNames) {
+		return fmt.Errorf("%w: missing reserved labels", ErrCorrupt)
+	}
+	for i, want := range reservedNames {
+		if i > 0 && d.names[i] != want {
+			return fmt.Errorf("%w: reserved id %d is %q, want %q", ErrCorrupt, i, d.names[i], want)
+		}
+	}
+	return nil
+}
+
+// save persists the current state. Blob ids change when the chunk count
+// changes, so the header root is re-registered after every save.
+func (d *Dict) save() error {
+	id, err := d.blobs.Overwrite(d.blobID, d.encode())
+	if err != nil {
+		return err
+	}
+	d.blobID = id
+	return d.registerRoot()
+}
+
+// Intern returns the id for name, adding and persisting it if new.
+func (d *Dict) Intern(name string) (LabelID, error) {
+	if name == "" {
+		return Invalid, errors.New("dict: empty label")
+	}
+	if id, ok := d.byName[name]; ok {
+		return id, nil
+	}
+	if len(d.names) > 0xFFFF {
+		return Invalid, fmt.Errorf("%w: 16-bit id space exhausted", ErrFull)
+	}
+	id := LabelID(len(d.names))
+	d.names = append(d.names, name)
+	d.byName[name] = id
+	if err := d.save(); err != nil {
+		// Roll back the in-memory addition so state matches disk.
+		d.names = d.names[:len(d.names)-1]
+		delete(d.byName, name)
+		return Invalid, err
+	}
+	return id, nil
+}
+
+// Lookup returns the id for name without adding it.
+func (d *Dict) Lookup(name string) (LabelID, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the label text for id.
+func (d *Dict) Name(id LabelID) (string, error) {
+	if int(id) >= len(d.names) || id == Invalid {
+		return "", fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	return d.names[id], nil
+}
+
+// Len returns the number of labels including the reserved ones.
+func (d *Dict) Len() int { return len(d.names) }

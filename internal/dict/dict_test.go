@@ -1,0 +1,149 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+
+	"natix/internal/buffer"
+	"natix/internal/pagedev"
+	"natix/internal/records"
+	"natix/internal/segment"
+)
+
+func newEnv(t *testing.T) (*records.Manager, *buffer.Pool, *pagedev.Mem) {
+	t.Helper()
+	dev, err := pagedev.NewMem(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := buffer.New(dev, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := segment.Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records.New(seg), pool, dev
+}
+
+func TestReservedLabels(t *testing.T) {
+	rm, _, _ := newEnv(t)
+	d, err := Create(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.Name(Text); n != "#text" {
+		t.Fatalf("Name(Text) = %q", n)
+	}
+	if n, _ := d.Name(Scaffold); n != "#scaffold" {
+		t.Fatalf("Name(Scaffold) = %q", n)
+	}
+	if _, err := d.Name(Invalid); err == nil {
+		t.Fatal("Name(Invalid) succeeded")
+	}
+	if id, ok := d.Lookup("#text"); !ok || id != Text {
+		t.Fatalf("Lookup(#text) = %d, %v", id, ok)
+	}
+}
+
+func TestInternStableAndIdempotent(t *testing.T) {
+	rm, _, _ := newEnv(t)
+	d, _ := Create(rm)
+	a, err := d.Intern("SPEECH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < FirstUserID {
+		t.Fatalf("user id %d below FirstUserID", a)
+	}
+	b, _ := d.Intern("LINE")
+	if a == b {
+		t.Fatal("two labels share an id")
+	}
+	a2, _ := d.Intern("SPEECH")
+	if a2 != a {
+		t.Fatalf("re-intern changed id: %d -> %d", a, a2)
+	}
+	n, err := d.Name(a)
+	if err != nil || n != "SPEECH" {
+		t.Fatalf("Name(%d) = %q, %v", a, n, err)
+	}
+	if _, err := d.Intern(""); err == nil {
+		t.Fatal("Intern(\"\") succeeded")
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	rm, pool, _ := newEnv(t)
+	d, _ := Create(rm)
+	ids := map[string]LabelID{}
+	for _, name := range []string{"PLAY", "ACT", "SCENE", "SPEECH", "SPEAKER", "LINE", "@id"} {
+		id, err := d.Intern(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("Len after open = %d, want %d", d2.Len(), d.Len())
+	}
+	for name, want := range ids {
+		got, ok := d2.Lookup(name)
+		if !ok || got != want {
+			t.Fatalf("Lookup(%q) = %d, %v; want %d", name, got, ok, want)
+		}
+		n, err := d2.Name(want)
+		if err != nil || n != name {
+			t.Fatalf("Name(%d) = %q, %v", want, n, err)
+		}
+	}
+	// New labels continue from the right id.
+	id, err := d2.Intern("STAGEDIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(id) != d.Len() {
+		t.Fatalf("next id = %d, want %d", id, d.Len())
+	}
+}
+
+func TestOpenWithoutCreateFails(t *testing.T) {
+	rm, _, _ := newEnv(t)
+	if _, err := Open(rm); err == nil {
+		t.Fatal("Open on segment without dictionary succeeded")
+	}
+}
+
+func TestManyLabelsGrowRecord(t *testing.T) {
+	rm, pool, _ := newEnv(t)
+	d, _ := Create(rm)
+	for i := 0; i < 300; i++ {
+		if _, err := d.Intern(fmt.Sprintf("ELEMENT-%04d", i)); err != nil {
+			t.Fatalf("intern %d: %v", i, err)
+		}
+	}
+	pool.FlushAll()
+	d2, err := Open(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 300+len(reservedNames) {
+		t.Fatalf("Len = %d", d2.Len())
+	}
+	id, ok := d2.Lookup("ELEMENT-0299")
+	if !ok {
+		t.Fatal("lost a label")
+	}
+	if n, _ := d2.Name(id); n != "ELEMENT-0299" {
+		t.Fatalf("Name round trip = %q", n)
+	}
+}

@@ -1,0 +1,625 @@
+// Package docstore is the NATIX document manager (paper §2.1): it
+// maintains a catalog of named documents, converts between XML text and
+// the stored tree form, and evaluates the simple path queries used in
+// the paper's evaluation.
+//
+// Documents can be stored in two modes:
+//
+//   - ModeTree: through the tree storage manager (package core) — the
+//     native representation whose clustering the split matrix governs;
+//   - ModeFlat: as a serialized byte stream in the BLOB manager — the
+//     "flat stream" baseline of §1, where structure is only accessible
+//     by re-parsing.
+package docstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"natix/internal/blobstore"
+	"natix/internal/core"
+	"natix/internal/dict"
+	"natix/internal/noderep"
+	"natix/internal/records"
+	"natix/internal/segment"
+	"natix/internal/xmlkit"
+)
+
+// Mode selects a document's storage representation.
+type Mode uint8
+
+// Document storage modes.
+const (
+	ModeTree Mode = iota // native XML storage (the paper's contribution)
+	ModeFlat             // flat stream baseline
+)
+
+// AttrPrefix marks attribute labels in the dictionary: attribute a of an
+// element is stored as a child aggregate labelled "@a" holding a string
+// literal.
+const AttrPrefix = "@"
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("docstore: no such document")
+	ErrDuplicate = errors.New("docstore: document already exists")
+	ErrCorrupt   = errors.New("docstore: corrupt catalog")
+)
+
+// DocInfo describes one catalog entry.
+type DocInfo struct {
+	Name string
+	Mode Mode
+	Root records.RID // tree root record (ModeTree) or blob head (ModeFlat)
+}
+
+// Store is the document manager.
+type Store struct {
+	trees *core.Store
+	blobs *blobstore.Store
+	dict  *dict.Dict
+	seg   *segment.Segment
+
+	catalog   map[string]*DocInfo
+	catalogID records.RID // blob holding the serialized catalog; nil if empty
+}
+
+// Create initializes a document manager over a fresh segment: the label
+// dictionary and an empty catalog are created and registered.
+func Create(trees *core.Store, d *dict.Dict) (*Store, error) {
+	s := &Store{
+		trees:   trees,
+		blobs:   blobstore.New(trees.Records()),
+		dict:    d,
+		seg:     trees.Records().Segment(),
+		catalog: make(map[string]*DocInfo),
+	}
+	if err := s.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open attaches to an existing document manager.
+func Open(trees *core.Store, d *dict.Dict) (*Store, error) {
+	s := &Store{
+		trees:   trees,
+		blobs:   blobstore.New(trees.Records()),
+		dict:    d,
+		seg:     trees.Records().Segment(),
+		catalog: make(map[string]*DocInfo),
+	}
+	raw, err := s.seg.RootRID(segment.RootCatalog)
+	if err != nil {
+		return nil, err
+	}
+	if raw == 0 {
+		return nil, errors.New("docstore: no catalog in segment")
+	}
+	var enc [records.RIDSize]byte
+	binary.LittleEndian.PutUint64(enc[:], raw)
+	s.catalogID = records.DecodeRID(enc[:])
+	body, err := s.blobs.Read(s.catalogID)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: load catalog: %w", err)
+	}
+	if err := s.decodeCatalog(body); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Trees exposes the tree storage manager (for stats and tuning).
+func (s *Store) Trees() *core.Store { return s.trees }
+
+// Dict exposes the label dictionary.
+func (s *Store) Dict() *dict.Dict { return s.dict }
+
+// encodeCatalog serializes the catalog: count, then entries.
+func (s *Store) encodeCatalog() []byte {
+	names := make([]string, 0, len(s.catalog))
+	for n := range s.catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]byte, 4)
+	binary.LittleEndian.PutUint32(out, uint32(len(names)))
+	var tmp [records.RIDSize]byte
+	for _, n := range names {
+		info := s.catalog[n]
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(n)))
+		out = append(out, l[:]...)
+		out = append(out, n...)
+		out = append(out, byte(info.Mode))
+		info.Root.Put(tmp[:])
+		out = append(out, tmp[:]...)
+	}
+	return out
+}
+
+func (s *Store) decodeCatalog(b []byte) error {
+	if len(b) < 4 {
+		return ErrCorrupt
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	pos := 4
+	for i := 0; i < count; i++ {
+		if pos+2 > len(b) {
+			return fmt.Errorf("%w: truncated entry %d", ErrCorrupt, i)
+		}
+		n := int(binary.LittleEndian.Uint16(b[pos:]))
+		pos += 2
+		if pos+n+1+records.RIDSize > len(b) {
+			return fmt.Errorf("%w: truncated entry %d", ErrCorrupt, i)
+		}
+		name := string(b[pos : pos+n])
+		pos += n
+		mode := Mode(b[pos])
+		pos++
+		root := records.DecodeRID(b[pos : pos+records.RIDSize])
+		pos += records.RIDSize
+		s.catalog[name] = &DocInfo{Name: name, Mode: mode, Root: root}
+	}
+	return nil
+}
+
+// saveCatalog persists the catalog blob and re-registers it in the
+// segment header.
+func (s *Store) saveCatalog() error {
+	body := s.encodeCatalog()
+	var (
+		id  records.RID
+		err error
+	)
+	if s.catalogID.IsNil() {
+		id, err = s.blobs.Write(body, 0)
+	} else {
+		id, err = s.blobs.Overwrite(s.catalogID, body)
+	}
+	if err != nil {
+		return err
+	}
+	s.catalogID = id
+	var enc [records.RIDSize]byte
+	id.Put(enc[:])
+	return s.seg.SetRootRID(segment.RootCatalog, binary.LittleEndian.Uint64(enc[:]))
+}
+
+// Documents lists the catalog in name order.
+func (s *Store) Documents() []DocInfo {
+	out := make([]DocInfo, 0, len(s.catalog))
+	for _, info := range s.catalog {
+		out = append(out, *info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the catalog entry for name.
+func (s *Store) Lookup(name string) (DocInfo, error) {
+	info, ok := s.catalog[name]
+	if !ok {
+		return DocInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return *info, nil
+}
+
+// Tree returns a handle to a tree-mode document.
+func (s *Store) Tree(name string) (*core.Tree, error) {
+	info, ok := s.catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if info.Mode != ModeTree {
+		return nil, fmt.Errorf("docstore: %q is not a tree-mode document", name)
+	}
+	return s.trees.OpenTree(info.Root), nil
+}
+
+// Delete removes a document and its storage.
+func (s *Store) Delete(name string) error {
+	info, ok := s.catalog[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	switch info.Mode {
+	case ModeTree:
+		if err := s.trees.OpenTree(info.Root).DeleteTree(); err != nil {
+			return err
+		}
+	case ModeFlat:
+		if err := s.blobs.Delete(info.Root); err != nil {
+			return err
+		}
+	}
+	delete(s.catalog, name)
+	return s.saveCatalog()
+}
+
+// register adds a catalog entry.
+func (s *Store) register(info *DocInfo) error {
+	if _, ok := s.catalog[info.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, info.Name)
+	}
+	s.catalog[info.Name] = info
+	return s.saveCatalog()
+}
+
+// updateRoot persists a changed root RID (tree roots move when the root
+// record splits).
+func (s *Store) updateRoot(name string, root records.RID) error {
+	info, ok := s.catalog[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if info.Root == root {
+		return nil
+	}
+	info.Root = root
+	return s.saveCatalog()
+}
+
+// labelFor interns an element name.
+func (s *Store) labelFor(name string) (dict.LabelID, error) {
+	return s.dict.Intern(name)
+}
+
+// nodeFromXML converts one parsed XML node into a facade subtree:
+// elements become aggregates, attributes become "@name" aggregates with
+// a string-literal child, text becomes text literals.
+func (s *Store) nodeFromXML(n *xmlkit.Node) (*noderep.Node, error) {
+	if n.IsText() {
+		return noderep.NewTextLiteral(n.Text), nil
+	}
+	label, err := s.labelFor(n.Name)
+	if err != nil {
+		return nil, err
+	}
+	agg := noderep.NewAggregate(label)
+	for _, a := range n.Attrs {
+		alabel, err := s.labelFor(AttrPrefix + a.Name)
+		if err != nil {
+			return nil, err
+		}
+		attr := noderep.NewAggregate(alabel)
+		attr.AppendChild(noderep.NewTextLiteral(a.Value))
+		agg.AppendChild(attr)
+	}
+	for _, c := range n.Children {
+		child, err := s.nodeFromXML(c)
+		if err != nil {
+			return nil, err
+		}
+		agg.AppendChild(child)
+	}
+	return agg, nil
+}
+
+// ImportXML parses an XML document and stores it in tree mode by
+// pre-order insertion (one storage-manager insert per logical node — the
+// paper's "bulkload" pattern, §4.3). It returns the document info.
+func (s *Store) ImportXML(name string, r io.Reader) (DocInfo, error) {
+	doc, err := xmlkit.Parse(r, xmlkit.ParseOptions{})
+	if err != nil {
+		return DocInfo{}, err
+	}
+	return s.ImportTree(name, doc.Root)
+}
+
+// ImportTree stores a parsed XML tree in tree mode, inserting node by
+// node in pre-order.
+func (s *Store) ImportTree(name string, root *xmlkit.Node) (DocInfo, error) {
+	if _, ok := s.catalog[name]; ok {
+		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	if root.IsText() {
+		return DocInfo{}, errors.New("docstore: document root must be an element")
+	}
+	label, err := s.labelFor(root.Name)
+	if err != nil {
+		return DocInfo{}, err
+	}
+	tree, err := s.trees.CreateTree(label)
+	if err != nil {
+		return DocInfo{}, err
+	}
+	// Root attributes first, then children, all in pre-order.
+	if err := s.insertXMLChildren(tree, core.Path{}, root); err != nil {
+		return DocInfo{}, err
+	}
+	info := &DocInfo{Name: name, Mode: ModeTree, Root: tree.RootRID()}
+	if err := s.register(info); err != nil {
+		return DocInfo{}, err
+	}
+	return *info, nil
+}
+
+// insertXMLChildren appends attributes and children of src under the
+// node at path, recursing in pre-order.
+func (s *Store) insertXMLChildren(tree *core.Tree, path core.Path, src *xmlkit.Node) error {
+	pos := 0
+	for _, a := range src.Attrs {
+		alabel, err := s.labelFor(AttrPrefix + a.Name)
+		if err != nil {
+			return err
+		}
+		attr := noderep.NewAggregate(alabel)
+		if err := tree.InsertChild(path, pos, attr); err != nil {
+			return err
+		}
+		if err := tree.InsertChild(append(path.Clone(), pos), 0, noderep.NewTextLiteral(a.Value)); err != nil {
+			return err
+		}
+		pos++
+	}
+	for _, c := range src.Children {
+		if c.IsText() {
+			if err := s.insertText(tree, path, pos, c.Text); err != nil {
+				return err
+			}
+			pos++
+			continue
+		}
+		label, err := s.labelFor(c.Name)
+		if err != nil {
+			return err
+		}
+		if err := tree.InsertChild(path, pos, noderep.NewAggregate(label)); err != nil {
+			return err
+		}
+		if err := s.insertXMLChildren(tree, append(path.Clone(), pos), c); err != nil {
+			return err
+		}
+		pos++
+	}
+	return nil
+}
+
+// insertText inserts one text node, chunking very long runs so no single
+// literal exceeds the storage manager's per-node limit.
+func (s *Store) insertText(tree *core.Tree, path core.Path, pos int, text string) error {
+	limit := s.trees.Records().MaxRecordSize() / 2
+	if len(text) <= limit {
+		return tree.InsertChild(path, pos, noderep.NewTextLiteral(text))
+	}
+	// Chunk the run into sibling literals; TextContent concatenates them
+	// back on export.
+	for i := 0; i < len(text); i += limit {
+		end := i + limit
+		if end > len(text) {
+			end = len(text)
+		}
+		if err := tree.InsertChild(path, pos, noderep.NewTextLiteral(text[i:end])); err != nil {
+			return err
+		}
+		pos++
+	}
+	return nil
+}
+
+// FinishBulk persists any root-RID change after bulk mutations.
+func (s *Store) FinishBulk(name string, tree *core.Tree) error {
+	return s.updateRoot(name, tree.RootRID())
+}
+
+// ImportFlat stores the XML text verbatim as a BLOB (the flat-stream
+// baseline). The text is validated by parsing first.
+func (s *Store) ImportFlat(name string, r io.Reader) (DocInfo, error) {
+	if _, ok := s.catalog[name]; ok {
+		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	text, err := io.ReadAll(r)
+	if err != nil {
+		return DocInfo{}, err
+	}
+	if _, err := xmlkit.ParseString(string(text), xmlkit.ParseOptions{}); err != nil {
+		return DocInfo{}, fmt.Errorf("docstore: flat import: %w", err)
+	}
+	id, err := s.blobs.Write(text, 0)
+	if err != nil {
+		return DocInfo{}, err
+	}
+	info := &DocInfo{Name: name, Mode: ModeFlat, Root: id}
+	if err := s.register(info); err != nil {
+		return DocInfo{}, err
+	}
+	return *info, nil
+}
+
+// ExportXML serializes a document back to XML markup.
+func (s *Store) ExportXML(name string, w io.Writer) error {
+	info, ok := s.catalog[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	switch info.Mode {
+	case ModeFlat:
+		body, err := s.blobs.Read(info.Root)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(body)
+		return err
+	default:
+		tree := s.trees.OpenTree(info.Root)
+		root, err := tree.Root()
+		if err != nil {
+			return err
+		}
+		xn, err := s.xmlFromRef(root)
+		if err != nil {
+			return err
+		}
+		return xmlkit.Serialize(w, xn)
+	}
+}
+
+// xmlFromRef materializes the logical subtree at ref as an XML tree,
+// folding "@name" aggregates back into attributes.
+func (s *Store) xmlFromRef(ref core.NodeRef) (*xmlkit.Node, error) {
+	if ref.IsLiteral() {
+		v, err := ref.Literal().StringValue()
+		if err != nil {
+			return nil, err
+		}
+		return xmlkit.NewText(v), nil
+	}
+	name, err := s.dict.Name(ref.Label())
+	if err != nil {
+		return nil, err
+	}
+	out := xmlkit.NewElement(name)
+	kids, err := s.trees.Children(ref)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range kids {
+		if !k.IsLiteral() {
+			kname, err := s.dict.Name(k.Label())
+			if err != nil {
+				return nil, err
+			}
+			if strings.HasPrefix(kname, AttrPrefix) {
+				val, err := s.trees.TextContent(k)
+				if err != nil {
+					return nil, err
+				}
+				out.SetAttr(strings.TrimPrefix(kname, AttrPrefix), val)
+				continue
+			}
+		}
+		child, err := s.xmlFromRef(k)
+		if err != nil {
+			return nil, err
+		}
+		out.Append(child)
+	}
+	return out, nil
+}
+
+// RegisterTree adds a catalog entry for a tree that was built directly
+// through the tree storage manager (the benchmark harness drives
+// insertion orders itself).
+func (s *Store) RegisterTree(name string, tree *core.Tree) (DocInfo, error) {
+	info := &DocInfo{Name: name, Mode: ModeTree, Root: tree.RootRID()}
+	if err := s.register(info); err != nil {
+		return DocInfo{}, err
+	}
+	return *info, nil
+}
+
+// Convert re-stores a document in the other representation (tree ↔
+// flat) under the same name, preserving content. Converting to flat
+// serializes the tree; converting to tree parses the stream. This is
+// the migration path between the paper's storage categories (§1).
+func (s *Store) Convert(name string, to Mode) error {
+	info, ok := s.catalog[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if info.Mode == to {
+		return nil
+	}
+	var buf strings.Builder
+	if err := s.ExportXML(name, &buf); err != nil {
+		return err
+	}
+	if err := s.Delete(name); err != nil {
+		return err
+	}
+	var err error
+	if to == ModeFlat {
+		_, err = s.ImportFlat(name, strings.NewReader(buf.String()))
+	} else {
+		_, err = s.ImportXML(name, strings.NewReader(buf.String()))
+	}
+	return err
+}
+
+// TreeStats describes the physical organization of one tree-mode
+// document — the "physical schema information and statistics" the
+// paper's schema manager keeps (§2.1).
+type TreeStats struct {
+	Nodes        int            // logical nodes
+	Records      int            // physical records
+	Proxies      int            // scaffolding proxies
+	Scaffolds    int            // scaffolding aggregates
+	Depth        int            // logical tree depth
+	Bytes        int            // sum of encoded record sizes
+	LabelCounts  map[string]int // facade nodes per element name
+	MaxRecordLen int            // largest record in bytes
+}
+
+// Stats computes physical statistics for a tree-mode document by
+// walking its record tree.
+func (s *Store) Stats(name string) (TreeStats, error) {
+	info, ok := s.catalog[name]
+	if !ok {
+		return TreeStats{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if info.Mode != ModeTree {
+		return TreeStats{}, fmt.Errorf("docstore: %q is not a tree-mode document", name)
+	}
+	st := TreeStats{LabelCounts: make(map[string]int)}
+	tree := s.trees.OpenTree(info.Root)
+	var walkRecords func(rid records.RID) error
+	walkRecords = func(rid records.RID) error {
+		rec, err := s.trees.LoadRecordForInspection(rid)
+		if err != nil {
+			return err
+		}
+		st.Records++
+		size := noderep.EncodedSize(rec)
+		st.Bytes += size
+		if size > st.MaxRecordLen {
+			st.MaxRecordLen = size
+		}
+		var firstErr error
+		rec.Root.Walk(func(n *noderep.Node) bool {
+			switch n.Kind {
+			case noderep.KindProxy:
+				st.Proxies++
+				if err := walkRecords(n.Target); err != nil && firstErr == nil {
+					firstErr = err
+					return false
+				}
+			case noderep.KindAggregate:
+				if n.Scaffold {
+					st.Scaffolds++
+				} else {
+					lbl, err := s.dict.Name(n.Label)
+					if err == nil {
+						st.LabelCounts[lbl]++
+					}
+					st.Nodes++
+				}
+			case noderep.KindLiteral:
+				st.Nodes++
+			}
+			return true
+		})
+		return firstErr
+	}
+	if err := walkRecords(info.Root); err != nil {
+		return TreeStats{}, err
+	}
+	// Depth via logical cursor.
+	c, err := tree.Cursor()
+	if err != nil {
+		return TreeStats{}, err
+	}
+	if err := c.WalkPreOrder(func(c *core.Cursor) bool {
+		if c.Depth()+1 > st.Depth {
+			st.Depth = c.Depth() + 1
+		}
+		return true
+	}); err != nil {
+		return TreeStats{}, err
+	}
+	return st, nil
+}

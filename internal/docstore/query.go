@@ -1,0 +1,312 @@
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"natix/internal/core"
+	"natix/internal/xmlkit"
+)
+
+// The path-query engine implements the fragment of XPath the paper's
+// evaluation needs (§4.3): absolute paths of child steps (/A/B),
+// descendant steps (//A), name tests, and 1-based positional predicates
+// (A[3]). Query 1 is /PLAY/ACT[3]/SCENE[2]//SPEAKER, query 2 is
+// //SCENE/SPEECH[1], query 3 is /PLAY/ACT[1]/SCENE[1]/SPEECH[1].
+
+// Step is one location step.
+type Step struct {
+	Descendant bool   // true for a // step
+	Name       string // element name test; "*" matches any element
+	Pos        int    // 1-based positional predicate; 0 selects all
+}
+
+// ErrBadQuery reports an unparsable path expression.
+var ErrBadQuery = errors.New("docstore: malformed path query")
+
+// ParseQuery parses a path expression into steps.
+func ParseQuery(q string) ([]Step, error) {
+	if q == "" || q[0] != '/' {
+		return nil, fmt.Errorf("%w: %q (must start with /)", ErrBadQuery, q)
+	}
+	var steps []Step
+	i := 0
+	for i < len(q) {
+		if q[i] != '/' {
+			return nil, fmt.Errorf("%w: %q at offset %d", ErrBadQuery, q, i)
+		}
+		i++
+		desc := false
+		if i < len(q) && q[i] == '/' {
+			desc = true
+			i++
+		}
+		start := i
+		for i < len(q) && q[i] != '/' && q[i] != '[' {
+			i++
+		}
+		name := q[start:i]
+		if name == "" {
+			return nil, fmt.Errorf("%w: %q (empty step)", ErrBadQuery, q)
+		}
+		step := Step{Descendant: desc, Name: name}
+		if i < len(q) && q[i] == '[' {
+			end := strings.IndexByte(q[i:], ']')
+			if end < 0 {
+				return nil, fmt.Errorf("%w: %q (unclosed predicate)", ErrBadQuery, q)
+			}
+			n, err := strconv.Atoi(q[i+1 : i+end])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("%w: %q (bad position %q)", ErrBadQuery, q, q[i+1:i+end])
+			}
+			step.Pos = n
+			i += end + 1
+		}
+		steps = append(steps, step)
+	}
+	return steps, nil
+}
+
+// Result is one query match. Exactly one of Ref (tree mode) or XML
+// (flat mode) is meaningful; Store.ResultText and Store.ResultXML work
+// on both.
+type Result struct {
+	Mode Mode
+	Ref  core.NodeRef
+	XML  *xmlkit.Node
+
+	store *Store
+}
+
+// Text returns the concatenated text content of the match.
+func (r Result) Text() (string, error) {
+	if r.Mode == ModeFlat {
+		return r.XML.TextContent(), nil
+	}
+	return r.store.trees.TextContent(r.Ref)
+}
+
+// Markup returns the XML serialization of the match ("recreates the
+// textual representation", query 2).
+func (r Result) Markup() (string, error) {
+	if r.Mode == ModeFlat {
+		return xmlkit.SerializeString(r.XML), nil
+	}
+	xn, err := r.store.xmlFromRef(r.Ref)
+	if err != nil {
+		return "", err
+	}
+	return xmlkit.SerializeString(xn), nil
+}
+
+// Query evaluates a path expression against a document. For flat-mode
+// documents the whole stream is read and parsed first — exactly the
+// access cost the paper ascribes to flat storage ("Accessing the
+// documents' structure is only possible through parsing", §1).
+func (s *Store) Query(name, query string) ([]Result, error) {
+	steps, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	info, ok := s.catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if info.Mode == ModeFlat {
+		body, err := s.blobs.Read(info.Root)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := xmlkit.ParseString(string(body), xmlkit.ParseOptions{})
+		if err != nil {
+			return nil, err
+		}
+		matches := evalXML(doc.Root, steps)
+		out := make([]Result, len(matches))
+		for i, m := range matches {
+			out[i] = Result{Mode: ModeFlat, XML: m, store: s}
+		}
+		return out, nil
+	}
+	tree := s.trees.OpenTree(info.Root)
+	root, err := tree.Root()
+	if err != nil {
+		return nil, err
+	}
+	// The first step must match the document root.
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
+	}
+	first, rest := steps[0], steps[1:]
+	var ctx []core.NodeRef
+	if first.Descendant {
+		if err := s.collectDescendants(root, first.Name, &ctx); err != nil {
+			return nil, err
+		}
+		if ok, err := s.refMatches(root, first.Name); err != nil {
+			return nil, err
+		} else if ok {
+			ctx = append([]core.NodeRef{root}, ctx...)
+		}
+	} else {
+		if ok, err := s.refMatches(root, first.Name); err != nil {
+			return nil, err
+		} else if ok {
+			ctx = []core.NodeRef{root}
+		}
+	}
+	ctx = applyPosRefs(ctx, first.Pos)
+	for _, st := range rest {
+		var next []core.NodeRef
+		for _, ref := range ctx {
+			var matches []core.NodeRef
+			if st.Descendant {
+				if err := s.collectDescendants(ref, st.Name, &matches); err != nil {
+					return nil, err
+				}
+			} else {
+				kids, err := s.trees.Children(ref)
+				if err != nil {
+					return nil, err
+				}
+				for _, k := range kids {
+					if ok, err := s.refMatches(k, st.Name); err != nil {
+						return nil, err
+					} else if ok {
+						matches = append(matches, k)
+					}
+				}
+			}
+			next = append(next, applyPosRefs(matches, st.Pos)...)
+		}
+		ctx = next
+		if len(ctx) == 0 {
+			break
+		}
+	}
+	out := make([]Result, len(ctx))
+	for i, ref := range ctx {
+		out[i] = Result{Mode: ModeTree, Ref: ref, store: s}
+	}
+	return out, nil
+}
+
+// refMatches tests a name step against a node.
+func (s *Store) refMatches(ref core.NodeRef, name string) (bool, error) {
+	if ref.IsLiteral() {
+		return name == "#text", nil
+	}
+	if name == "*" {
+		n, err := s.dict.Name(ref.Label())
+		if err != nil {
+			return false, err
+		}
+		return !strings.HasPrefix(n, AttrPrefix), nil
+	}
+	id, ok := s.dict.Lookup(name)
+	if !ok {
+		return false, nil
+	}
+	return ref.Label() == id, nil
+}
+
+// collectDescendants appends all strict descendants of ref matching name
+// in document order.
+func (s *Store) collectDescendants(ref core.NodeRef, name string, out *[]core.NodeRef) error {
+	kids, err := s.trees.Children(ref)
+	if err != nil {
+		return err
+	}
+	for _, k := range kids {
+		ok, err := s.refMatches(k, name)
+		if err != nil {
+			return err
+		}
+		if ok {
+			*out = append(*out, k)
+		}
+		if !k.IsLiteral() {
+			if err := s.collectDescendants(k, name, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func applyPosRefs(refs []core.NodeRef, pos int) []core.NodeRef {
+	if pos == 0 {
+		return refs
+	}
+	if pos <= len(refs) {
+		return refs[pos-1 : pos]
+	}
+	return nil
+}
+
+// evalXML evaluates steps against a parsed XML tree (flat mode).
+func evalXML(root *xmlkit.Node, steps []Step) []*xmlkit.Node {
+	if len(steps) == 0 {
+		return nil
+	}
+	first, rest := steps[0], steps[1:]
+	var ctx []*xmlkit.Node
+	if first.Descendant {
+		if xmlMatches(root, first.Name) {
+			ctx = append(ctx, root)
+		}
+		collectXMLDescendants(root, first.Name, &ctx)
+	} else if xmlMatches(root, first.Name) {
+		ctx = []*xmlkit.Node{root}
+	}
+	ctx = applyPosXML(ctx, first.Pos)
+	for _, st := range rest {
+		var next []*xmlkit.Node
+		for _, n := range ctx {
+			var matches []*xmlkit.Node
+			if st.Descendant {
+				collectXMLDescendants(n, st.Name, &matches)
+			} else {
+				for _, c := range n.Children {
+					if xmlMatches(c, st.Name) {
+						matches = append(matches, c)
+					}
+				}
+			}
+			next = append(next, applyPosXML(matches, st.Pos)...)
+		}
+		ctx = next
+		if len(ctx) == 0 {
+			break
+		}
+	}
+	return ctx
+}
+
+func xmlMatches(n *xmlkit.Node, name string) bool {
+	if n.IsText() {
+		return name == "#text"
+	}
+	return name == "*" || n.Name == name
+}
+
+func collectXMLDescendants(n *xmlkit.Node, name string, out *[]*xmlkit.Node) {
+	for _, c := range n.Children {
+		if xmlMatches(c, name) {
+			*out = append(*out, c)
+		}
+		collectXMLDescendants(c, name, out)
+	}
+}
+
+func applyPosXML(nodes []*xmlkit.Node, pos int) []*xmlkit.Node {
+	if pos == 0 {
+		return nodes
+	}
+	if pos <= len(nodes) {
+		return nodes[pos-1 : pos]
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package noderep
+
+import (
+	"fmt"
+	"testing"
+
+	"natix/internal/dict"
+)
+
+// benchTree builds a SPEECH-like subtree of roughly n text leaves.
+func benchTree(n int) *Node {
+	root := NewAggregate(dict.LabelID(3))
+	for i := 0; i < n; i++ {
+		line := NewAggregate(dict.LabelID(4))
+		line.AppendChild(NewTextLiteral(fmt.Sprintf("line %04d with typical verse length padding", i)))
+		root.AppendChild(line)
+	}
+	return root
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rec := &Record{Root: benchTree(50)}
+	size := EncodedSize(rec)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rec := &Record{Root: benchTree(50)}
+	buf, err := Encode(rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodedSize(b *testing.B) {
+	rec := &Record{Root: benchTree(50)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if EncodedSize(rec) == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}
+
+func BenchmarkContentSize(b *testing.B) {
+	tree := benchTree(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tree.ContentSize() == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}

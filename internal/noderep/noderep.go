@@ -1,0 +1,554 @@
+// Package noderep defines the physical node model of NATIX (paper §2.3)
+// and the binary record format of Appendix A.
+//
+// Physical nodes are classified three ways:
+//
+//   - by content: aggregate (inner) nodes, literal (leaf) nodes, and
+//     proxy nodes pointing to other records (§2.3.1);
+//   - by representation: the standalone object is the root of a record's
+//     subtree, every other node is embedded (§2.3.2);
+//   - by purpose: facade objects represent logical nodes, scaffolding
+//     objects (proxies and helper aggregates) exist only to represent
+//     large trees (§2.3.3).
+//
+// One record stores exactly one subtree. Its byte layout is:
+//
+//	record   := version(1) flags(1) ttCount(2) ttEntry*  standalone
+//	ttEntry  := kindFlags(1) label(2) litType(1)
+//	standalone := typeIdx(2) parentRID(8) content
+//	embedded := typeIdx(2) contentSize(2) parentOff(2) content
+//	content  := children* | literalPayload | targetRID(8)
+//
+// Embedded headers are 6 bytes and standalone headers 10 bytes, exactly
+// the header costs reported in Appendix A. Parent pointers of embedded
+// nodes are 2-byte offsets from the start of the record, which keeps the
+// byte representation location-independent. The node type table lives in
+// the record rather than on the page (a documented deviation, DESIGN.md
+// §4.3) so records stay self-contained when the record manager moves them.
+package noderep
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"natix/internal/dict"
+	"natix/internal/records"
+)
+
+// Kind is the content classification of a physical node (§2.3.1).
+type Kind uint8
+
+// Node kinds.
+const (
+	KindInvalid   Kind = 0
+	KindAggregate Kind = 1 // inner node containing its children
+	KindLiteral   Kind = 2 // leaf node with an uninterpreted byte payload
+	KindProxy     Kind = 3 // reference to the record holding a subtree
+)
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindAggregate:
+		return "aggregate"
+	case KindLiteral:
+		return "literal"
+	case KindProxy:
+		return "proxy"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// LitType is the interpretation of a literal payload. "Literals are
+// typed, currently either string literals, 8/16/32/64-bit integer
+// literals, float, or URI literals" (App. A).
+type LitType uint8
+
+// Literal types.
+const (
+	LitString LitType = iota
+	LitInt8
+	LitInt16
+	LitInt32
+	LitInt64
+	LitFloat64
+	LitURI
+	// LitLongString marks an overflow literal whose payload is the 8-byte
+	// id of a blobstore chain. Literals larger than a page cannot live
+	// inside a record; this is the repository's long-field escape hatch.
+	LitLongString
+)
+
+// Header sizes from Appendix A.
+const (
+	EmbeddedHeaderSize   = 6  // typeIdx(2) + size(2) + parentOff(2)
+	StandaloneHeaderSize = 10 // typeIdx(2) + parentRID(8)
+
+	recHeaderSize = 4 // version(1) + flags(1) + ttCount(2)
+	ttEntrySize   = 4 // kindFlags(1) + label(2) + litType(1)
+
+	formatVersion = 1
+
+	kindMask     = 0x03
+	scaffoldFlag = 0x04
+)
+
+// Errors.
+var (
+	ErrCorruptRecord = errors.New("noderep: corrupt record")
+	ErrTooLarge      = errors.New("noderep: node content exceeds 16-bit size field")
+	ErrBadNode       = errors.New("noderep: malformed node")
+)
+
+// Node is an in-memory physical node. The zero value is not valid; use
+// the constructors.
+type Node struct {
+	Kind     Kind
+	Label    dict.LabelID
+	Scaffold bool        // scaffolding object (vs. facade), §2.3.3
+	LitType  LitType     // literals only
+	Payload  []byte      // literals only
+	Target   records.RID // proxies only
+	Children []*Node     // aggregates only
+	Parent   *Node       // in-memory backlink; nil for the record root
+}
+
+// NewAggregate builds a facade aggregate node for a logical element.
+func NewAggregate(label dict.LabelID) *Node {
+	return &Node{Kind: KindAggregate, Label: label}
+}
+
+// NewScaffoldAggregate builds a helper aggregate used to group the
+// children of a partition record (the h1/h2 nodes of paper figure 3).
+func NewScaffoldAggregate() *Node {
+	return &Node{Kind: KindAggregate, Label: dict.Scaffold, Scaffold: true}
+}
+
+// NewTextLiteral builds a facade literal holding character data.
+func NewTextLiteral(text string) *Node {
+	return &Node{Kind: KindLiteral, Label: dict.Text, LitType: LitString, Payload: []byte(text)}
+}
+
+// NewLiteral builds a typed facade literal with the given label.
+func NewLiteral(label dict.LabelID, t LitType, payload []byte) *Node {
+	return &Node{Kind: KindLiteral, Label: label, LitType: t, Payload: payload}
+}
+
+// NewProxy builds a scaffolding proxy pointing at target.
+func NewProxy(target records.RID) *Node {
+	return &Node{Kind: KindProxy, Label: dict.Scaffold, Scaffold: true, Target: target}
+}
+
+// AppendChild adds c as the last child of n and sets its parent link.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return n
+}
+
+// InsertChild inserts c at index i among n's children.
+func (n *Node) InsertChild(i int, c *Node) {
+	if i < 0 || i > len(n.Children) {
+		panic(fmt.Sprintf("noderep: InsertChild index %d of %d", i, len(n.Children)))
+	}
+	c.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+}
+
+// RemoveChild removes and returns the child at index i.
+func (n *Node) RemoveChild(i int) *Node {
+	c := n.Children[i]
+	copy(n.Children[i:], n.Children[i+1:])
+	n.Children = n.Children[:len(n.Children)-1]
+	c.Parent = nil
+	return c
+}
+
+// ChildIndex returns the position of c among n's children, or -1.
+func (n *Node) ChildIndex(c *Node) int {
+	for i, x := range n.Children {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// ContentSize returns the serialized size of the node's content,
+// excluding its own header.
+func (n *Node) ContentSize() int {
+	switch n.Kind {
+	case KindLiteral:
+		return len(n.Payload)
+	case KindProxy:
+		return records.RIDSize
+	case KindAggregate:
+		total := 0
+		for _, c := range n.Children {
+			total += EmbeddedHeaderSize + c.ContentSize()
+		}
+		return total
+	default:
+		return 0
+	}
+}
+
+// TotalSize returns the serialized size of the node as an embedded
+// object: header plus content.
+func (n *Node) TotalSize() int { return EmbeddedHeaderSize + n.ContentSize() }
+
+// CountNodes returns the number of physical nodes in the subtree.
+func (n *Node) CountNodes() int {
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// Walk visits the subtree in pre-order, stopping if fn returns false.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the subtree (parent links rebuilt).
+func (n *Node) Clone() *Node {
+	c := &Node{
+		Kind: n.Kind, Label: n.Label, Scaffold: n.Scaffold,
+		LitType: n.LitType, Target: n.Target,
+	}
+	if n.Payload != nil {
+		c.Payload = append([]byte(nil), n.Payload...)
+	}
+	for _, ch := range n.Children {
+		c.AppendChild(ch.Clone())
+	}
+	return c
+}
+
+// Equal reports deep equality of two subtrees (ignoring parent links).
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Label != b.Label || a.Scaffold != b.Scaffold {
+		return false
+	}
+	switch a.Kind {
+	case KindLiteral:
+		if a.LitType != b.LitType || string(a.Payload) != string(b.Payload) {
+			return false
+		}
+	case KindProxy:
+		if a.Target != b.Target {
+			return false
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural well-formedness of a subtree.
+func (n *Node) Validate() error {
+	return n.validate(true)
+}
+
+func (n *Node) validate(isRoot bool) error {
+	switch n.Kind {
+	case KindAggregate:
+		if len(n.Payload) != 0 {
+			return fmt.Errorf("%w: aggregate with payload", ErrBadNode)
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				return fmt.Errorf("%w: child with stale parent link", ErrBadNode)
+			}
+			if err := c.validate(false); err != nil {
+				return err
+			}
+		}
+	case KindLiteral:
+		if len(n.Children) != 0 {
+			return fmt.Errorf("%w: literal with children", ErrBadNode)
+		}
+	case KindProxy:
+		if len(n.Children) != 0 || len(n.Payload) != 0 {
+			return fmt.Errorf("%w: proxy with children or payload", ErrBadNode)
+		}
+		if n.Target.IsNil() {
+			return fmt.Errorf("%w: proxy with nil target", ErrBadNode)
+		}
+	default:
+		return fmt.Errorf("%w: kind %d", ErrBadNode, n.Kind)
+	}
+	// Scaffolding aggregates only ever stand alone as record roots; the
+	// split algorithm's special cases guarantee it (§3.2.2).
+	if n.Kind == KindAggregate && n.Scaffold && !isRoot {
+		return fmt.Errorf("%w: embedded scaffolding aggregate", ErrBadNode)
+	}
+	return nil
+}
+
+// Record is the in-memory form of one physical record: a subtree plus the
+// RID of the record containing its proxy (nil for the tree's root record).
+type Record struct {
+	ParentRID records.RID
+	Root      *Node
+}
+
+// ParentRIDOffset is the byte offset of the standalone parent RID within
+// an encoded record, given its type-table entry count. Exposed so the
+// tree manager can patch parent pointers in place without re-encoding.
+func ParentRIDOffset(ttCount int) int {
+	return recHeaderSize + ttEntrySize*ttCount + 2
+}
+
+// RecordParentRIDOffset returns the parent-RID byte offset for the
+// encoded form of rec.
+func RecordParentRIDOffset(rec *Record) int {
+	_, order := collectTypes(rec.Root)
+	return ParentRIDOffset(len(order))
+}
+
+// typeKey identifies one node type table entry.
+type typeKey struct {
+	kindFlags byte
+	label     dict.LabelID
+	litType   LitType
+}
+
+func nodeTypeKey(n *Node) typeKey {
+	kf := byte(n.Kind) & kindMask
+	if n.Scaffold {
+		kf |= scaffoldFlag
+	}
+	lt := LitType(0)
+	if n.Kind == KindLiteral {
+		lt = n.LitType
+	}
+	return typeKey{kindFlags: kf, label: n.Label, litType: lt}
+}
+
+// collectTypes walks the subtree assigning type-table indexes.
+func collectTypes(root *Node) (map[typeKey]uint16, []typeKey) {
+	idx := make(map[typeKey]uint16)
+	var order []typeKey
+	root.Walk(func(n *Node) bool {
+		k := nodeTypeKey(n)
+		if _, ok := idx[k]; !ok {
+			idx[k] = uint16(len(order))
+			order = append(order, k)
+		}
+		return true
+	})
+	return idx, order
+}
+
+// EncodedSize returns the exact on-disk size of the record. The tree
+// manager compares it against the net page capacity to decide splits.
+func EncodedSize(rec *Record) int {
+	_, order := collectTypes(rec.Root)
+	return recHeaderSize + ttEntrySize*len(order) + StandaloneHeaderSize + rec.Root.ContentSize()
+}
+
+// Encode serializes the record.
+func Encode(rec *Record) ([]byte, error) {
+	if rec.Root == nil {
+		return nil, fmt.Errorf("%w: nil root", ErrBadNode)
+	}
+	if err := rec.Root.Validate(); err != nil {
+		return nil, err
+	}
+	idx, order := collectTypes(rec.Root)
+	if len(order) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: %d node types", ErrTooLarge, len(order))
+	}
+	size := recHeaderSize + ttEntrySize*len(order) + StandaloneHeaderSize + rec.Root.ContentSize()
+	buf := make([]byte, size)
+	buf[0] = formatVersion
+	buf[1] = 0
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(order)))
+	pos := recHeaderSize
+	for _, k := range order {
+		buf[pos] = k.kindFlags
+		binary.LittleEndian.PutUint16(buf[pos+1:], uint16(k.label))
+		buf[pos+3] = byte(k.litType)
+		pos += ttEntrySize
+	}
+	// Standalone header.
+	rootOff := pos
+	binary.LittleEndian.PutUint16(buf[pos:], idx[nodeTypeKey(rec.Root)])
+	rec.ParentRID.Put(buf[pos+2:])
+	pos += StandaloneHeaderSize
+	// Root content.
+	end, err := encodeContent(buf, pos, rec.Root, rootOff, idx)
+	if err != nil {
+		return nil, err
+	}
+	if end != size {
+		return nil, fmt.Errorf("noderep: encode size mismatch: wrote %d of %d", end, size)
+	}
+	return buf, nil
+}
+
+// encodeContent writes the content of n starting at pos; hdrOff is the
+// offset of n's own header (used as the children's parent offset).
+func encodeContent(buf []byte, pos int, n *Node, hdrOff int, idx map[typeKey]uint16) (int, error) {
+	switch n.Kind {
+	case KindLiteral:
+		copy(buf[pos:], n.Payload)
+		return pos + len(n.Payload), nil
+	case KindProxy:
+		n.Target.Put(buf[pos:])
+		return pos + records.RIDSize, nil
+	case KindAggregate:
+		for _, c := range n.Children {
+			cs := c.ContentSize()
+			if cs > math.MaxUint16 {
+				return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, cs)
+			}
+			if hdrOff > math.MaxUint16 {
+				return 0, fmt.Errorf("%w: parent offset %d", ErrTooLarge, hdrOff)
+			}
+			cHdr := pos
+			binary.LittleEndian.PutUint16(buf[pos:], idx[nodeTypeKey(c)])
+			binary.LittleEndian.PutUint16(buf[pos+2:], uint16(cs))
+			binary.LittleEndian.PutUint16(buf[pos+4:], uint16(hdrOff))
+			pos += EmbeddedHeaderSize
+			var err error
+			pos, err = encodeContent(buf, pos, c, cHdr, idx)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return pos, nil
+	default:
+		return 0, fmt.Errorf("%w: kind %d", ErrBadNode, n.Kind)
+	}
+}
+
+// Decode parses a record image back into a node tree, validating sizes,
+// type indexes and parent offsets.
+func Decode(buf []byte) (*Record, error) {
+	if len(buf) < recHeaderSize+StandaloneHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptRecord, len(buf))
+	}
+	if buf[0] != formatVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCorruptRecord, buf[0])
+	}
+	ttCount := int(binary.LittleEndian.Uint16(buf[2:]))
+	pos := recHeaderSize
+	if pos+ttEntrySize*ttCount+StandaloneHeaderSize > len(buf) {
+		return nil, fmt.Errorf("%w: truncated type table", ErrCorruptRecord)
+	}
+	types := make([]typeKey, ttCount)
+	for i := range types {
+		types[i] = typeKey{
+			kindFlags: buf[pos],
+			label:     dict.LabelID(binary.LittleEndian.Uint16(buf[pos+1:])),
+			litType:   LitType(buf[pos+3]),
+		}
+		pos += ttEntrySize
+	}
+	rootOff := pos
+	rootIdx := int(binary.LittleEndian.Uint16(buf[pos:]))
+	if rootIdx >= ttCount {
+		return nil, fmt.Errorf("%w: root type index %d of %d", ErrCorruptRecord, rootIdx, ttCount)
+	}
+	parentRID := records.DecodeRID(buf[pos+2 : pos+10])
+	pos += StandaloneHeaderSize
+	root, err := makeNode(types[rootIdx])
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeContent(buf, pos, len(buf), root, rootOff, types); err != nil {
+		return nil, err
+	}
+	return &Record{ParentRID: parentRID, Root: root}, nil
+}
+
+func makeNode(t typeKey) (*Node, error) {
+	k := Kind(t.kindFlags & kindMask)
+	switch k {
+	case KindAggregate, KindLiteral, KindProxy:
+	default:
+		return nil, fmt.Errorf("%w: node kind %d", ErrCorruptRecord, k)
+	}
+	return &Node{
+		Kind:     k,
+		Label:    t.label,
+		Scaffold: t.kindFlags&scaffoldFlag != 0,
+		LitType:  t.litType,
+	}, nil
+}
+
+// decodeContent fills n from buf[pos:end]; hdrOff is the offset of n's
+// header, which children must cite as their parent offset.
+func decodeContent(buf []byte, pos, end int, n *Node, hdrOff int, types []typeKey) error {
+	switch n.Kind {
+	case KindLiteral:
+		n.Payload = append([]byte(nil), buf[pos:end]...)
+		return nil
+	case KindProxy:
+		if end-pos != records.RIDSize {
+			return fmt.Errorf("%w: proxy content %d bytes", ErrCorruptRecord, end-pos)
+		}
+		n.Target = records.DecodeRID(buf[pos:end])
+		if n.Target.IsNil() {
+			return fmt.Errorf("%w: proxy with nil target", ErrCorruptRecord)
+		}
+		return nil
+	case KindAggregate:
+		for pos < end {
+			if pos+EmbeddedHeaderSize > end {
+				return fmt.Errorf("%w: truncated embedded header", ErrCorruptRecord)
+			}
+			ti := int(binary.LittleEndian.Uint16(buf[pos:]))
+			cs := int(binary.LittleEndian.Uint16(buf[pos+2:]))
+			po := int(binary.LittleEndian.Uint16(buf[pos+4:]))
+			if ti >= len(types) {
+				return fmt.Errorf("%w: type index %d of %d", ErrCorruptRecord, ti, len(types))
+			}
+			if po != hdrOff {
+				return fmt.Errorf("%w: parent offset %d, want %d", ErrCorruptRecord, po, hdrOff)
+			}
+			cHdr := pos
+			pos += EmbeddedHeaderSize
+			if pos+cs > end {
+				return fmt.Errorf("%w: child content overruns parent", ErrCorruptRecord)
+			}
+			c, err := makeNode(types[ti])
+			if err != nil {
+				return err
+			}
+			if err := decodeContent(buf, pos, pos+cs, c, cHdr, types); err != nil {
+				return err
+			}
+			n.AppendChild(c)
+			pos += cs
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: kind %d", ErrCorruptRecord, n.Kind)
+	}
+}

@@ -1,0 +1,291 @@
+// Package pagedev provides page-granularity block devices for the NATIX
+// storage manager.
+//
+// Three implementations are provided:
+//
+//   - Mem: an in-memory device, used for tests and as the backing store of
+//     the simulated disk.
+//   - File: a file-backed device using positional reads and writes.
+//   - SimDisk: a wrapper that replays every page access through a
+//     seek/rotation/transfer cost model of a late-1990s SCSI disk. The
+//     paper's measurements (Pentium-II 333, IBM DCAS-34330W, no OS
+//     buffering) are I/O bound; the simulated clock reproduces their shape
+//     on modern hardware where a page cache would otherwise hide locality.
+//
+// A device stores fixed-size pages addressed by a PageNo. Page numbers are
+// dense: Grow extends the device, and reads of never-written pages return
+// zero bytes.
+package pagedev
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageNo identifies a page within a device. On disk, page numbers are
+// stored in 48 bits (see the 8-byte RID encoding in package records).
+type PageNo uint64
+
+// MaxPageNo is the largest addressable page (48-bit page numbers).
+const MaxPageNo PageNo = 1<<48 - 1
+
+// Common device errors.
+var (
+	ErrOutOfRange = errors.New("pagedev: page number out of range")
+	ErrClosed     = errors.New("pagedev: device is closed")
+	ErrBadSize    = errors.New("pagedev: buffer size does not match page size")
+)
+
+// MinPageSize and MaxPageSize bound the supported page sizes. The paper
+// evaluates pages between 2K and 32K; 32K is also the NATIX maximum
+// ("Pages can be as large as 32K").
+const (
+	MinPageSize = 512
+	MaxPageSize = 32 * 1024
+)
+
+// ValidPageSize reports whether s is a supported page size: a power of two
+// in [MinPageSize, MaxPageSize].
+func ValidPageSize(s int) bool {
+	return s >= MinPageSize && s <= MaxPageSize && s&(s-1) == 0
+}
+
+// Device is a fixed-page-size block device.
+type Device interface {
+	// PageSize returns the size of every page in bytes.
+	PageSize() int
+	// NumPages returns the number of allocated pages.
+	NumPages() PageNo
+	// Read fills buf (which must be exactly PageSize bytes) with page p.
+	Read(p PageNo, buf []byte) error
+	// Write stores buf (exactly PageSize bytes) as page p. The page must
+	// already be allocated via Grow.
+	Write(p PageNo, buf []byte) error
+	// Grow ensures the device holds at least n pages.
+	Grow(n PageNo) error
+	// Sync flushes device buffers to stable storage where applicable.
+	Sync() error
+	// Close releases the device. Further operations fail with ErrClosed.
+	Close() error
+}
+
+// Mem is an in-memory Device. It is safe for concurrent use.
+type Mem struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    [][]byte
+	closed   bool
+}
+
+// NewMem returns an empty in-memory device with the given page size.
+func NewMem(pageSize int) (*Mem, error) {
+	if !ValidPageSize(pageSize) {
+		return nil, fmt.Errorf("pagedev: invalid page size %d", pageSize)
+	}
+	return &Mem{pageSize: pageSize}, nil
+}
+
+// PageSize implements Device.
+func (m *Mem) PageSize() int { return m.pageSize }
+
+// NumPages implements Device.
+func (m *Mem) NumPages() PageNo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return PageNo(len(m.pages))
+}
+
+// Read implements Device.
+func (m *Mem) Read(p PageNo, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if len(buf) != m.pageSize {
+		return ErrBadSize
+	}
+	if p >= PageNo(len(m.pages)) {
+		return fmt.Errorf("%w: read page %d of %d", ErrOutOfRange, p, len(m.pages))
+	}
+	if m.pages[p] == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, m.pages[p])
+	return nil
+}
+
+// Write implements Device.
+func (m *Mem) Write(p PageNo, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if len(buf) != m.pageSize {
+		return ErrBadSize
+	}
+	if p >= PageNo(len(m.pages)) {
+		return fmt.Errorf("%w: write page %d of %d", ErrOutOfRange, p, len(m.pages))
+	}
+	if m.pages[p] == nil {
+		m.pages[p] = make([]byte, m.pageSize)
+	}
+	copy(m.pages[p], buf)
+	return nil
+}
+
+// Grow implements Device.
+func (m *Mem) Grow(n PageNo) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if n > MaxPageNo {
+		return ErrOutOfRange
+	}
+	for PageNo(len(m.pages)) < n {
+		m.pages = append(m.pages, nil) // lazily materialized on first write
+	}
+	return nil
+}
+
+// Sync implements Device. It is a no-op for the in-memory device.
+func (m *Mem) Sync() error { return nil }
+
+// Close implements Device.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.pages = nil
+	return nil
+}
+
+// File is a Device backed by an operating-system file. Pages map linearly
+// onto the file: page p occupies bytes [p*PageSize, (p+1)*PageSize).
+type File struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	numPages PageNo
+	closed   bool
+}
+
+// OpenFile opens (or creates) the file at path as a page device. If the
+// file is non-empty its length must be a multiple of pageSize.
+func OpenFile(path string, pageSize int) (*File, error) {
+	if !ValidPageSize(pageSize) {
+		return nil, fmt.Errorf("pagedev: invalid page size %d", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagedev: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagedev: stat %s: %w", path, err)
+	}
+	if st.Size()%int64(pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pagedev: %s: size %d is not a multiple of page size %d", path, st.Size(), pageSize)
+	}
+	return &File{f: f, pageSize: pageSize, numPages: PageNo(st.Size() / int64(pageSize))}, nil
+}
+
+// PageSize implements Device.
+func (d *File) PageSize() int { return d.pageSize }
+
+// NumPages implements Device.
+func (d *File) NumPages() PageNo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.numPages
+}
+
+// Read implements Device.
+func (d *File) Read(p PageNo, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if len(buf) != d.pageSize {
+		return ErrBadSize
+	}
+	if p >= d.numPages {
+		return fmt.Errorf("%w: read page %d of %d", ErrOutOfRange, p, d.numPages)
+	}
+	_, err := d.f.ReadAt(buf, int64(p)*int64(d.pageSize))
+	if err != nil {
+		return fmt.Errorf("pagedev: read page %d: %w", p, err)
+	}
+	return nil
+}
+
+// Write implements Device.
+func (d *File) Write(p PageNo, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if len(buf) != d.pageSize {
+		return ErrBadSize
+	}
+	if p >= d.numPages {
+		return fmt.Errorf("%w: write page %d of %d", ErrOutOfRange, p, d.numPages)
+	}
+	if _, err := d.f.WriteAt(buf, int64(p)*int64(d.pageSize)); err != nil {
+		return fmt.Errorf("pagedev: write page %d: %w", p, err)
+	}
+	return nil
+}
+
+// Grow implements Device.
+func (d *File) Grow(n PageNo) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if n > MaxPageNo {
+		return ErrOutOfRange
+	}
+	if n <= d.numPages {
+		return nil
+	}
+	if err := d.f.Truncate(int64(n) * int64(d.pageSize)); err != nil {
+		return fmt.Errorf("pagedev: grow to %d pages: %w", n, err)
+	}
+	d.numPages = n
+	return nil
+}
+
+// Sync implements Device.
+func (d *File) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
+
+// Close implements Device.
+func (d *File) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}

@@ -1,0 +1,294 @@
+package pagedev
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidPageSize(t *testing.T) {
+	valid := []int{512, 1024, 2048, 4096, 8192, 16384, 32768}
+	for _, s := range valid {
+		if !ValidPageSize(s) {
+			t.Errorf("ValidPageSize(%d) = false, want true", s)
+		}
+	}
+	invalid := []int{0, -1, 256, 1000, 3000, 48 * 1024, 64 * 1024, 2047}
+	for _, s := range invalid {
+		if ValidPageSize(s) {
+			t.Errorf("ValidPageSize(%d) = true, want false", s)
+		}
+	}
+}
+
+// deviceContract exercises the Device interface invariants shared by all
+// implementations.
+func deviceContract(t *testing.T, dev Device) {
+	t.Helper()
+	ps := dev.PageSize()
+	if dev.NumPages() != 0 {
+		t.Fatalf("new device has %d pages, want 0", dev.NumPages())
+	}
+	buf := make([]byte, ps)
+
+	// Reads and writes beyond the end fail.
+	if err := dev.Read(0, buf); err == nil {
+		t.Fatal("Read(0) on empty device succeeded, want error")
+	}
+	if err := dev.Write(0, buf); err == nil {
+		t.Fatal("Write(0) on empty device succeeded, want error")
+	}
+
+	// Wrong-size buffers fail.
+	if err := dev.Grow(3); err != nil {
+		t.Fatalf("Grow(3): %v", err)
+	}
+	if err := dev.Read(0, make([]byte, ps-1)); err == nil {
+		t.Fatal("Read with short buffer succeeded, want error")
+	}
+	if err := dev.Write(0, make([]byte, ps+1)); err == nil {
+		t.Fatal("Write with long buffer succeeded, want error")
+	}
+
+	// Fresh pages read as zeroes.
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	if err := dev.Read(1, buf); err != nil {
+		t.Fatalf("Read(1): %v", err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("fresh page byte %d = %#x, want 0", i, b)
+		}
+	}
+
+	// Round trip.
+	want := make([]byte, ps)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	if err := dev.Write(2, want); err != nil {
+		t.Fatalf("Write(2): %v", err)
+	}
+	got := make([]byte, ps)
+	if err := dev.Read(2, got); err != nil {
+		t.Fatalf("Read(2): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("Read(2) returned different bytes than written")
+	}
+
+	// Grow is monotone and idempotent.
+	if err := dev.Grow(2); err != nil {
+		t.Fatalf("Grow(2) (shrink attempt): %v", err)
+	}
+	if n := dev.NumPages(); n != 3 {
+		t.Fatalf("NumPages after Grow(2) = %d, want 3 (no shrink)", n)
+	}
+	if err := dev.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := dev.Read(0, buf); err == nil {
+		t.Fatal("Read after Close succeeded, want error")
+	}
+}
+
+func TestMemContract(t *testing.T) {
+	dev, err := NewMem(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviceContract(t, dev)
+}
+
+func TestFileContract(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.natix")
+	dev, err := OpenFile(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviceContract(t, dev)
+}
+
+func TestFilePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.natix")
+	dev, err := OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Grow(4); err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xAB}, 1024)
+	if err := dev.Write(3, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dev2, err := OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	if dev2.NumPages() != 4 {
+		t.Fatalf("reopened device has %d pages, want 4", dev2.NumPages())
+	}
+	got := make([]byte, 1024)
+	if err := dev2.Read(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data did not survive reopen")
+	}
+}
+
+func TestFileRejectsMisalignedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.natix")
+	dev, err := OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	dev.Close()
+	// Reopening with a page size that does not divide the file length fails.
+	if _, err := OpenFile(path, 32768); err == nil {
+		t.Fatal("OpenFile with mismatched page size succeeded, want error")
+	}
+}
+
+func TestNewMemRejectsBadPageSize(t *testing.T) {
+	if _, err := NewMem(1000); err == nil {
+		t.Fatal("NewMem(1000) succeeded, want error")
+	}
+}
+
+func TestSimDiskSequentialCheaperThanRandom(t *testing.T) {
+	const ps = 4096
+	mem, _ := NewMem(ps)
+	sim := NewSimDisk(mem, DCAS34330W)
+	if err := sim.Grow(1024); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, ps)
+
+	// Sequential scan of 512 pages.
+	for p := PageNo(0); p < 512; p++ {
+		if err := sim.Read(p, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := sim.Stats().Elapsed
+	sim.ResetStats()
+
+	// The same number of reads, strided far apart.
+	for i := 0; i < 512; i++ {
+		p := PageNo((i * 977) % 1024)
+		if err := sim.Read(p, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rnd := sim.Stats().Elapsed
+
+	if seq >= rnd {
+		t.Fatalf("sequential scan (%v) not cheaper than random scan (%v)", seq, rnd)
+	}
+	if rnd < 5*seq {
+		t.Fatalf("random/sequential ratio %v/%v too small for a seek-bound disk", rnd, seq)
+	}
+}
+
+func TestSimDiskCountsReadsAndWrites(t *testing.T) {
+	mem, _ := NewMem(2048)
+	sim := NewSimDisk(mem, DCAS34330W)
+	if err := sim.Grow(8); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2048)
+	for i := 0; i < 5; i++ {
+		if err := sim.Write(PageNo(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := sim.Read(PageNo(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sim.Stats()
+	if st.Writes != 5 || st.Reads != 3 {
+		t.Fatalf("stats = %d writes, %d reads; want 5, 3", st.Writes, st.Reads)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("no simulated time accumulated")
+	}
+	sim.ResetStats()
+	if st = sim.Stats(); st.Reads != 0 || st.Writes != 0 || st.Elapsed != 0 {
+		t.Fatalf("ResetStats left %+v", st)
+	}
+}
+
+func TestSimDiskPropagatesErrors(t *testing.T) {
+	mem, _ := NewMem(2048)
+	sim := NewSimDisk(mem, DCAS34330W)
+	buf := make([]byte, 2048)
+	if err := sim.Read(0, buf); err == nil {
+		t.Fatal("Read past end succeeded, want error")
+	}
+	if got := sim.Stats().Reads; got != 0 {
+		t.Fatalf("failed read was charged: %d reads", got)
+	}
+}
+
+func TestSeekTimeMonotone(t *testing.T) {
+	m := DCAS34330W
+	if err := quick.Check(func(a, b uint16) bool {
+		da, db := int64(a), int64(b)
+		if da > db {
+			da, db = db, da
+		}
+		return m.seekTime(da, 1<<16) <= m.seekTime(db, 1<<16)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if m.seekTime(0, 100) != 0 {
+		t.Error("zero-distance seek should be free")
+	}
+	if m.seekTime(50, 100) < m.TrackToTrackSeek {
+		t.Error("seek faster than track-to-track time")
+	}
+	if m.seekTime(100, 100) > m.MaxSeek {
+		t.Error("seek slower than full stroke")
+	}
+}
+
+func TestMemZeroFillAfterGrow(t *testing.T) {
+	// Property: any page allocated by Grow but never written reads as zero.
+	mem, _ := NewMem(512)
+	if err := quick.Check(func(n uint8) bool {
+		p := PageNo(n)
+		if err := mem.Grow(p + 1); err != nil {
+			return false
+		}
+		buf := bytes.Repeat([]byte{0xEE}, 512)
+		if err := mem.Read(p, buf); err != nil {
+			return false
+		}
+		for _, b := range buf {
+			if b != 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package pageformat
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkInsertDelete(b *testing.B) {
+	page := make([]byte, 8192)
+	s := FormatSlotted(page)
+	data := bytes.Repeat([]byte{7}, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot, ok := s.Insert(data)
+		if !ok {
+			b.Fatal("insert failed")
+		}
+		if err := s.Delete(slot); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCellAccess(b *testing.B) {
+	s := FormatSlotted(make([]byte, 8192))
+	var slots []int
+	for i := 0; i < 50; i++ {
+		slot, _ := s.Insert(bytes.Repeat([]byte{byte(i)}, 100))
+		slots = append(slots, slot)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Cell(slots[i%len(slots)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompaction(b *testing.B) {
+	data := bytes.Repeat([]byte{1}, 60)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := FormatSlotted(make([]byte, 8192))
+		var slots []int
+		for {
+			slot, ok := s.Insert(data)
+			if !ok {
+				break
+			}
+			slots = append(slots, slot)
+		}
+		for j := 0; j < len(slots); j += 2 {
+			s.Delete(slots[j])
+		}
+		b.StartTimer()
+		// This insert needs compaction.
+		if _, ok := s.Insert(bytes.Repeat([]byte{2}, 100)); !ok {
+			b.Fatal("post-compaction insert failed")
+		}
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	page := make([]byte, 8192)
+	s := FormatSlotted(page)
+	s.Insert(bytes.Repeat([]byte{3}, 4000))
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UpdateChecksum(page)
+		if err := VerifyChecksum(page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

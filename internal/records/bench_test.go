@@ -1,0 +1,95 @@
+package records
+
+import (
+	"bytes"
+	"testing"
+
+	"natix/internal/buffer"
+	"natix/internal/pagedev"
+	"natix/internal/segment"
+)
+
+func benchManager(b *testing.B) *Manager {
+	b.Helper()
+	dev, err := pagedev.NewMem(8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := buffer.New(dev, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg, err := segment.Create(pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(seg)
+}
+
+func BenchmarkInsertRead(b *testing.B) {
+	m := benchManager(b)
+	data := bytes.Repeat([]byte{9}, 256)
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rid, err := m.Insert(data, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Read(rid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateInPlace(b *testing.B) {
+	m := benchManager(b)
+	rid, err := m.Insert(bytes.Repeat([]byte{1}, 256), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := bytes.Repeat([]byte{2}, 256)
+	c := bytes.Repeat([]byte{3}, 256)
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := a
+		if i%2 == 1 {
+			body = c
+		}
+		if err := m.Update(rid, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadForwarded(b *testing.B) {
+	m := benchManager(b)
+	// Build a forwarded record: fill its page, then grow it.
+	rid, err := m.Insert(bytes.Repeat([]byte{1}, 4000), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		r, err := m.Insert(bytes.Repeat([]byte{2}, 1024), rid.Page)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Page != rid.Page {
+			m.Delete(r)
+			break
+		}
+	}
+	if err := m.Update(rid, bytes.Repeat([]byte{3}, 7000)); err != nil {
+		b.Fatal(err)
+	}
+	if p, _ := m.PageOf(rid); p == rid.Page {
+		b.Skip("record did not move")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Read(rid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

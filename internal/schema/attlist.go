@@ -1,0 +1,237 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"natix/internal/xmlkit"
+)
+
+// Attribute declarations (<!ATTLIST>). The supported subset covers the
+// common DTD attribute types: CDATA, ID/IDREF, NMTOKEN(S), and
+// enumerations, with #REQUIRED/#IMPLIED/#FIXED/default defaults.
+
+// AttType is a declared attribute's type.
+type AttType int
+
+// Attribute types.
+const (
+	AttCDATA AttType = iota
+	AttID
+	AttIDRef
+	AttNMToken
+	AttNMTokens
+	AttEnum
+)
+
+// AttDefault is a declared attribute's default kind.
+type AttDefault int
+
+// Attribute default kinds.
+const (
+	DefImplied  AttDefault = iota // #IMPLIED: optional
+	DefRequired                   // #REQUIRED: must be present
+	DefFixed                      // #FIXED "v": must equal v if present
+	DefValue                      // "v": optional with default
+)
+
+// AttDecl is one attribute declaration.
+type AttDecl struct {
+	Element string
+	Name    string
+	Type    AttType
+	Enum    []string // AttEnum only
+	Default AttDefault
+	Value   string // DefFixed/DefValue
+}
+
+// parseAttlists extracts <!ATTLIST> declarations from a DOCTYPE body and
+// attaches them to the DTD.
+func (d *DTD) parseAttlists(body string) error {
+	for {
+		i := strings.Index(body, "<!ATTLIST")
+		if i < 0 {
+			return nil
+		}
+		body = body[i+len("<!ATTLIST"):]
+		end := strings.IndexByte(body, '>')
+		if end < 0 {
+			return fmt.Errorf("%w: unterminated <!ATTLIST", ErrSyntax)
+		}
+		if err := d.parseAttlist(strings.TrimSpace(body[:end])); err != nil {
+			return err
+		}
+		body = body[end+1:]
+	}
+}
+
+// parseAttlist parses "element (name type default)*".
+func (d *DTD) parseAttlist(s string) error {
+	fields := tokenizeAttlist(s)
+	if len(fields) == 0 {
+		return fmt.Errorf("%w: empty <!ATTLIST", ErrSyntax)
+	}
+	element := fields[0]
+	rest := fields[1:]
+	for len(rest) > 0 {
+		if len(rest) < 3 {
+			return fmt.Errorf("%w: truncated attribute declaration for %s", ErrSyntax, element)
+		}
+		decl := AttDecl{Element: element, Name: rest[0]}
+		typ := rest[1]
+		rest = rest[2:]
+		switch {
+		case typ == "CDATA":
+			decl.Type = AttCDATA
+		case typ == "ID":
+			decl.Type = AttID
+		case typ == "IDREF" || typ == "IDREFS":
+			decl.Type = AttIDRef
+		case typ == "NMTOKEN":
+			decl.Type = AttNMToken
+		case typ == "NMTOKENS":
+			decl.Type = AttNMTokens
+		case strings.HasPrefix(typ, "("):
+			decl.Type = AttEnum
+			inner := strings.Trim(typ, "()")
+			for _, v := range strings.Split(inner, "|") {
+				v = strings.TrimSpace(v)
+				if v == "" {
+					return fmt.Errorf("%w: empty enumeration value for %s/%s", ErrSyntax, element, decl.Name)
+				}
+				decl.Enum = append(decl.Enum, v)
+			}
+		default:
+			return fmt.Errorf("%w: attribute type %q for %s/%s", ErrSyntax, typ, element, decl.Name)
+		}
+		// Default.
+		if len(rest) == 0 {
+			return fmt.Errorf("%w: missing default for %s/%s", ErrSyntax, element, decl.Name)
+		}
+		switch def := rest[0]; {
+		case def == "#REQUIRED":
+			decl.Default = DefRequired
+			rest = rest[1:]
+		case def == "#IMPLIED":
+			decl.Default = DefImplied
+			rest = rest[1:]
+		case def == "#FIXED":
+			if len(rest) < 2 || !isQuoted(rest[1]) {
+				return fmt.Errorf("%w: #FIXED without value for %s/%s", ErrSyntax, element, decl.Name)
+			}
+			decl.Default = DefFixed
+			decl.Value = unquote(rest[1])
+			rest = rest[2:]
+		case isQuoted(def):
+			decl.Default = DefValue
+			decl.Value = unquote(def)
+			rest = rest[1:]
+		default:
+			return fmt.Errorf("%w: bad default %q for %s/%s", ErrSyntax, def, element, decl.Name)
+		}
+		d.Attributes = append(d.Attributes, decl)
+	}
+	return nil
+}
+
+// tokenizeAttlist splits an ATTLIST body into fields, keeping quoted
+// strings and parenthesized enumerations intact.
+func tokenizeAttlist(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		start := i
+		switch s[i] {
+		case '"', '\'':
+			q := s[i]
+			i++
+			for i < len(s) && s[i] != q {
+				i++
+			}
+			i++ // past closing quote
+		case '(':
+			for i < len(s) && s[i] != ')' {
+				i++
+			}
+			i++ // past )
+		default:
+			for i < len(s) && !isSpace(s[i]) {
+				i++
+			}
+		}
+		if i > len(s) {
+			i = len(s)
+		}
+		out = append(out, s[start:i])
+	}
+	return out
+}
+
+func isQuoted(s string) bool {
+	return len(s) >= 2 && (s[0] == '"' || s[0] == '\'') && s[len(s)-1] == s[0]
+}
+
+func unquote(s string) string { return s[1 : len(s)-1] }
+
+// validateAttrs checks one element's attributes against the declarations.
+func (d *DTD) validateAttrs(n *xmlkit.Node, path string, out *[]Violation) {
+	var decls []AttDecl
+	for _, a := range d.Attributes {
+		if a.Element == n.Name {
+			decls = append(decls, a)
+		}
+	}
+	if len(decls) == 0 {
+		return
+	}
+	byName := make(map[string]AttDecl, len(decls))
+	for _, a := range decls {
+		byName[a.Name] = a
+	}
+	for _, got := range n.Attrs {
+		decl, ok := byName[got.Name]
+		if !ok {
+			*out = append(*out, Violation{Path: path, Element: n.Name,
+				Msg: fmt.Sprintf("attribute %q not declared", got.Name)})
+			continue
+		}
+		switch decl.Type {
+		case AttEnum:
+			found := false
+			for _, v := range decl.Enum {
+				if got.Value == v {
+					found = true
+				}
+			}
+			if !found {
+				*out = append(*out, Violation{Path: path, Element: n.Name,
+					Msg: fmt.Sprintf("attribute %q value %q not in (%s)",
+						got.Name, got.Value, strings.Join(decl.Enum, "|"))})
+			}
+		case AttNMToken:
+			if strings.ContainsAny(got.Value, " \t\r\n") || got.Value == "" {
+				*out = append(*out, Violation{Path: path, Element: n.Name,
+					Msg: fmt.Sprintf("attribute %q is not a single NMTOKEN", got.Name)})
+			}
+		}
+		if decl.Default == DefFixed && got.Value != decl.Value {
+			*out = append(*out, Violation{Path: path, Element: n.Name,
+				Msg: fmt.Sprintf("attribute %q is #FIXED %q but has %q", got.Name, decl.Value, got.Value)})
+		}
+	}
+	for _, decl := range decls {
+		if decl.Default != DefRequired {
+			continue
+		}
+		if _, ok := n.Attr(decl.Name); !ok {
+			*out = append(*out, Violation{Path: path, Element: n.Name,
+				Msg: fmt.Sprintf("required attribute %q missing", decl.Name)})
+		}
+	}
+}

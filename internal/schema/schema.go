@@ -1,0 +1,376 @@
+// Package schema implements the NATIX schema manager's DTD handling
+// (paper §2.1: the schema manager "maintains the system catalog data
+// needed by the document manager, which includes the Document Type
+// Definitions (logical XML schema information)"; the document manager
+// "checks schema consistency, called document validation in the XML
+// world").
+//
+// It parses the element declarations of a DOCTYPE internal subset into
+// content models and validates documents against them. Content models
+// cover the DTD language: EMPTY, ANY, (#PCDATA), mixed content
+// (#PCDATA|a|b)*, and children models built from sequences, choices and
+// the ?, *, + occurrence operators.
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ContentType classifies an element declaration.
+type ContentType int
+
+// Content types.
+const (
+	ContentEmpty    ContentType = iota // EMPTY
+	ContentAny                         // ANY
+	ContentMixed                       // (#PCDATA | a | b)* or (#PCDATA)
+	ContentChildren                    // a children model
+)
+
+// Occurs is an occurrence indicator on a particle.
+type Occurs int
+
+// Occurrence indicators.
+const (
+	One  Occurs = iota // exactly once
+	Opt                // ?
+	Star               // *
+	Plus               // +
+)
+
+func (o Occurs) String() string {
+	switch o {
+	case Opt:
+		return "?"
+	case Star:
+		return "*"
+	case Plus:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// ParticleKind discriminates content-model nodes.
+type ParticleKind int
+
+// Particle kinds.
+const (
+	PName   ParticleKind = iota // an element name
+	PSeq                        // (a, b, c)
+	PChoice                     // (a | b | c)
+)
+
+// Particle is one node of a children content model.
+type Particle struct {
+	Kind     ParticleKind
+	Name     string      // PName only
+	Children []*Particle // PSeq/PChoice
+	Occurs   Occurs
+}
+
+// String renders the particle in DTD syntax.
+func (p *Particle) String() string {
+	var body string
+	switch p.Kind {
+	case PName:
+		body = p.Name
+	case PSeq, PChoice:
+		sep := ", "
+		if p.Kind == PChoice {
+			sep = " | "
+		}
+		parts := make([]string, len(p.Children))
+		for i, c := range p.Children {
+			parts[i] = c.String()
+		}
+		body = "(" + strings.Join(parts, sep) + ")"
+	}
+	return body + p.Occurs.String()
+}
+
+// ElementDecl is one <!ELEMENT> declaration.
+type ElementDecl struct {
+	Name    string
+	Content ContentType
+	Model   *Particle // children models only
+	Mixed   []string  // allowed child names in mixed content
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	Name       string // the doctype name (root element)
+	Elements   map[string]*ElementDecl
+	Order      []string // declaration order
+	Attributes []AttDecl
+}
+
+// ErrSyntax reports a malformed declaration.
+var ErrSyntax = errors.New("schema: DTD syntax error")
+
+// ParseDTD parses the body of a DOCTYPE declaration (the text after
+// "<!DOCTYPE": the root name followed by an optional internal subset).
+// Element and attribute-list declarations are parsed; other markup
+// declarations (entities, notations) are skipped.
+func ParseDTD(body string) (*DTD, error) {
+	body = strings.TrimSpace(body)
+	name := body
+	if i := strings.IndexAny(body, " \t\r\n["); i >= 0 {
+		name = body[:i]
+	}
+	if name == "" {
+		return nil, fmt.Errorf("%w: missing doctype name", ErrSyntax)
+	}
+	dtd := &DTD{Name: name, Elements: make(map[string]*ElementDecl)}
+	if err := dtd.parseAttlists(body); err != nil {
+		return nil, err
+	}
+	subset := body
+	for {
+		i := strings.Index(subset, "<!ELEMENT")
+		if i < 0 {
+			return dtd, nil
+		}
+		subset = subset[i+len("<!ELEMENT"):]
+		end := strings.IndexByte(subset, '>')
+		if end < 0 {
+			return nil, fmt.Errorf("%w: unterminated <!ELEMENT", ErrSyntax)
+		}
+		decl, err := parseElementDecl(strings.TrimSpace(subset[:end]))
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := dtd.Elements[decl.Name]; !dup {
+			dtd.Elements[decl.Name] = decl
+			dtd.Order = append(dtd.Order, decl.Name)
+		}
+		subset = subset[end+1:]
+	}
+}
+
+// parseElementDecl parses "name contentspec".
+func parseElementDecl(s string) (*ElementDecl, error) {
+	i := 0
+	for i < len(s) && !isSpace(s[i]) {
+		i++
+	}
+	name := s[:i]
+	if name == "" {
+		return nil, fmt.Errorf("%w: element declaration without a name", ErrSyntax)
+	}
+	spec := strings.TrimSpace(s[i:])
+	decl := &ElementDecl{Name: name}
+	switch {
+	case spec == "EMPTY":
+		decl.Content = ContentEmpty
+	case spec == "ANY":
+		decl.Content = ContentAny
+	case strings.HasPrefix(spec, "(") && strings.Contains(firstGroup(spec), "#PCDATA"):
+		names, err := parseMixed(spec)
+		if err != nil {
+			return nil, fmt.Errorf("element %s: %w", name, err)
+		}
+		decl.Content = ContentMixed
+		decl.Mixed = names
+	case strings.HasPrefix(spec, "("):
+		p := &particleParser{src: spec}
+		model, err := p.parse()
+		if err != nil {
+			return nil, fmt.Errorf("element %s: %w", name, err)
+		}
+		decl.Content = ContentChildren
+		decl.Model = model
+	default:
+		return nil, fmt.Errorf("%w: element %s: bad content spec %q", ErrSyntax, name, spec)
+	}
+	return decl, nil
+}
+
+// firstGroup returns the text of the first parenthesized group.
+func firstGroup(s string) string {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return s[:i+1]
+			}
+		}
+	}
+	return s
+}
+
+// parseMixed parses (#PCDATA) or (#PCDATA | a | b)*.
+func parseMixed(spec string) ([]string, error) {
+	group := firstGroup(spec)
+	rest := strings.TrimSpace(spec[len(group):])
+	inner := strings.TrimSpace(group[1 : len(group)-1])
+	parts := strings.Split(inner, "|")
+	if strings.TrimSpace(parts[0]) != "#PCDATA" {
+		return nil, fmt.Errorf("%w: mixed content must start with #PCDATA", ErrSyntax)
+	}
+	var names []string
+	for _, p := range parts[1:] {
+		n := strings.TrimSpace(p)
+		if n == "" {
+			return nil, fmt.Errorf("%w: empty name in mixed content", ErrSyntax)
+		}
+		names = append(names, n)
+	}
+	if len(names) > 0 && rest != "*" {
+		return nil, fmt.Errorf("%w: mixed content with names requires trailing *", ErrSyntax)
+	}
+	if len(names) == 0 && rest != "" && rest != "*" {
+		return nil, fmt.Errorf("%w: trailing %q after (#PCDATA)", ErrSyntax, rest)
+	}
+	return names, nil
+}
+
+// particleParser is a recursive-descent parser for children models.
+type particleParser struct {
+	src string
+	pos int
+}
+
+func (p *particleParser) parse() (*Particle, error) {
+	part, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("%w: trailing %q", ErrSyntax, p.src[p.pos:])
+	}
+	return part, nil
+}
+
+func (p *particleParser) skipSpace() {
+	for p.pos < len(p.src) && isSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+// group parses "(" cp ( ("," cp)* | ("|" cp)* ) ")" occurs?
+func (p *particleParser) group() (*Particle, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil, fmt.Errorf("%w: expected ( at offset %d", ErrSyntax, p.pos)
+	}
+	p.pos++
+	first, err := p.cp()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Particle{first}
+	kind := PSeq
+	var sep byte
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("%w: unterminated group", ErrSyntax)
+		}
+		c := p.src[p.pos]
+		if c == ')' {
+			p.pos++
+			break
+		}
+		if c != ',' && c != '|' {
+			return nil, fmt.Errorf("%w: expected , | or ) at offset %d", ErrSyntax, p.pos)
+		}
+		if sep == 0 {
+			sep = c
+			if c == '|' {
+				kind = PChoice
+			}
+		} else if c != sep {
+			return nil, fmt.Errorf("%w: mixed , and | in one group", ErrSyntax)
+		}
+		p.pos++
+		next, err := p.cp()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	part := &Particle{Kind: kind, Children: kids}
+	if len(kids) == 1 {
+		// A single-child group is just its child with merged occurrence.
+		part = kids[0]
+	}
+	part.Occurs = p.occurs(part.Occurs)
+	return part, nil
+}
+
+// cp parses a content particle: name or group, with occurrence.
+func (p *particleParser) cp() (*Particle, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		return p.group()
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	if name == "" {
+		return nil, fmt.Errorf("%w: expected name at offset %d", ErrSyntax, p.pos)
+	}
+	part := &Particle{Kind: PName, Name: name}
+	part.Occurs = p.occurs(One)
+	return part, nil
+}
+
+// occurs parses an optional ?, * or +. A nested occurrence combines
+// conservatively (e.g. (a+)? behaves like a*).
+func (p *particleParser) occurs(existing Occurs) Occurs {
+	if p.pos >= len(p.src) {
+		return existing
+	}
+	var parsed Occurs
+	switch p.src[p.pos] {
+	case '?':
+		parsed = Opt
+	case '*':
+		parsed = Star
+	case '+':
+		parsed = Plus
+	default:
+		return existing
+	}
+	p.pos++
+	return combineOccurs(existing, parsed)
+}
+
+func combineOccurs(a, b Occurs) Occurs {
+	if a == One {
+		return b
+	}
+	if b == One {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return Star // any disagreement widens to zero-or-more
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\r' || b == '\n'
+}
+
+func isNameByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '-', b == '_', b == '.', b == ':':
+		return true
+	case b >= 0x80:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,320 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"natix/internal/xmlkit"
+)
+
+const playDTD = `PLAY [
+  <!ELEMENT PLAY (TITLE, PERSONAE?, ACT+)>
+  <!ELEMENT TITLE (#PCDATA)>
+  <!ELEMENT PERSONAE (TITLE, PERSONA+)>
+  <!ELEMENT PERSONA (#PCDATA)>
+  <!ELEMENT ACT (TITLE, SCENE+)>
+  <!ELEMENT SCENE (TITLE, (SPEECH | STAGEDIR)+)>
+  <!ELEMENT SPEECH (SPEAKER, LINE+)>
+  <!ELEMENT SPEAKER (#PCDATA)>
+  <!ELEMENT LINE (#PCDATA | STAGEDIR)*>
+  <!ELEMENT STAGEDIR (#PCDATA)>
+  <!ELEMENT MARKER EMPTY>
+  <!ELEMENT ANYBOX ANY>
+]`
+
+func parseDTD(t *testing.T) *DTD {
+	t.Helper()
+	d, err := ParseDTD(playDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseDTDDeclarations(t *testing.T) {
+	d := parseDTD(t)
+	if d.Name != "PLAY" {
+		t.Fatalf("name = %q", d.Name)
+	}
+	if len(d.Order) != 12 {
+		t.Fatalf("declarations = %d (%v)", len(d.Order), d.Order)
+	}
+	if d.Elements["MARKER"].Content != ContentEmpty {
+		t.Fatal("MARKER not EMPTY")
+	}
+	if d.Elements["ANYBOX"].Content != ContentAny {
+		t.Fatal("ANYBOX not ANY")
+	}
+	if d.Elements["TITLE"].Content != ContentMixed || len(d.Elements["TITLE"].Mixed) != 0 {
+		t.Fatal("TITLE not (#PCDATA)")
+	}
+	line := d.Elements["LINE"]
+	if line.Content != ContentMixed || len(line.Mixed) != 1 || line.Mixed[0] != "STAGEDIR" {
+		t.Fatalf("LINE mixed = %+v", line)
+	}
+	play := d.Elements["PLAY"]
+	if play.Content != ContentChildren {
+		t.Fatal("PLAY not children content")
+	}
+	if got := play.Model.String(); got != "(TITLE, PERSONAE?, ACT+)" {
+		t.Fatalf("PLAY model = %s", got)
+	}
+	scene := d.Elements["SCENE"].Model
+	if got := scene.String(); got != "(TITLE, (SPEECH | STAGEDIR)+)" {
+		t.Fatalf("SCENE model = %s", got)
+	}
+}
+
+func TestParseDTDErrors(t *testing.T) {
+	bad := []string{
+		`X [ <!ELEMENT A (B,|C)> ]`,
+		`X [ <!ELEMENT A (B|C,D)> ]`,
+		`X [ <!ELEMENT A (B C)> ]`,
+		`X [ <!ELEMENT A WHAT> ]`,
+		`X [ <!ELEMENT A (#PCDATA|B)> ]`, // needs trailing *
+		`X [ <!ELEMENT A (B> ]`,
+		`X [ <!ELEMENT A ()> ]`,
+	}
+	for _, src := range bad {
+		if _, err := ParseDTD(src); err == nil {
+			t.Errorf("ParseDTD(%q) succeeded", src)
+		}
+	}
+	if _, err := ParseDTD(""); err == nil {
+		t.Error("empty DTD accepted")
+	}
+}
+
+func TestContentModelMatching(t *testing.T) {
+	cases := []struct {
+		model string
+		seq   []string
+		want  bool
+	}{
+		{"(A)", []string{"A"}, true},
+		{"(A)", []string{}, false},
+		{"(A)", []string{"A", "A"}, false},
+		{"(A?)", []string{}, true},
+		{"(A*)", []string{"A", "A", "A"}, true},
+		{"(A+)", []string{}, false},
+		{"(A+)", []string{"A", "A"}, true},
+		{"(A, B)", []string{"A", "B"}, true},
+		{"(A, B)", []string{"B", "A"}, false},
+		{"(A | B)", []string{"B"}, true},
+		{"(A | B)", []string{"C"}, false},
+		{"(A, (B | C)+, D?)", []string{"A", "B", "C", "B"}, true},
+		{"(A, (B | C)+, D?)", []string{"A", "D"}, false},
+		{"(A, (B | C)+, D?)", []string{"A", "C", "D"}, true},
+		{"((A, B) | (A, C))", []string{"A", "C"}, true}, // non-deterministic
+		{"((A, B) | (A, C))", []string{"A"}, false},
+		{"((A?)*)", []string{"A", "A"}, true},
+		{"(A, B*, A)", []string{"A", "A"}, true},
+		{"(A, B*, A)", []string{"A", "B", "B", "A"}, true},
+	}
+	for _, c := range cases {
+		p := &particleParser{src: c.model}
+		model, err := p.parse()
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.model, err)
+		}
+		if got := matches(model, c.seq); got != c.want {
+			t.Errorf("matches(%s, %v) = %v, want %v", c.model, c.seq, got, c.want)
+		}
+	}
+}
+
+func validDoc() string {
+	return `<PLAY><TITLE>T</TITLE>
+<ACT><TITLE>A1</TITLE>
+<SCENE><TITLE>S1</TITLE>
+<STAGEDIR>Enter all</STAGEDIR>
+<SPEECH><SPEAKER>X</SPEAKER><LINE>hello <STAGEDIR>aside</STAGEDIR> there</LINE></SPEECH>
+</SCENE>
+</ACT>
+</PLAY>`
+}
+
+func TestValidateAccepts(t *testing.T) {
+	d := parseDTD(t)
+	doc, err := xmlkit.ParseString(validDoc(), xmlkit.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Validate(doc.Root); len(v) != 0 {
+		t.Fatalf("valid document rejected: %v", v)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	d := parseDTD(t)
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of some violation
+	}{
+		{"wrong root", `<ACT><TITLE>x</TITLE><SCENE><TITLE>s</TITLE><STAGEDIR>d</STAGEDIR></SCENE></ACT>`, "root element"},
+		{"missing title", `<PLAY><ACT><TITLE>a</TITLE><SCENE><TITLE>s</TITLE><STAGEDIR>d</STAGEDIR></SCENE></ACT></PLAY>`, "do not match model"},
+		{"speech without line", `<PLAY><TITLE>t</TITLE><ACT><TITLE>a</TITLE><SCENE><TITLE>s</TITLE><SPEECH><SPEAKER>x</SPEAKER></SPEECH></SCENE></ACT></PLAY>`, "do not match model"},
+		{"undeclared element", `<PLAY><TITLE>t</TITLE><ACT><TITLE>a</TITLE><SCENE><TITLE>s</TITLE><STAGEDIR>d</STAGEDIR><FOO/></SCENE></ACT></PLAY>`, "not declared"},
+		{"text in element content", `<PLAY><TITLE>t</TITLE>stray text<ACT><TITLE>a</TITLE><SCENE><TITLE>s</TITLE><STAGEDIR>d</STAGEDIR></SCENE></ACT></PLAY>`, "character data"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			doc, err := xmlkit.ParseString(c.doc, xmlkit.ParseOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs := d.Validate(doc.Root)
+			if len(vs) == 0 {
+				t.Fatal("invalid document accepted")
+			}
+			found := false
+			for _, v := range vs {
+				if strings.Contains(v.Error(), c.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no violation mentions %q: %v", c.want, vs)
+			}
+		})
+	}
+}
+
+func TestValidateEmptyAndMixed(t *testing.T) {
+	d, err := ParseDTD(`R [
+	  <!ELEMENT R (M?, X*)>
+	  <!ELEMENT M EMPTY>
+	  <!ELEMENT X (#PCDATA | M)*>
+	]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := xmlkit.ParseString(`<R><M/><X>text <M/> more</X><X/></R>`, xmlkit.ParseOptions{})
+	if v := d.Validate(ok.Root); len(v) != 0 {
+		t.Fatalf("valid doc rejected: %v", v)
+	}
+	// EMPTY element with content.
+	bad, _ := xmlkit.ParseString(`<R><M>oops</M></R>`, xmlkit.ParseOptions{})
+	if v := d.Validate(bad.Root); len(v) == 0 {
+		t.Fatal("EMPTY with content accepted")
+	}
+	// Mixed content with a disallowed child.
+	bad2, _ := xmlkit.ParseString(`<R><X><R/></X></R>`, xmlkit.ParseOptions{})
+	if v := d.Validate(bad2.Root); len(v) == 0 {
+		t.Fatal("disallowed mixed child accepted")
+	}
+}
+
+// TestValidateCorpusDTD: the corpus generator's documents validate
+// against the Shakespeare-style DTD.
+func TestValidateWholeFromDoctype(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<!DOCTYPE PLAY [
+  <!ELEMENT PLAY (TITLE, ACT+)>
+  <!ELEMENT TITLE (#PCDATA)>
+  <!ELEMENT ACT (TITLE, SCENE+)>
+  <!ELEMENT SCENE (TITLE, SPEECH+)>
+  <!ELEMENT SPEECH (SPEAKER, LINE+)>
+  <!ELEMENT SPEAKER (#PCDATA)>
+  <!ELEMENT LINE (#PCDATA)>
+]>
+<PLAY><TITLE>t</TITLE><ACT><TITLE>a</TITLE><SCENE><TITLE>s</TITLE>
+<SPEECH><SPEAKER>HAMLET</SPEAKER><LINE>words</LINE></SPEECH></SCENE></ACT></PLAY>`
+	doc, err := xmlkit.ParseString(src, xmlkit.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.DoctypeRaw == "" {
+		t.Fatal("parser did not capture the doctype body")
+	}
+	d, err := ParseDTD(doc.DoctypeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Validate(doc.Root); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+const attDTD = `R [
+  <!ELEMENT R (E*)>
+  <!ELEMENT E (#PCDATA)>
+  <!ATTLIST R version CDATA #FIXED "1.0"
+              lang (en | de | fr) "en">
+  <!ATTLIST E id ID #REQUIRED
+              kind NMTOKEN #IMPLIED>
+]`
+
+func TestAttlistParsing(t *testing.T) {
+	d, err := ParseDTD(attDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Attributes) != 4 {
+		t.Fatalf("attributes = %d (%+v)", len(d.Attributes), d.Attributes)
+	}
+	version := d.Attributes[0]
+	if version.Element != "R" || version.Name != "version" ||
+		version.Default != DefFixed || version.Value != "1.0" {
+		t.Fatalf("version decl = %+v", version)
+	}
+	lang := d.Attributes[1]
+	if lang.Type != AttEnum || len(lang.Enum) != 3 || lang.Enum[1] != "de" ||
+		lang.Default != DefValue || lang.Value != "en" {
+		t.Fatalf("lang decl = %+v", lang)
+	}
+	id := d.Attributes[2]
+	if id.Element != "E" || id.Type != AttID || id.Default != DefRequired {
+		t.Fatalf("id decl = %+v", id)
+	}
+}
+
+func TestAttlistValidation(t *testing.T) {
+	d, err := ParseDTD(attDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := xmlkit.ParseString(`<R version="1.0" lang="de"><E id="a" kind="x">t</E></R>`, xmlkit.ParseOptions{})
+	if v := d.Validate(ok.Root); len(v) != 0 {
+		t.Fatalf("valid attrs rejected: %v", v)
+	}
+	cases := []struct{ doc, want string }{
+		{`<R version="2.0"><E id="a">t</E></R>`, "#FIXED"},
+		{`<R lang="xx"><E id="a">t</E></R>`, "not in"},
+		{`<R><E>t</E></R>`, "required attribute"},
+		{`<R bogus="1"><E id="a">t</E></R>`, "not declared"},
+		{`<R><E id="a" kind="two words">t</E></R>`, "NMTOKEN"},
+	}
+	for _, c := range cases {
+		doc, err := xmlkit.ParseString(c.doc, xmlkit.ParseOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := d.Validate(doc.Root)
+		found := false
+		for _, v := range vs {
+			if strings.Contains(v.Error(), c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no violation mentioning %q in %v", c.doc, c.want, vs)
+		}
+	}
+}
+
+func TestAttlistErrors(t *testing.T) {
+	bad := []string{
+		`X [ <!ATTLIST E a WEIRD #IMPLIED> ]`,
+		`X [ <!ATTLIST E a CDATA> ]`,
+		`X [ <!ATTLIST E a CDATA #FIXED> ]`,
+		`X [ <!ATTLIST E a () #IMPLIED> ]`,
+		`X [ <!ATTLIST E a CDATA nodefault> ]`,
+	}
+	for _, src := range bad {
+		if _, err := ParseDTD(src); err == nil {
+			t.Errorf("ParseDTD(%q) succeeded", src)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"natix/internal/xmlkit"
+)
+
+// Violation is one validation failure, with the path of the offending
+// element.
+type Violation struct {
+	Path    string
+	Element string
+	Msg     string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("%s <%s>: %s", v.Path, v.Element, v.Msg)
+}
+
+// Validate checks a document tree against the DTD ("document validation
+// in the XML world", paper §2.1) and returns all violations found.
+// Elements without a declaration are reported once per occurrence.
+func (d *DTD) Validate(root *xmlkit.Node) []Violation {
+	var out []Violation
+	if root.Name != d.Name {
+		out = append(out, Violation{
+			Path: "/", Element: root.Name,
+			Msg: fmt.Sprintf("root element is <%s>, DTD declares <%s>", root.Name, d.Name),
+		})
+	}
+	d.validateElement(root, "/"+root.Name, &out)
+	return out
+}
+
+func (d *DTD) validateElement(n *xmlkit.Node, path string, out *[]Violation) {
+	decl, ok := d.Elements[n.Name]
+	if !ok {
+		*out = append(*out, Violation{Path: path, Element: n.Name, Msg: "element not declared"})
+	} else {
+		d.checkContent(decl, n, path, out)
+	}
+	d.validateAttrs(n, path, out)
+	childCounts := map[string]int{}
+	for _, c := range n.Children {
+		if c.IsText() {
+			continue
+		}
+		childCounts[c.Name]++
+		d.validateElement(c, fmt.Sprintf("%s/%s[%d]", path, c.Name, childCounts[c.Name]), out)
+	}
+}
+
+// checkContent verifies one element's children against its declaration.
+func (d *DTD) checkContent(decl *ElementDecl, n *xmlkit.Node, path string, out *[]Violation) {
+	switch decl.Content {
+	case ContentAny:
+		return
+	case ContentEmpty:
+		if len(n.Children) > 0 {
+			*out = append(*out, Violation{Path: path, Element: n.Name,
+				Msg: fmt.Sprintf("declared EMPTY but has %d children", len(n.Children))})
+		}
+	case ContentMixed:
+		allowed := map[string]bool{}
+		for _, m := range decl.Mixed {
+			allowed[m] = true
+		}
+		for _, c := range n.Children {
+			if c.IsText() {
+				continue
+			}
+			if !allowed[c.Name] {
+				*out = append(*out, Violation{Path: path, Element: n.Name,
+					Msg: fmt.Sprintf("child <%s> not allowed in mixed content", c.Name)})
+			}
+		}
+	case ContentChildren:
+		var names []string
+		for _, c := range n.Children {
+			if c.IsText() {
+				if strings.TrimSpace(c.Text) != "" {
+					*out = append(*out, Violation{Path: path, Element: n.Name,
+						Msg: "character data not allowed in element content"})
+				}
+				continue
+			}
+			names = append(names, c.Name)
+		}
+		if !matches(decl.Model, names) {
+			*out = append(*out, Violation{Path: path, Element: n.Name,
+				Msg: fmt.Sprintf("children (%s) do not match model %s",
+					strings.Join(names, ", "), decl.Model)})
+		}
+	}
+}
+
+// matches reports whether the name sequence matches the content model.
+// It uses a position-set simulation (Thompson-style), which handles
+// non-deterministic models without exponential backtracking.
+func matches(model *Particle, names []string) bool {
+	set := matchPart(model, map[int]bool{0: true}, names)
+	return set[len(names)]
+}
+
+// matchPart returns every index j such that names[i:j] matches p for
+// some i in the input set.
+func matchPart(p *Particle, set map[int]bool, names []string) map[int]bool {
+	if len(set) == 0 {
+		return set
+	}
+	one := func(in map[int]bool) map[int]bool {
+		switch p.Kind {
+		case PName:
+			out := map[int]bool{}
+			for i := range in {
+				if i < len(names) && names[i] == p.Name {
+					out[i+1] = true
+				}
+			}
+			return out
+		case PSeq:
+			cur := in
+			for _, c := range p.Children {
+				cur = matchPart(c, cur, names)
+				if len(cur) == 0 {
+					break
+				}
+			}
+			return cur
+		case PChoice:
+			out := map[int]bool{}
+			for _, c := range p.Children {
+				for j := range matchPart(c, in, names) {
+					out[j] = true
+				}
+			}
+			return out
+		}
+		return nil
+	}
+
+	switch p.Occurs {
+	case One:
+		return one(set)
+	case Opt:
+		out := map[int]bool{}
+		for i := range set {
+			out[i] = true
+		}
+		for j := range one(set) {
+			out[j] = true
+		}
+		return out
+	case Plus, Star:
+		out := map[int]bool{}
+		if p.Occurs == Star {
+			for i := range set {
+				out[i] = true
+			}
+		}
+		cur := set
+		for {
+			cur = one(cur)
+			grew := false
+			for j := range cur {
+				if !out[j] {
+					out[j] = true
+					grew = true
+				}
+			}
+			if !grew || len(cur) == 0 {
+				break
+			}
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,408 @@
+// Package segment manages a linear collection of equal-sized pages on a
+// device ("a memory space divided into segments, which are a linear
+// collection of equal-sized pages", paper §2.1) together with a free-space
+// inventory (FSI).
+//
+// Layout: page 0 is the segment header (format version, page size, and a
+// small table of root pointers used by upper layers for the catalog and
+// dictionary). FSI pages are interleaved at fixed intervals: each FSI page
+// holds one byte of encoded free space for each of the K pages that follow
+// it, so the record manager can find a page with enough room for a record
+// without touching data pages. All remaining pages are slotted record
+// pages, formatted on allocation.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"natix/internal/buffer"
+	"natix/internal/pagedev"
+	"natix/internal/pageformat"
+)
+
+// NumRoots is the number of 8-byte root pointers stored in the header.
+type rootSlot = int
+
+// Root pointer slots reserved in the segment header.
+const (
+	RootCatalog = 0 // document catalog (package docstore)
+	RootDict    = 1 // label dictionary (package dict)
+	RootSpare2  = 2
+	RootSpare3  = 3
+	NumRoots    = 4
+)
+
+// Header page layout (after the 8-byte common header).
+const (
+	offVersion  = 8
+	offPageSize = 12
+	offRoots    = 16
+
+	formatVersion = 1
+)
+
+// maxScanGroups bounds how many free-space-inventory groups FindSpace
+// examines per allocation, and lookBehindPages is how far behind the
+// hint page the scan starts.
+const (
+	maxScanGroups   = 4
+	lookBehindPages = 32
+)
+
+// Errors.
+var (
+	ErrBadHeader   = errors.New("segment: invalid segment header")
+	ErrBadPageSize = errors.New("segment: page size mismatch")
+	ErrNotDataPage = errors.New("segment: not a data page")
+)
+
+// Segment provides page allocation and free-space lookup over a buffer
+// pool. It is not safe for concurrent use; the store serializes access.
+type Segment struct {
+	pool     *buffer.Pool
+	pageSize int
+	fsiCap   int // pages covered per FSI page
+}
+
+// fsiCapacity returns how many page entries fit on one FSI page.
+func fsiCapacity(pageSize int) int {
+	return pageSize - pageformat.CommonHeaderSize
+}
+
+// encScale returns the byte granularity of one FSI unit for a page size.
+func encScale(pageSize int) int {
+	return (pageSize + 254) / 255
+}
+
+// maxFree is the free-byte count of a completely empty slotted page.
+func maxFree(pageSize int) int {
+	return pageformat.MaxCellSize(pageSize) + pageformat.SlotOverhead
+}
+
+// encodeFree conservatively encodes freeBytes into a single byte
+// (rounding down, so the decoded value never overstates free space).
+// The value 255 is reserved for "entirely empty": without it, rounding
+// would make empty pages look a few bytes too small for max-size records
+// and they could never be reused.
+func encodeFree(freeBytes, pageSize int) byte {
+	if freeBytes >= maxFree(pageSize) {
+		return 255
+	}
+	v := freeBytes / encScale(pageSize)
+	if v > 254 {
+		v = 254
+	}
+	if v < 0 {
+		v = 0
+	}
+	return byte(v)
+}
+
+// decodeFree returns the lower bound on free bytes for an encoded entry.
+func decodeFree(enc byte, pageSize int) int {
+	if enc == 255 {
+		return maxFree(pageSize)
+	}
+	return int(enc) * encScale(pageSize)
+}
+
+// Create formats a fresh segment (header page) over the pool's device.
+// The device must be empty.
+func Create(pool *buffer.Pool) (*Segment, error) {
+	dev := pool.Device()
+	if dev.NumPages() != 0 {
+		return nil, errors.New("segment: Create on non-empty device")
+	}
+	if err := dev.Grow(1); err != nil {
+		return nil, err
+	}
+	f, err := pool.GetNew(0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Release()
+	b := f.Data()
+	pageformat.InitCommon(b, pageformat.TypeHeader)
+	binary.LittleEndian.PutUint32(b[offVersion:], formatVersion)
+	binary.LittleEndian.PutUint32(b[offPageSize:], uint32(dev.PageSize()))
+	for i := 0; i < NumRoots; i++ {
+		binary.LittleEndian.PutUint64(b[offRoots+8*i:], 0)
+	}
+	f.MarkDirty()
+	return &Segment{pool: pool, pageSize: dev.PageSize(), fsiCap: fsiCapacity(dev.PageSize())}, nil
+}
+
+// Open attaches to an existing segment, validating its header.
+func Open(pool *buffer.Pool) (*Segment, error) {
+	dev := pool.Device()
+	if dev.NumPages() == 0 {
+		return nil, fmt.Errorf("%w: empty device", ErrBadHeader)
+	}
+	f, err := pool.Get(0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Release()
+	b := f.Data()
+	if pageformat.TypeOf(b) != pageformat.TypeHeader {
+		return nil, ErrBadHeader
+	}
+	if v := binary.LittleEndian.Uint32(b[offVersion:]); v != formatVersion {
+		return nil, fmt.Errorf("%w: format version %d", ErrBadHeader, v)
+	}
+	if ps := int(binary.LittleEndian.Uint32(b[offPageSize:])); ps != dev.PageSize() {
+		return nil, fmt.Errorf("%w: segment %d, device %d", ErrBadPageSize, ps, dev.PageSize())
+	}
+	return &Segment{pool: pool, pageSize: dev.PageSize(), fsiCap: fsiCapacity(dev.PageSize())}, nil
+}
+
+// PageSize returns the segment's page size.
+func (s *Segment) PageSize() int { return s.pageSize }
+
+// Pool returns the buffer pool the segment operates on.
+func (s *Segment) Pool() *buffer.Pool { return s.pool }
+
+// MaxRecordSize returns the largest record storable on one page — the
+// "net page capacity" that triggers record splits in the tree manager.
+func (s *Segment) MaxRecordSize() int { return pageformat.MaxCellSize(s.pageSize) }
+
+// RootRID returns the raw 8-byte root pointer in the given header slot.
+func (s *Segment) RootRID(slot rootSlot) (uint64, error) {
+	if slot < 0 || slot >= NumRoots {
+		return 0, fmt.Errorf("segment: root slot %d out of range", slot)
+	}
+	f, err := s.pool.Get(0)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Release()
+	return binary.LittleEndian.Uint64(f.Data()[offRoots+8*slot:]), nil
+}
+
+// SetRootRID stores a raw 8-byte root pointer in the given header slot.
+func (s *Segment) SetRootRID(slot rootSlot, v uint64) error {
+	if slot < 0 || slot >= NumRoots {
+		return fmt.Errorf("segment: root slot %d out of range", slot)
+	}
+	f, err := s.pool.Get(0)
+	if err != nil {
+		return err
+	}
+	defer f.Release()
+	binary.LittleEndian.PutUint64(f.Data()[offRoots+8*slot:], v)
+	f.MarkDirty()
+	return nil
+}
+
+// IsFSIPage reports whether p is a free-space-inventory page.
+func (s *Segment) IsFSIPage(p pagedev.PageNo) bool {
+	if p == 0 {
+		return false
+	}
+	return (uint64(p)-1)%uint64(s.fsiCap+1) == 0
+}
+
+// IsDataPage reports whether p is a record page.
+func (s *Segment) IsDataPage(p pagedev.PageNo) bool {
+	return p != 0 && !s.IsFSIPage(p)
+}
+
+// fsiLocation returns the FSI page covering data page p and the entry
+// index of p within it.
+func (s *Segment) fsiLocation(p pagedev.PageNo) (fsiPage pagedev.PageNo, entry int, err error) {
+	if !s.IsDataPage(p) {
+		return 0, 0, fmt.Errorf("%w: page %d", ErrNotDataPage, p)
+	}
+	group := (uint64(p) - 1) / uint64(s.fsiCap+1)
+	fsiPage = pagedev.PageNo(1 + group*uint64(s.fsiCap+1))
+	entry = int(uint64(p) - uint64(fsiPage) - 1)
+	return fsiPage, entry, nil
+}
+
+// NotifyFree records the current free-byte count of data page p in the
+// inventory. The record manager calls this after every page mutation.
+func (s *Segment) NotifyFree(p pagedev.PageNo, freeBytes int) error {
+	fsiPage, entry, err := s.fsiLocation(p)
+	if err != nil {
+		return err
+	}
+	f, err := s.pool.Get(fsiPage)
+	if err != nil {
+		return err
+	}
+	defer f.Release()
+	enc := encodeFree(freeBytes, s.pageSize)
+	b := f.Data()
+	if b[pageformat.CommonHeaderSize+entry] != enc {
+		b[pageformat.CommonHeaderSize+entry] = enc
+		f.MarkDirty()
+	}
+	return nil
+}
+
+// FreeHint returns the inventory's lower bound on free bytes for page p.
+func (s *Segment) FreeHint(p pagedev.PageNo) (int, error) {
+	fsiPage, entry, err := s.fsiLocation(p)
+	if err != nil {
+		return 0, err
+	}
+	f, err := s.pool.Get(fsiPage)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Release()
+	return decodeFree(f.Data()[pageformat.CommonHeaderSize+entry], s.pageSize), nil
+}
+
+// FindSpace returns a data page with at least need free bytes, preferring
+// pages close to near ("store parent with children and sibling nodes on
+// the same page if possible", §4.2). If no existing page qualifies, a new
+// page is allocated and formatted. need must not exceed MaxRecordSize.
+func (s *Segment) FindSpace(need int, near pagedev.PageNo) (pagedev.PageNo, error) {
+	// A fresh page offers MaxRecordSize bytes of cell space plus one
+	// directory slot; anything beyond that can never be satisfied.
+	if need > s.MaxRecordSize()+pageformat.SlotOverhead {
+		return 0, fmt.Errorf("segment: need %d exceeds page capacity %d", need, s.MaxRecordSize()+pageformat.SlotOverhead)
+	}
+	numPages := s.pool.Device().NumPages()
+
+	// 1. The near page itself.
+	if near != 0 && s.IsDataPage(near) && near < numPages {
+		if free, err := s.FreeHint(near); err == nil && free >= need {
+			return near, nil
+		}
+	}
+
+	// 2. Scan the inventory forward from just behind the hint page.
+	// Scanning whole groups from their start would back-fill distant
+	// holes and scatter logically adjacent records across the disk;
+	// starting at the hint (with a small look-behind) keeps allocation
+	// marching forward so related records stay physically close ("store
+	// parent with children and sibling nodes on the same page if
+	// possible", §4.2), at the cost of leaving old distant holes to
+	// deletions that carry their own nearby hints.
+	groups := s.numGroups(numPages)
+	startGroup := uint64(0)
+	fromEntry := 0
+	if near != 0 && near < numPages && s.IsDataPage(near) {
+		startGroup = (uint64(near) - 1) / uint64(s.fsiCap+1)
+		groupFSI := pagedev.PageNo(1 + startGroup*uint64(s.fsiCap+1))
+		fromEntry = int(uint64(near)-uint64(groupFSI)-1) - lookBehindPages
+		if fromEntry < 0 {
+			fromEntry = 0
+		}
+	}
+	hi := startGroup + maxScanGroups
+	if hi > groups {
+		hi = groups
+	}
+	for g := startGroup; g < hi; g++ {
+		p, ok, err := s.scanGroup(g, need, numPages, fromEntry)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return p, nil
+		}
+		fromEntry = 0 // later groups scan from their beginning
+	}
+
+	// 3. Allocate a fresh page.
+	return s.allocPage()
+}
+
+// numGroups returns how many FSI groups exist for the current size.
+func (s *Segment) numGroups(numPages pagedev.PageNo) uint64 {
+	if numPages <= 1 {
+		return 0
+	}
+	return (uint64(numPages) - 2 + uint64(s.fsiCap+1)) / uint64(s.fsiCap+1)
+}
+
+// scanGroup looks for a page with enough space within one FSI group,
+// starting at the given entry index.
+func (s *Segment) scanGroup(group uint64, need int, numPages pagedev.PageNo, fromEntry int) (pagedev.PageNo, bool, error) {
+	fsiPage := pagedev.PageNo(1 + group*uint64(s.fsiCap+1))
+	if fsiPage >= numPages {
+		return 0, false, nil
+	}
+	f, err := s.pool.Get(fsiPage)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Release()
+	b := f.Data()
+	for i := fromEntry; i < s.fsiCap; i++ {
+		p := fsiPage + 1 + pagedev.PageNo(i)
+		if p >= numPages {
+			break
+		}
+		if decodeFree(b[pageformat.CommonHeaderSize+i], s.pageSize) >= need {
+			return p, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// allocPage grows the device by one data page (creating a new FSI page
+// first when crossing a group boundary), formats it as a slotted page and
+// registers its free space.
+func (s *Segment) allocPage() (pagedev.PageNo, error) {
+	dev := s.pool.Device()
+	for {
+		p := dev.NumPages()
+		if err := dev.Grow(p + 1); err != nil {
+			return 0, err
+		}
+		if s.IsFSIPage(p) {
+			f, err := s.pool.GetNew(p)
+			if err != nil {
+				return 0, err
+			}
+			pageformat.InitCommon(f.Data(), pageformat.TypeFSI)
+			f.MarkDirty()
+			f.Release()
+			continue // the page after the FSI page is the data page
+		}
+		f, err := s.pool.GetNew(p)
+		if err != nil {
+			return 0, err
+		}
+		sl := pageformat.FormatSlotted(f.Data())
+		free := sl.FreeBytes()
+		f.MarkDirty()
+		f.Release()
+		if err := s.NotifyFree(p, free); err != nil {
+			return 0, err
+		}
+		return p, nil
+	}
+}
+
+// TotalBytes returns the total on-disk size of the segment in bytes —
+// the paper's Figure 14 space metric.
+func (s *Segment) TotalBytes() int64 {
+	return int64(s.pool.Device().NumPages()) * int64(s.pageSize)
+}
+
+// NumPages returns the total number of pages (header + FSI + data).
+func (s *Segment) NumPages() pagedev.PageNo {
+	return s.pool.Device().NumPages()
+}
+
+// ForEachDataPage calls fn for every allocated data page, stopping on the
+// first error.
+func (s *Segment) ForEachDataPage(fn func(p pagedev.PageNo) error) error {
+	n := s.pool.Device().NumPages()
+	for p := pagedev.PageNo(1); p < n; p++ {
+		if !s.IsDataPage(p) {
+			continue
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package segment
+
+import (
+	"testing"
+
+	"natix/internal/buffer"
+	"natix/internal/pagedev"
+	"natix/internal/pageformat"
+)
+
+func newSegment(t *testing.T, pageSize int) (*Segment, *buffer.Pool, *pagedev.Mem) {
+	t.Helper()
+	dev, err := pagedev.NewMem(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := buffer.New(dev, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg, pool, dev
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	seg, pool, _ := newSegment(t, 2048)
+	if err := seg.SetRootRID(RootCatalog, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.SetRootRID(RootDict, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	seg2, err := Open(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := seg2.RootRID(RootCatalog)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("RootCatalog = %#x, %v", v, err)
+	}
+	v, err = seg2.RootRID(RootDict)
+	if err != nil || v != 42 {
+		t.Fatalf("RootDict = %d, %v", v, err)
+	}
+}
+
+func TestOpenRejectsEmptyAndForeign(t *testing.T) {
+	dev, _ := pagedev.NewMem(2048)
+	pool, _ := buffer.New(dev, 8)
+	if _, err := Open(pool); err == nil {
+		t.Fatal("Open on empty device succeeded")
+	}
+	if _, err := Create(pool); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(pool); err == nil {
+		t.Fatal("Create on non-empty device succeeded")
+	}
+}
+
+func TestOpenRejectsPageSizeMismatch(t *testing.T) {
+	// Build a 1K segment, then reopen its bytes as a 2K device: the sizes
+	// recorded in the header must be honored.
+	dev, _ := pagedev.NewMem(1024)
+	pool, _ := buffer.New(dev, 8)
+	if _, err := Create(pool); err != nil {
+		t.Fatal(err)
+	}
+	pool.FlushAll()
+	// Copy first page into a device with different page size.
+	buf := make([]byte, 1024)
+	if err := dev.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	dev2, _ := pagedev.NewMem(2048)
+	dev2.Grow(1)
+	big := make([]byte, 2048)
+	copy(big, buf)
+	dev2.Write(0, big)
+	pool2, _ := buffer.New(dev2, 8)
+	pool2.SetVerifyChecksums(false)
+	if _, err := Open(pool2); err == nil {
+		t.Fatal("Open with mismatched page size succeeded")
+	}
+}
+
+func TestRootSlotBounds(t *testing.T) {
+	seg, _, _ := newSegment(t, 1024)
+	if _, err := seg.RootRID(-1); err == nil {
+		t.Fatal("RootRID(-1) succeeded")
+	}
+	if _, err := seg.RootRID(NumRoots); err == nil {
+		t.Fatal("RootRID(NumRoots) succeeded")
+	}
+	if err := seg.SetRootRID(99, 1); err == nil {
+		t.Fatal("SetRootRID(99) succeeded")
+	}
+}
+
+func TestPageClassification(t *testing.T) {
+	seg, _, _ := newSegment(t, 1024)
+	k := pagedev.PageNo(fsiCapacity(1024))
+	if seg.IsDataPage(0) || seg.IsFSIPage(0) {
+		t.Fatal("page 0 misclassified")
+	}
+	if !seg.IsFSIPage(1) {
+		t.Fatal("page 1 should be the first FSI page")
+	}
+	for p := pagedev.PageNo(2); p <= k+1; p++ {
+		if !seg.IsDataPage(p) {
+			t.Fatalf("page %d should be a data page", p)
+		}
+	}
+	if !seg.IsFSIPage(k + 2) {
+		t.Fatalf("page %d should be the second FSI page", k+2)
+	}
+}
+
+func TestAllocAndFindSpace(t *testing.T) {
+	seg, _, _ := newSegment(t, 1024)
+	p, err := seg.FindSpace(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seg.IsDataPage(p) {
+		t.Fatalf("FindSpace returned non-data page %d", p)
+	}
+	// The first allocation creates FSI page 1 and data page 2.
+	if p != 2 {
+		t.Fatalf("first data page = %d, want 2", p)
+	}
+	// The fresh page is slotted and has full capacity.
+	free, err := seg.FreeHint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free < 900 {
+		t.Fatalf("fresh page free hint = %d", free)
+	}
+}
+
+func TestFindSpaceRespectsInventory(t *testing.T) {
+	seg, pool, _ := newSegment(t, 1024)
+	p1, err := seg.FindSpace(500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the record manager consuming most of p1.
+	f, err := pool.Get(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, _ := pageformat.AsSlotted(f.Data())
+	if _, ok := sl.Insert(make([]byte, 900)); !ok {
+		t.Fatal("insert failed")
+	}
+	free := sl.FreeBytes()
+	f.MarkDirty()
+	f.Release()
+	if err := seg.NotifyFree(p1, free); err != nil {
+		t.Fatal(err)
+	}
+	// A large request must go to a new page, not p1.
+	p2, err := seg.FindSpace(500, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p1 {
+		t.Fatal("FindSpace returned a page without enough space")
+	}
+	// A small request may reuse p1 (its hint still shows some space).
+	hint, _ := seg.FreeHint(p1)
+	if hint > 0 {
+		p3, err := seg.FindSpace(1, p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p3 != p1 {
+			t.Fatalf("small request near p1 went to %d, want %d", p3, p1)
+		}
+	}
+}
+
+func TestFindSpacePrefersNear(t *testing.T) {
+	seg, _, _ := newSegment(t, 1024)
+	// Allocate three pages, all empty.
+	var pages []pagedev.PageNo
+	for i := 0; i < 3; i++ {
+		p, err := seg.allocPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, p)
+	}
+	// Asking near the third page should return it, not the first.
+	p, err := seg.FindSpace(10, pages[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != pages[2] {
+		t.Fatalf("FindSpace near %d returned %d", pages[2], p)
+	}
+}
+
+func TestFindSpaceTooLarge(t *testing.T) {
+	seg, _, _ := newSegment(t, 1024)
+	// MaxRecordSize + one slot is the most a fresh page can serve.
+	if _, err := seg.FindSpace(seg.MaxRecordSize()+pageformat.SlotOverhead+1, 0); err == nil {
+		t.Fatal("FindSpace above page capacity succeeded")
+	}
+	if _, err := seg.FindSpace(seg.MaxRecordSize()+pageformat.SlotOverhead, 0); err != nil {
+		t.Fatalf("FindSpace at exact capacity failed: %v", err)
+	}
+}
+
+func TestAllocCrossesFSIGroupBoundary(t *testing.T) {
+	// Force allocation of more data pages than one FSI page covers.
+	seg, _, _ := newSegment(t, 512)
+	k := fsiCapacity(512)
+	seen := map[pagedev.PageNo]bool{}
+	for i := 0; i < k+5; i++ {
+		p, err := seg.allocPage()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if seen[p] {
+			t.Fatalf("page %d allocated twice", p)
+		}
+		seen[p] = true
+		if !seg.IsDataPage(p) {
+			t.Fatalf("allocated non-data page %d", p)
+		}
+	}
+	// Two FSI pages must now exist.
+	if !seg.IsFSIPage(1) || !seg.IsFSIPage(pagedev.PageNo(k+2)) {
+		t.Fatal("expected FSI pages at 1 and k+2")
+	}
+	// And every allocated page must be findable through the inventory.
+	p, err := seg.FindSpace(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seen[p] {
+		t.Fatalf("FindSpace returned unallocated page %d", p)
+	}
+}
+
+func TestForEachDataPage(t *testing.T) {
+	seg, _, _ := newSegment(t, 512)
+	for i := 0; i < 10; i++ {
+		if _, err := seg.allocPage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	err := seg.ForEachDataPage(func(p pagedev.PageNo) error {
+		if !seg.IsDataPage(p) {
+			t.Fatalf("callback got non-data page %d", p)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("visited %d data pages, want 10", count)
+	}
+}
+
+func TestEncodeDecodeFreeConservative(t *testing.T) {
+	for _, ps := range []int{512, 2048, 32768} {
+		for free := 0; free <= maxFree(ps); free += 13 {
+			enc := encodeFree(free, ps)
+			dec := decodeFree(enc, ps)
+			if dec > free {
+				t.Fatalf("pageSize %d: decode(%d)=%d overstates free %d", ps, enc, dec, free)
+			}
+			// Below the 254-unit cap the loss is bounded by one unit; the
+			// capped region only guarantees no overstatement.
+			if free < 254*encScale(ps) && free-dec > encScale(ps) {
+				t.Fatalf("pageSize %d: decode loses %d bytes (scale %d)", ps, free-dec, encScale(ps))
+			}
+		}
+		// An empty page decodes to its exact capacity so max-size records
+		// can always find reusable pages.
+		if dec := decodeFree(encodeFree(maxFree(ps), ps), ps); dec != maxFree(ps) {
+			t.Fatalf("pageSize %d: empty page decodes to %d, want %d", ps, dec, maxFree(ps))
+		}
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	seg, _, _ := newSegment(t, 1024)
+	base := seg.TotalBytes()
+	if base != 1024 {
+		t.Fatalf("TotalBytes of fresh segment = %d, want 1024", base)
+	}
+	if _, err := seg.allocPage(); err != nil {
+		t.Fatal(err)
+	}
+	// Header + FSI + one data page.
+	if got := seg.TotalBytes(); got != 3*1024 {
+		t.Fatalf("TotalBytes = %d, want %d", got, 3*1024)
+	}
+}

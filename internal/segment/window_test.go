@@ -1,0 +1,71 @@
+package segment
+
+import (
+	"testing"
+
+	"natix/internal/pagedev"
+	"natix/internal/pageformat"
+)
+
+// TestFindSpaceWindowPrefersLocality: with a distant hole available, a
+// hinted request allocates a fresh page near the frontier rather than
+// seeking back to the hole. (The bounded scan window trades space for
+// the allocation locality the experiments depend on.)
+func TestFindSpaceWindowPrefersLocality(t *testing.T) {
+	seg, pool, _ := newSegment(t, 512)
+	k := fsiCapacity(512)
+	// Allocate enough pages to span many FSI groups, filling each page.
+	var pages []pagedev.PageNo
+	groups := maxScanGroups + 3
+	for i := 0; i < k*groups; i++ {
+		p, err := seg.allocPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := pool.Get(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sl, _ := pageformat.AsSlotted(f.Data())
+		if _, ok := sl.Insert(make([]byte, sl.FreeBytes()-pageformat.SlotOverhead)); !ok {
+			t.Fatal("fill insert failed")
+		}
+		free := sl.FreeBytes()
+		f.MarkDirty()
+		f.Release()
+		if err := seg.NotifyFree(p, free); err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, p)
+	}
+	// Free the very first page entirely (a distant hole).
+	hole := pages[0]
+	f, _ := pool.Get(hole)
+	sl, _ := pageformat.AsSlotted(f.Data())
+	for _, s := range sl.Slots() {
+		sl.Delete(s)
+	}
+	free := sl.FreeBytes()
+	f.MarkDirty()
+	f.Release()
+	if err := seg.NotifyFree(hole, free); err != nil {
+		t.Fatal(err)
+	}
+	// A request near the frontier must NOT travel back to the hole.
+	frontier := pages[len(pages)-1]
+	p, err := seg.FindSpace(100, frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == hole {
+		t.Fatalf("allocation near page %d back-filled distant hole %d", frontier, hole)
+	}
+	// A request near the hole reuses it.
+	p2, err := seg.FindSpace(100, hole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != hole {
+		t.Fatalf("allocation near hole went to %d, want %d", p2, hole)
+	}
+}

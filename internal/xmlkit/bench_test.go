@@ -1,0 +1,59 @@
+package xmlkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchDoc is a small play fragment repeated to parser-meaningful size.
+var benchDoc = "<PLAY><TITLE>Benchmark</TITLE>" + strings.Repeat(
+	`<SPEECH><SPEAKER>IAGO</SPEAKER><LINE>I am not what I am &amp; never was;</LINE><LINE>demand me nothing</LINE></SPEECH>`, 200) + "</PLAY>"
+
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(int64(len(benchDoc)))
+	for i := 0; i < b.N; i++ {
+		tz := NewTokenizerString(benchDoc)
+		for {
+			tok, err := tz.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.Kind == TokenEOF {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(benchDoc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(benchDoc, ParseOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	doc, err := ParseString(benchDoc, ParseOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(benchDoc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if SerializeString(doc.Root) == "" {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+func BenchmarkDecodeEntities(b *testing.B) {
+	s := strings.Repeat("fish &amp; chips &lt;&gt; &#65; ", 50)
+	b.SetBytes(int64(len(s)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeEntities(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package xmlkit
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "<>&") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr escapes an attribute value for double-quoted output.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `<>&"`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// Serialize writes the subtree rooted at n as XML markup. No whitespace
+// is invented, so Parse(Serialize(t)) reproduces t exactly.
+func Serialize(w io.Writer, n *Node) error {
+	bw := bufio.NewWriter(w)
+	if err := writeNode(bw, n); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SerializeString renders the subtree to a string.
+func SerializeString(n *Node) string {
+	var b strings.Builder
+	_ = Serialize(&b, n)
+	return b.String()
+}
+
+func writeNode(w *bufio.Writer, n *Node) error {
+	if n.IsText() {
+		_, err := w.WriteString(EscapeText(n.Text))
+		return err
+	}
+	if err := w.WriteByte('<'); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(n.Name); err != nil {
+		return err
+	}
+	for _, a := range n.Attrs {
+		if err := w.WriteByte(' '); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(a.Name); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(`="`); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(EscapeAttr(a.Value)); err != nil {
+			return err
+		}
+		if err := w.WriteByte('"'); err != nil {
+			return err
+		}
+	}
+	if len(n.Children) == 0 {
+		_, err := w.WriteString("/>")
+		return err
+	}
+	if err := w.WriteByte('>'); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeNode(w, c); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString("</"); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(n.Name); err != nil {
+		return err
+	}
+	return w.WriteByte('>')
+}

@@ -1,0 +1,407 @@
+// Package xmlkit is a self-contained XML toolkit: a streaming tokenizer,
+// a tree parser, a serializer and a DTD-lite reader.
+//
+// The paper's experiments drive NATIX through "an XML parser written in
+// C" (§4.3); this package plays that role. It covers the XML subset
+// needed for document storage — elements, attributes, character data,
+// CDATA, comments, processing instructions, DOCTYPE with an internal
+// subset, and the predefined/numeric entities. It does not implement
+// namespaces or external DTD resolution, which the paper does not use.
+package xmlkit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TokenKind classifies tokens produced by the Tokenizer.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokenEOF TokenKind = iota
+	TokenStartTag
+	TokenEndTag
+	TokenEmptyTag // <name/>: start and end in one token
+	TokenText     // character data (entities decoded, CDATA unwrapped)
+	TokenComment
+	TokenPI      // processing instruction, including the XML declaration
+	TokenDoctype // document type declaration; Text holds the raw body
+)
+
+// String returns a readable name for the token kind.
+func (k TokenKind) String() string {
+	switch k {
+	case TokenEOF:
+		return "EOF"
+	case TokenStartTag:
+		return "StartTag"
+	case TokenEndTag:
+		return "EndTag"
+	case TokenEmptyTag:
+		return "EmptyTag"
+	case TokenText:
+		return "Text"
+	case TokenComment:
+		return "Comment"
+	case TokenPI:
+		return "PI"
+	case TokenDoctype:
+		return "Doctype"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Attr is a name="value" attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is one lexical unit of an XML document.
+type Token struct {
+	Kind  TokenKind
+	Name  string // tag name, PI target or doctype name
+	Text  string // character data, comment body, PI content, doctype body
+	Attrs []Attr // start/empty tags only
+}
+
+// SyntaxError reports a malformed document with a byte offset and line.
+type SyntaxError struct {
+	Offset int
+	Line   int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xmlkit: line %d (offset %d): %s", e.Line, e.Offset, e.Msg)
+}
+
+// Tokenizer splits a document into tokens. It reads the entire input up
+// front; NATIX documents are parsed whole before insertion anyway.
+type Tokenizer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewTokenizer creates a tokenizer over r.
+func NewTokenizer(r io.Reader) (*Tokenizer, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmlkit: read input: %w", err)
+	}
+	return NewTokenizerString(string(b)), nil
+}
+
+// NewTokenizerString creates a tokenizer over a string.
+func NewTokenizerString(src string) *Tokenizer {
+	// Strip a UTF-8 byte-order mark if present.
+	src = strings.TrimPrefix(src, "\xef\xbb\xbf")
+	return &Tokenizer{src: src, line: 1}
+}
+
+func (t *Tokenizer) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: t.pos, Line: t.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// advance moves past n bytes, tracking line numbers.
+func (t *Tokenizer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if t.src[t.pos+i] == '\n' {
+			t.line++
+		}
+	}
+	t.pos += n
+}
+
+// rest returns the unconsumed input.
+func (t *Tokenizer) rest() string { return t.src[t.pos:] }
+
+// Next returns the next token, or a token of kind TokenEOF at the end.
+func (t *Tokenizer) Next() (Token, error) {
+	if t.pos >= len(t.src) {
+		return Token{Kind: TokenEOF}, nil
+	}
+	if t.src[t.pos] != '<' {
+		return t.scanText()
+	}
+	rest := t.rest()
+	switch {
+	case strings.HasPrefix(rest, "<!--"):
+		return t.scanComment()
+	case strings.HasPrefix(rest, "<![CDATA["):
+		return t.scanCData()
+	case strings.HasPrefix(rest, "<!DOCTYPE"):
+		return t.scanDoctype()
+	case strings.HasPrefix(rest, "<?"):
+		return t.scanPI()
+	case strings.HasPrefix(rest, "</"):
+		return t.scanEndTag()
+	default:
+		return t.scanStartTag()
+	}
+}
+
+// scanText consumes character data up to the next '<'.
+func (t *Tokenizer) scanText() (Token, error) {
+	end := strings.IndexByte(t.rest(), '<')
+	if end < 0 {
+		end = len(t.rest())
+	}
+	raw := t.rest()[:end]
+	t.advance(end)
+	text, err := DecodeEntities(raw)
+	if err != nil {
+		return Token{}, t.errf("%v", err)
+	}
+	return Token{Kind: TokenText, Text: text}, nil
+}
+
+func (t *Tokenizer) scanComment() (Token, error) {
+	body := t.rest()[len("<!--"):]
+	end := strings.Index(body, "-->")
+	if end < 0 {
+		return Token{}, t.errf("unterminated comment")
+	}
+	t.advance(len("<!--") + end + len("-->"))
+	return Token{Kind: TokenComment, Text: body[:end]}, nil
+}
+
+func (t *Tokenizer) scanCData() (Token, error) {
+	body := t.rest()[len("<![CDATA["):]
+	end := strings.Index(body, "]]>")
+	if end < 0 {
+		return Token{}, t.errf("unterminated CDATA section")
+	}
+	t.advance(len("<![CDATA[") + end + len("]]>"))
+	return Token{Kind: TokenText, Text: body[:end]}, nil
+}
+
+// scanDoctype consumes <!DOCTYPE name [internal subset]> and returns the
+// raw body (everything between the name and the closing '>').
+func (t *Tokenizer) scanDoctype() (Token, error) {
+	body := t.rest()[len("<!DOCTYPE"):]
+	// Find the closing '>' at bracket depth zero (the internal subset may
+	// contain markup declarations ending in '>').
+	depth := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				content := strings.TrimSpace(body[:i])
+				name := content
+				if j := strings.IndexAny(content, " \t\r\n["); j >= 0 {
+					name = content[:j]
+				}
+				t.advance(len("<!DOCTYPE") + i + 1)
+				return Token{Kind: TokenDoctype, Name: name, Text: content}, nil
+			}
+		}
+	}
+	return Token{}, t.errf("unterminated DOCTYPE")
+}
+
+func (t *Tokenizer) scanPI() (Token, error) {
+	body := t.rest()[len("<?"):]
+	end := strings.Index(body, "?>")
+	if end < 0 {
+		return Token{}, t.errf("unterminated processing instruction")
+	}
+	content := body[:end]
+	name := content
+	var rest string
+	if i := strings.IndexAny(content, " \t\r\n"); i >= 0 {
+		name, rest = content[:i], strings.TrimSpace(content[i:])
+	}
+	t.advance(len("<?") + end + len("?>"))
+	return Token{Kind: TokenPI, Name: name, Text: rest}, nil
+}
+
+func (t *Tokenizer) scanEndTag() (Token, error) {
+	body := t.rest()[len("</"):]
+	end := strings.IndexByte(body, '>')
+	if end < 0 {
+		return Token{}, t.errf("unterminated end tag")
+	}
+	name := strings.TrimSpace(body[:end])
+	if !validName(name) {
+		return Token{}, t.errf("invalid end tag name %q", name)
+	}
+	t.advance(len("</") + end + 1)
+	return Token{Kind: TokenEndTag, Name: name}, nil
+}
+
+func (t *Tokenizer) scanStartTag() (Token, error) {
+	// t.src[t.pos] == '<'
+	i := t.pos + 1
+	start := i
+	for i < len(t.src) && isNameByte(t.src[i]) {
+		i++
+	}
+	name := t.src[start:i]
+	if !validName(name) {
+		return Token{}, t.errf("invalid tag name %q", name)
+	}
+	var attrs []Attr
+	for {
+		// Skip whitespace.
+		for i < len(t.src) && isSpace(t.src[i]) {
+			i++
+		}
+		if i >= len(t.src) {
+			return Token{}, t.errf("unterminated start tag <%s", name)
+		}
+		switch t.src[i] {
+		case '>':
+			t.advance(i + 1 - t.pos)
+			return Token{Kind: TokenStartTag, Name: name, Attrs: attrs}, nil
+		case '/':
+			if i+1 >= len(t.src) || t.src[i+1] != '>' {
+				return Token{}, t.errf("expected /> in tag <%s", name)
+			}
+			t.advance(i + 2 - t.pos)
+			return Token{Kind: TokenEmptyTag, Name: name, Attrs: attrs}, nil
+		}
+		// Attribute.
+		astart := i
+		for i < len(t.src) && isNameByte(t.src[i]) {
+			i++
+		}
+		aname := t.src[astart:i]
+		if !validName(aname) {
+			return Token{}, t.errf("invalid attribute name in <%s>", name)
+		}
+		for i < len(t.src) && isSpace(t.src[i]) {
+			i++
+		}
+		if i >= len(t.src) || t.src[i] != '=' {
+			return Token{}, t.errf("attribute %q in <%s> missing '='", aname, name)
+		}
+		i++
+		for i < len(t.src) && isSpace(t.src[i]) {
+			i++
+		}
+		if i >= len(t.src) || (t.src[i] != '"' && t.src[i] != '\'') {
+			return Token{}, t.errf("attribute %q in <%s> missing quoted value", aname, name)
+		}
+		quote := t.src[i]
+		i++
+		vstart := i
+		for i < len(t.src) && t.src[i] != quote {
+			i++
+		}
+		if i >= len(t.src) {
+			return Token{}, t.errf("unterminated value for attribute %q in <%s>", aname, name)
+		}
+		val, err := DecodeEntities(t.src[vstart:i])
+		if err != nil {
+			return Token{}, t.errf("attribute %q in <%s>: %v", aname, name, err)
+		}
+		attrs = append(attrs, Attr{Name: aname, Value: val})
+		i++
+	}
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\r' || b == '\n'
+}
+
+func isNameByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '-', b == '_', b == '.', b == ':':
+		return true
+	case b >= 0x80: // multi-byte UTF-8 names are accepted verbatim
+		return true
+	}
+	return false
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	if c >= '0' && c <= '9' || c == '-' || c == '.' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// errBadEntity is wrapped into SyntaxErrors by the tokenizer.
+var errBadEntity = errors.New("invalid entity reference")
+
+// DecodeEntities replaces the predefined and numeric character entities
+// in s. A bare '&' that does not form a valid entity is an error.
+func DecodeEntities(s string) (string, error) {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for {
+		b.WriteString(s[:amp])
+		s = s[amp:]
+		semi := strings.IndexByte(s, ';')
+		if semi < 0 || semi > 12 {
+			return "", fmt.Errorf("%w near %q", errBadEntity, truncate(s, 12))
+		}
+		ent := s[1:semi]
+		switch ent {
+		case "lt":
+			b.WriteByte('<')
+		case "gt":
+			b.WriteByte('>')
+		case "amp":
+			b.WriteByte('&')
+		case "apos":
+			b.WriteByte('\'')
+		case "quot":
+			b.WriteByte('"')
+		default:
+			if len(ent) > 1 && ent[0] == '#' {
+				digits, base := ent[1:], 10
+				if len(digits) > 1 && (digits[0] == 'x' || digits[0] == 'X') {
+					digits, base = digits[1:], 16
+				}
+				n, err := strconv.ParseUint(digits, base, 32)
+				if err != nil {
+					return "", fmt.Errorf("%w: &%s;", errBadEntity, ent)
+				}
+				b.WriteRune(rune(n))
+			} else {
+				return "", fmt.Errorf("%w: &%s;", errBadEntity, ent)
+			}
+		}
+		s = s[semi+1:]
+		amp = strings.IndexByte(s, '&')
+		if amp < 0 {
+			b.WriteString(s)
+			return b.String(), nil
+		}
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,250 @@
+package xmlkit
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Node is one node of the logical document tree (paper §2.2): an ordered
+// tree whose inner nodes carry element labels and whose leaves may carry
+// text. Attributes are kept on the element; the physical layer decides
+// how to materialize them.
+type Node struct {
+	Name     string  // element name; empty for text nodes
+	Text     string  // character data (text nodes only)
+	Attrs    []Attr  // attributes (element nodes only)
+	Children []*Node // child nodes in document order (element nodes only)
+}
+
+// IsText reports whether n is a text node.
+func (n *Node) IsText() bool { return n.Name == "" }
+
+// NewElement builds an element node.
+func NewElement(name string, children ...*Node) *Node {
+	return &Node{Name: name, Children: children}
+}
+
+// NewText builds a text node.
+func NewText(text string) *Node { return &Node{Text: text} }
+
+// Append adds children and returns n for chaining.
+func (n *Node) Append(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// SetAttr adds or replaces an attribute and returns n for chaining.
+func (n *Node) SetAttr(name, value string) *Node {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			return n
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+	return n
+}
+
+// Attr returns the value of the named attribute, if present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// CountNodes returns the number of nodes in the subtree, counting n, all
+// descendants, and one node per attribute (matching the paper's "tree
+// representations contain about 320000 nodes" accounting where attributes
+// are nodes too).
+func (n *Node) CountNodes() int {
+	total := 1 + len(n.Attrs)
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// TextContent concatenates all descendant text in document order.
+func (n *Node) TextContent() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n.IsText() {
+		b.WriteString(n.Text)
+		return
+	}
+	for _, c := range n.Children {
+		c.appendText(b)
+	}
+}
+
+// Equal reports deep structural equality of two subtrees.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.Text != b.Text ||
+		len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Document is a parsed XML document.
+type Document struct {
+	Root        *Node
+	DoctypeName string
+	// DoctypeRaw is the full DOCTYPE body (name plus internal subset),
+	// for consumers that parse content models (package schema).
+	DoctypeRaw string
+	// DTDElements lists element names declared in the DOCTYPE internal
+	// subset, in declaration order — the node alphabet Σ_DTD (§2.2).
+	DTDElements []string
+}
+
+// ParseOptions control tree construction.
+type ParseOptions struct {
+	// KeepWhitespace retains text nodes consisting solely of whitespace.
+	// The default drops them, matching the paper's node accounting.
+	KeepWhitespace bool
+}
+
+// Parse reads an XML document from r into a tree.
+func Parse(r io.Reader, opts ParseOptions) (*Document, error) {
+	tz, err := NewTokenizer(r)
+	if err != nil {
+		return nil, err
+	}
+	return parseTokens(tz, opts)
+}
+
+// ParseString parses a document held in a string.
+func ParseString(src string, opts ParseOptions) (*Document, error) {
+	return parseTokens(NewTokenizerString(src), opts)
+}
+
+func parseTokens(tz *Tokenizer, opts ParseOptions) (*Document, error) {
+	doc := &Document{}
+	var stack []*Node
+	push := func(n *Node) error {
+		if len(stack) == 0 {
+			if doc.Root != nil {
+				return fmt.Errorf("xmlkit: multiple root elements (%q and %q)", doc.Root.Name, n.Name)
+			}
+			if n.IsText() {
+				return fmt.Errorf("xmlkit: text %q outside the root element", truncate(n.Text, 20))
+			}
+			doc.Root = n
+		} else {
+			top := stack[len(stack)-1]
+			top.Children = append(top.Children, n)
+		}
+		return nil
+	}
+	for {
+		tok, err := tz.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch tok.Kind {
+		case TokenEOF:
+			if len(stack) > 0 {
+				return nil, fmt.Errorf("xmlkit: unclosed element <%s>", stack[len(stack)-1].Name)
+			}
+			if doc.Root == nil {
+				return nil, fmt.Errorf("xmlkit: document has no root element")
+			}
+			return doc, nil
+		case TokenStartTag:
+			n := &Node{Name: tok.Name, Attrs: tok.Attrs}
+			if len(stack) == 0 {
+				if err := push(n); err != nil {
+					return nil, err
+				}
+				stack = append(stack, n)
+			} else {
+				stack[len(stack)-1].Children = append(stack[len(stack)-1].Children, n)
+				stack = append(stack, n)
+			}
+		case TokenEmptyTag:
+			if err := push(&Node{Name: tok.Name, Attrs: tok.Attrs}); err != nil {
+				return nil, err
+			}
+		case TokenEndTag:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlkit: unexpected </%s>", tok.Name)
+			}
+			top := stack[len(stack)-1]
+			if top.Name != tok.Name {
+				return nil, fmt.Errorf("xmlkit: </%s> closes <%s>", tok.Name, top.Name)
+			}
+			stack = stack[:len(stack)-1]
+		case TokenText:
+			if !opts.KeepWhitespace && strings.TrimSpace(tok.Text) == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				if strings.TrimSpace(tok.Text) == "" {
+					continue // whitespace between prolog and root is fine
+				}
+				return nil, fmt.Errorf("xmlkit: text %q outside the root element", truncate(tok.Text, 20))
+			}
+			if err := push(NewText(tok.Text)); err != nil {
+				return nil, err
+			}
+		case TokenDoctype:
+			doc.DoctypeName = tok.Name
+			doc.DoctypeRaw = tok.Text
+			doc.DTDElements = parseDTDElements(tok.Text)
+		case TokenComment, TokenPI:
+			// Not represented in the logical tree.
+		}
+	}
+}
+
+// parseDTDElements extracts element names from a DOCTYPE internal subset.
+// It recognizes <!ELEMENT name ...> declarations; everything else in the
+// subset is skipped. This is the "DTD-lite" the repository needs: "for
+// our purposes, the DTD is just a way of specifying the node alphabet"
+// (paper §2.2).
+func parseDTDElements(subset string) []string {
+	var names []string
+	seen := map[string]bool{}
+	for {
+		i := strings.Index(subset, "<!ELEMENT")
+		if i < 0 {
+			return names
+		}
+		subset = subset[i+len("<!ELEMENT"):]
+		j := 0
+		for j < len(subset) && isSpace(subset[j]) {
+			j++
+		}
+		k := j
+		for k < len(subset) && isNameByte(subset[k]) {
+			k++
+		}
+		if name := subset[j:k]; validName(name) && !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+		subset = subset[k:]
+	}
+}

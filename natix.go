@@ -1,0 +1,403 @@
+// Package natix is a native XML repository: a storage manager for
+// tree-structured documents that keeps dynamically maintained clusters
+// of tree nodes in page-sized physical records.
+//
+// It is a from-scratch Go implementation of the system described in
+// Carl-Christian Kanne and Guido Moerkotte, "Efficient Storage of XML
+// Data" (Universität Mannheim tech report 8/1999; ICDE 2000). Rather
+// than serializing documents into byte streams (flat files, BLOBs) or
+// scattering one database object per tree node (the metamodeling
+// approach), NATIX partitions each document tree into subtrees stored in
+// records of at most one page, splitting records along the tree
+// structure as documents grow and re-linking the pieces with proxy
+// nodes. A configurable split matrix lets applications pin specific
+// parent/child label pairs together or force them apart; its two
+// degenerate settings reproduce the classical designs, which is also how
+// the paper benchmarks them.
+//
+// # Quick start
+//
+//	db, err := natix.Open(natix.Options{Path: "plays.natix"})
+//	if err != nil { ... }
+//	defer db.Close()
+//	err = db.ImportXML("othello", file)
+//	matches, err := db.Query("othello", "/PLAY/ACT[3]/SCENE[2]//SPEAKER")
+//	for _, m := range matches {
+//		text, _ := m.Text()
+//	}
+//
+// See the examples directory for runnable programs, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the reproduction of the
+// paper's measurements.
+package natix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"natix/internal/buffer"
+	"natix/internal/core"
+	"natix/internal/dict"
+	"natix/internal/docstore"
+	"natix/internal/pagedev"
+	"natix/internal/records"
+	"natix/internal/segment"
+)
+
+// Policy is a split-matrix entry: the clustering preference for a
+// (parent element, child element) pair (paper §3.3).
+type Policy = core.Policy
+
+// Split matrix policies.
+const (
+	// Other lets the split algorithm decide (the default).
+	Other = core.PolicyOther
+	// Standalone (the paper's 0) always stores such children as records
+	// of their own.
+	Standalone = core.PolicyStandalone
+	// Cluster (the paper's ∞) keeps such children in their parent's
+	// record as long as possible.
+	Cluster = core.PolicyCluster
+)
+
+// Options configure a repository.
+type Options struct {
+	// Path is the database file. Empty means an in-memory store.
+	Path string
+
+	// PageSize in bytes: a power of two between 512 and 32768 ("Pages
+	// can be as large as 32K", §2.1). Default 8192. Must match the file
+	// when opening an existing store.
+	PageSize int
+
+	// BufferBytes sizes the buffer pool. Default 2 MB (the paper's
+	// setting, §4.2).
+	BufferBytes int
+
+	// SplitTarget is the desired left-partition fraction on splits,
+	// in (0,1). Default 0.5.
+	SplitTarget float64
+
+	// SplitTolerance is the minimum splittable subtree size in bytes.
+	// Default: one tenth of the net page capacity.
+	SplitTolerance int
+
+	// DefaultPolicy seeds the split matrix (§3.3). The zero value is
+	// Other — the paper's native configuration. Standalone reproduces
+	// one-record-per-node systems. Like the paper's, the matrix is a
+	// runtime tuning parameter: it is not persisted, so supply the same
+	// configuration (and SetPolicy calls) when reopening a store.
+	DefaultPolicy Policy
+
+	// MergeOnDelete re-clusters shrunken records into their parents.
+	MergeOnDelete bool
+
+	// CacheRecords bounds the parsed-record cache (0 = default 4096,
+	// -1 = disabled). The cache only saves decoding CPU; all I/O still
+	// flows through the buffer manager.
+	CacheRecords int
+
+	// SimulateDisk routes every physical page access through a cost
+	// model of the paper's IBM DCAS-34330W disk; SimStats reports the
+	// accumulated simulated time. Only valid with in-memory stores.
+	SimulateDisk bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = 8192
+	}
+	if o.BufferBytes == 0 {
+		o.BufferBytes = 2 << 20
+	}
+	if o.CacheRecords == 0 {
+		o.CacheRecords = 4096
+	} else if o.CacheRecords < 0 {
+		o.CacheRecords = 0
+	}
+	return o
+}
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("natix: database is closed")
+
+// DB is an open repository. All methods are safe for concurrent use;
+// operations are serialized internally (the paper's system is
+// single-user; no finer-grained concurrency control is implemented).
+type DB struct {
+	mu     sync.Mutex
+	opts   Options
+	dev    pagedev.Device
+	sim    *pagedev.SimDisk
+	pool   *buffer.Pool
+	store  *docstore.Store
+	matrix *core.SplitMatrix
+	closed bool
+}
+
+// Open opens the store at opts.Path, creating it if it does not exist
+// (or creating an in-memory store when Path is empty).
+func Open(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if !pagedev.ValidPageSize(opts.PageSize) {
+		return nil, fmt.Errorf("natix: invalid page size %d", opts.PageSize)
+	}
+
+	var (
+		dev      pagedev.Device
+		sim      *pagedev.SimDisk
+		existing bool
+		err      error
+	)
+	if opts.Path == "" {
+		mem, err := pagedev.NewMem(opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		dev = mem
+		if opts.SimulateDisk {
+			sim = pagedev.NewSimDisk(mem, pagedev.DCAS34330W)
+			dev = sim
+		}
+	} else {
+		if opts.SimulateDisk {
+			return nil, errors.New("natix: SimulateDisk requires an in-memory store")
+		}
+		if st, err := os.Stat(opts.Path); err == nil && st.Size() > 0 {
+			existing = true
+		}
+		dev, err = pagedev.OpenFile(opts.Path, opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pool, err := buffer.NewSized(dev, opts.BufferBytes)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	var seg *segment.Segment
+	if existing {
+		seg, err = segment.Open(pool)
+	} else {
+		seg, err = segment.Create(pool)
+	}
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	rm := records.New(seg)
+	var d *dict.Dict
+	if existing {
+		d, err = dict.Open(rm)
+	} else {
+		d, err = dict.Create(rm)
+	}
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	matrix := core.NewSplitMatrix(opts.DefaultPolicy)
+	trees := core.New(rm, core.Config{
+		SplitTarget:    opts.SplitTarget,
+		SplitTolerance: opts.SplitTolerance,
+		Matrix:         matrix,
+		CacheRecords:   opts.CacheRecords,
+		MergeOnDelete:  opts.MergeOnDelete,
+	})
+	var store *docstore.Store
+	if existing {
+		store, err = docstore.Open(trees, d)
+	} else {
+		store, err = docstore.Create(trees, d)
+	}
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return &DB{opts: opts, dev: dev, sim: sim, pool: pool, store: store, matrix: matrix}, nil
+}
+
+// SetPolicy records a split-matrix preference for child elements named
+// child under parents named parent. It affects subsequent insertions.
+func (db *DB) SetPolicy(parent, child string, p Policy) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	pl, err := db.store.Dict().Intern(parent)
+	if err != nil {
+		return err
+	}
+	cl, err := db.store.Dict().Intern(child)
+	if err != nil {
+		return err
+	}
+	db.matrix.Set(pl, cl, p)
+	return nil
+}
+
+// SetTextPolicy records the preference for text nodes under parents
+// named parent.
+func (db *DB) SetTextPolicy(parent string, p Policy) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	pl, err := db.store.Dict().Intern(parent)
+	if err != nil {
+		return err
+	}
+	db.matrix.Set(pl, dict.Text, p)
+	return nil
+}
+
+// ImportXML parses and stores an XML document under the given name using
+// the native tree representation.
+func (db *DB) ImportXML(name string, r io.Reader) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	_, err := db.store.ImportXML(name, r)
+	return err
+}
+
+// ImportXMLFlat stores an XML document as a flat byte stream (the
+// baseline representation: fast whole-document access, no structural
+// access without re-parsing).
+func (db *DB) ImportXMLFlat(name string, r io.Reader) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	_, err := db.store.ImportFlat(name, r)
+	return err
+}
+
+// ExportXML serializes the named document to w.
+func (db *DB) ExportXML(name string, w io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.store.ExportXML(name, w)
+}
+
+// Delete removes the named document.
+func (db *DB) Delete(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.store.Delete(name)
+}
+
+// DocInfo describes a stored document.
+type DocInfo struct {
+	Name string
+	Flat bool
+}
+
+// Documents lists stored documents in name order.
+func (db *DB) Documents() ([]DocInfo, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	var out []DocInfo
+	for _, d := range db.store.Documents() {
+		out = append(out, DocInfo{Name: d.Name, Flat: d.Mode == docstore.ModeFlat})
+	}
+	return out, nil
+}
+
+// Flush writes all buffered pages to the underlying device.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.pool.FlushAll()
+}
+
+// Close flushes and releases the store.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if err := db.pool.FlushAll(); err != nil {
+		db.dev.Close()
+		return err
+	}
+	return db.dev.Close()
+}
+
+// Stats reports storage activity since the store was opened.
+type Stats struct {
+	// Buffer manager.
+	LogicalReads int64
+	BufferHits   int64
+	PhysReads    int64
+	PhysWrites   int64
+	// Tree storage manager.
+	Splits         int64
+	RecordsCreated int64
+	RecordsDeleted int64
+	ParentPatches  int64
+	// Space.
+	SpaceBytes int64
+	PageSize   int
+}
+
+// Stats returns a snapshot of storage counters.
+func (db *DB) Stats() (Stats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return Stats{}, ErrClosed
+	}
+	bs := db.pool.Stats()
+	ts := db.store.Trees().Stats()
+	return Stats{
+		LogicalReads:   bs.LogicalReads,
+		BufferHits:     bs.Hits,
+		PhysReads:      bs.PhysReads,
+		PhysWrites:     bs.PhysWrites,
+		Splits:         ts.Splits,
+		RecordsCreated: ts.RecordsCreated,
+		RecordsDeleted: ts.RecordsDeleted,
+		ParentPatches:  ts.ParentPatches,
+		SpaceBytes:     db.store.Trees().Records().Segment().TotalBytes(),
+		PageSize:       db.opts.PageSize,
+	}, nil
+}
+
+// SimStats returns the simulated-disk statistics. It fails unless the
+// store was opened with SimulateDisk.
+func (db *DB) SimStats() (pagedev.SimStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return pagedev.SimStats{}, ErrClosed
+	}
+	if db.sim == nil {
+		return pagedev.SimStats{}, errors.New("natix: store was opened without SimulateDisk")
+	}
+	return db.sim.Stats(), nil
+}

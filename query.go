@@ -1,0 +1,67 @@
+package natix
+
+import "natix/internal/docstore"
+
+// Match is one result of a path query.
+type Match struct {
+	res docstore.Result
+}
+
+// Text returns the concatenated character data of the matched subtree.
+func (m Match) Text() (string, error) { return m.res.Text() }
+
+// Markup returns the XML serialization of the matched subtree.
+func (m Match) Markup() (string, error) { return m.res.Markup() }
+
+// Query evaluates a path expression against the named document and
+// returns the matches in document order.
+//
+// The query language is the fragment used in the paper's evaluation:
+// absolute child steps (/PLAY/ACT), descendant steps (//SPEAKER), name
+// tests including * for any element and #text for text nodes, and
+// 1-based positional predicates (ACT[3]). Examples, from the paper:
+//
+//	/PLAY/ACT[3]/SCENE[2]//SPEAKER    (query 1)
+//	//SCENE/SPEECH[1]                 (query 2)
+//	/PLAY/ACT[1]/SCENE[1]/SPEECH[1]   (query 3)
+func (db *DB) Query(name, query string) ([]Match, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	res, err := db.store.Query(name, query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(res))
+	for i, r := range res {
+		out[i] = Match{res: r}
+	}
+	return out, nil
+}
+
+// QueryCount returns the number of matches without materializing them.
+func (db *DB) QueryCount(name, query string) (int, error) {
+	m, err := db.Query(name, query)
+	if err != nil {
+		return 0, err
+	}
+	return len(m), nil
+}
+
+// Convert re-stores a document in the other representation: flat
+// (byte-stream) or native tree. Content is preserved; the document's
+// physical organization changes.
+func (db *DB) Convert(name string, flat bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	to := docstore.ModeTree
+	if flat {
+		to = docstore.ModeFlat
+	}
+	return db.store.Convert(name, to)
+}

@@ -1,0 +1,39 @@
+package natix
+
+import (
+	"errors"
+	"io"
+
+	"natix/internal/schema"
+	"natix/internal/xmlkit"
+)
+
+// ErrNoDTD is returned by ValidateXML for documents without a DOCTYPE.
+var ErrNoDTD = errors.New("natix: document has no DOCTYPE declaration")
+
+// ValidateXML parses an XML document and validates it against the DTD in
+// its own DOCTYPE declaration ("document validation in the XML world",
+// paper §2.1). It returns one message per violation; a nil slice means
+// the document is valid.
+func ValidateXML(r io.Reader) ([]string, error) {
+	doc, err := xmlkit.Parse(r, xmlkit.ParseOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if doc.DoctypeRaw == "" {
+		return nil, ErrNoDTD
+	}
+	dtd, err := schema.ParseDTD(doc.DoctypeRaw)
+	if err != nil {
+		return nil, err
+	}
+	violations := dtd.Validate(doc.Root)
+	if len(violations) == 0 {
+		return nil, nil
+	}
+	out := make([]string, len(violations))
+	for i, v := range violations {
+		out[i] = v.Error()
+	}
+	return out, nil
+}
