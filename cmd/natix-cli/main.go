@@ -24,6 +24,7 @@ func main() {
 		dbPath   = flag.String("db", "natix.db", "database file")
 		pageSize = flag.Int("pagesize", 8192, "page size for new stores")
 		buffer   = flag.Int("buffer", 2<<20, "buffer pool bytes")
+		pathIdx  = flag.Bool("pathindex", false, "maintain and use the path index")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -33,7 +34,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := natix.Open(natix.Options{Path: *dbPath, PageSize: *pageSize, BufferBytes: *buffer})
+	db, err := natix.Open(natix.Options{Path: *dbPath, PageSize: *pageSize, BufferBytes: *buffer, PathIndex: *pathIdx})
 	if err != nil {
 		fatalf("open %s: %v", *dbPath, err)
 	}
@@ -128,6 +129,14 @@ func main() {
 			fatalf("rm: %v", err)
 		}
 		fmt.Printf("removed %q\n", rest[0])
+	case "reindex":
+		if len(rest) != 1 {
+			fatalf("usage: reindex <name>")
+		}
+		if err := db.ReindexDocument(rest[0]); err != nil {
+			fatalf("reindex: %v", err)
+		}
+		fmt.Printf("reindexed %q\n", rest[0])
 	case "stats":
 		st, err := db.Stats()
 		if err != nil {
@@ -142,6 +151,8 @@ func main() {
 		fmt.Printf("records created:  %d\n", st.RecordsCreated)
 		fmt.Printf("records deleted:  %d\n", st.RecordsDeleted)
 		fmt.Printf("parent patches:   %d\n", st.ParentPatches)
+		fmt.Printf("index builds:     %d\n", st.PathIndexBuilds)
+		fmt.Printf("indexed queries:  %d / %d tree-mode\n", st.IndexedQueries, st.IndexedQueries+st.ScanQueries)
 	default:
 		usage()
 		os.Exit(2)
@@ -151,7 +162,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `natix-cli — manage a NATIX XML store
 
-usage: natix-cli [-db file] [-pagesize n] [-buffer n] <command> [args]
+usage: natix-cli [-db file] [-pagesize n] [-buffer n] [-pathindex] <command> [args]
 
 commands:
   import [-flat] <name> <file.xml>   store a document (tree or flat mode)
@@ -160,6 +171,7 @@ commands:
   validate <file.xml>                check a document against its own DTD
   ls                                 list documents
   rm <name>                          remove a document
+  reindex <name>                     rebuild a document's path index
   stats                              storage statistics
 `)
 }

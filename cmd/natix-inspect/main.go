@@ -9,6 +9,7 @@
 //	natix-inspect -db plays.natix -pages          # per-page occupancy
 //	natix-inspect -db plays.natix -doc othello    # record tree of a doc
 //	natix-inspect -db plays.natix -check          # verify invariants
+//	natix-inspect -db plays.natix -pathindex      # path summaries + postings
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"natix/internal/noderep"
 	"natix/internal/pagedev"
 	"natix/internal/pageformat"
+	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
 )
@@ -34,6 +36,7 @@ func main() {
 		pages    = flag.Bool("pages", false, "list per-page occupancy")
 		doc      = flag.String("doc", "", "dump the record tree of this document")
 		check    = flag.Bool("check", false, "verify invariants of every document")
+		pathIdx  = flag.Bool("pathindex", false, "dump path summaries and postings sizes")
 	)
 	flag.Parse()
 
@@ -82,6 +85,67 @@ func main() {
 	if *check {
 		checkAll(store)
 	}
+	if *pathIdx {
+		dumpPathIndex(rm, d)
+	}
+}
+
+// dumpPathIndex prints each indexed document's path summary (every
+// distinct label path with its occurrence count) and the size of each
+// posting list.
+func dumpPathIndex(rm *records.Manager, d *dict.Dict) {
+	px, err := pathindex.Open(rm)
+	if err != nil {
+		fatalf("open path index: %v", err)
+	}
+	names := px.Names()
+	if len(names) == 0 {
+		fmt.Printf("\npath index: no indexed documents\n")
+		return
+	}
+	for _, name := range names {
+		idx, err := px.Get(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		size, err := px.BlobSize(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("\npath index of %q: %d nodes, %d paths, %d bytes\n",
+			name, idx.NumNodes(), idx.NumPaths(), size)
+		fmt.Printf("  summary:\n")
+		for id := pathindex.PathID(1); int(id) <= idx.NumPaths(); id++ {
+			fmt.Printf("    %-50s %7d\n", pathString(idx, d, id), idx.Path(id).Count)
+		}
+		fmt.Printf("  postings:\n")
+		for _, label := range idx.PostingLabels() {
+			lname, err := d.Name(label)
+			if err != nil {
+				lname = fmt.Sprintf("label#%d", label)
+			}
+			fmt.Printf("    %-20s %7d postings\n", lname, idx.PostingCount(label))
+		}
+	}
+}
+
+// pathString renders a summary path like /PLAY/ACT/SCENE.
+func pathString(idx *pathindex.Handle, d *dict.Dict, id pathindex.PathID) string {
+	var labels []string
+	for id != pathindex.NilPath {
+		pn := idx.Path(id)
+		name, err := d.Name(pn.Label)
+		if err != nil {
+			name = fmt.Sprintf("label#%d", pn.Label)
+		}
+		labels = append(labels, name)
+		id = pn.Parent
+	}
+	out := ""
+	for i := len(labels) - 1; i >= 0; i-- {
+		out += "/" + labels[i]
+	}
+	return out
 }
 
 func dumpPages(seg *segment.Segment, pool *buffer.Pool) {

@@ -51,6 +51,9 @@ func (d *Document) InsertElement(parentPath []int, idx int, name string) error {
 	if err != nil {
 		return err
 	}
+	if err := d.db.store.PrepareMutation(d.name); err != nil {
+		return err
+	}
 	if err := d.tree.InsertChild(core.Path(parentPath), idx, noderep.NewAggregate(label)); err != nil {
 		return err
 	}
@@ -65,6 +68,9 @@ func (d *Document) InsertText(parentPath []int, idx int, text string) error {
 	if d.db.closed {
 		return ErrClosed
 	}
+	if err := d.db.store.PrepareMutation(d.name); err != nil {
+		return err
+	}
 	if err := d.tree.InsertChild(core.Path(parentPath), idx, noderep.NewTextLiteral(text)); err != nil {
 		return err
 	}
@@ -77,6 +83,9 @@ func (d *Document) DeleteNode(path []int) error {
 	defer d.db.mu.Unlock()
 	if d.db.closed {
 		return ErrClosed
+	}
+	if err := d.db.store.PrepareMutation(d.name); err != nil {
+		return err
 	}
 	if err := d.tree.Delete(core.Path(path)); err != nil {
 		return err

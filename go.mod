@@ -1,0 +1,3 @@
+module natix
+
+go 1.24

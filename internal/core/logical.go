@@ -61,6 +61,111 @@ func (t *Tree) Root() (NodeRef, error) {
 	return NodeRef{rid: t.rootRID, node: rec.Root, rec: rec}, nil
 }
 
+// isFacade reports whether a physical node is part of the logical
+// document (a non-scaffold aggregate or a literal), as opposed to the
+// scaffolding proxies and helper aggregates introduced by splits.
+func isFacade(n *noderep.Node) bool {
+	switch n.Kind {
+	case noderep.KindAggregate:
+		return !n.Scaffold
+	case noderep.KindLiteral:
+		return true
+	}
+	return false
+}
+
+// FacadeIndexer assigns each node its *facade index*: the node's
+// position in its record's facade enumeration — the pre-order walk of
+// the record's physical tree counting only facade nodes (proxies are
+// leaves of that walk, so the enumeration never leaves the record).
+// Together with the record RID the facade index forms a persistable
+// logical node address that stays valid as long as the record is not
+// rewritten — the address the path index stores in its postings, and
+// what RefsByFacadeIndex resolves.
+//
+// Enumerations are memoized per parsed record, so addressing every
+// node of a record costs one walk instead of one walk per node. The
+// memo is keyed on parsed record instances and must not outlive
+// mutations of the tree.
+type FacadeIndexer struct {
+	memo map[*noderep.Record]map[*noderep.Node]int
+}
+
+// NewFacadeIndexer returns an empty indexer.
+func NewFacadeIndexer() *FacadeIndexer {
+	return &FacadeIndexer{memo: make(map[*noderep.Record]map[*noderep.Node]int)}
+}
+
+// Index returns FacadeIndex(ref), computing each record's enumeration
+// at most once.
+func (fi *FacadeIndexer) Index(ref NodeRef) (int, error) {
+	m, ok := fi.memo[ref.rec]
+	if !ok {
+		m = make(map[*noderep.Node]int)
+		i := 0
+		ref.rec.Root.Walk(func(n *noderep.Node) bool {
+			if isFacade(n) {
+				m[n] = i
+				i++
+			}
+			return true
+		})
+		fi.memo[ref.rec] = m
+	}
+	idx, ok := m[ref.node]
+	if !ok {
+		return 0, fmt.Errorf("core: node not found in record %s", ref.rid)
+	}
+	return idx, nil
+}
+
+// RefByFacadeIndex resolves a (record, facade index) address back to a
+// NodeRef, loading the record through the buffer pool.
+func (s *Store) RefByFacadeIndex(rid records.RID, idx int) (NodeRef, error) {
+	refs, err := s.RefsByFacadeIndex(rid, []int{idx})
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return refs[0], nil
+}
+
+// RefsByFacadeIndex resolves several facade indices of one record with
+// a single record load and walk. The result is parallel to idxs, which
+// may be in any order.
+func (s *Store) RefsByFacadeIndex(rid records.RID, idxs []int) ([]NodeRef, error) {
+	rec, err := s.loadRecord(rid)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[int][]int, len(idxs)) // facade index -> positions in out
+	for pos, idx := range idxs {
+		want[idx] = append(want[idx], pos)
+	}
+	out := make([]NodeRef, len(idxs))
+	remaining := len(want)
+	i := 0
+	rec.Root.Walk(func(n *noderep.Node) bool {
+		if !isFacade(n) {
+			return true
+		}
+		if positions, ok := want[i]; ok {
+			for _, pos := range positions {
+				out[pos] = NodeRef{rid: rid, node: n, rec: rec}
+			}
+			remaining--
+			if remaining == 0 {
+				return false
+			}
+		}
+		i++
+		return true
+	})
+	if remaining != 0 {
+		return nil, fmt.Errorf("core: facade nodes missing in record %s (want %v)", rid, idxs)
+	}
+	return out, nil
+}
+
 // physPos locates a physical child slot: the record, the physical parent
 // aggregate inside it, and the index among that aggregate's children.
 type physPos struct {

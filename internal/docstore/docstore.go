@@ -24,6 +24,7 @@ import (
 	"natix/internal/core"
 	"natix/internal/dict"
 	"natix/internal/noderep"
+	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
 	"natix/internal/xmlkit"
@@ -66,6 +67,23 @@ type Store struct {
 
 	catalog   map[string]*DocInfo
 	catalogID records.RID // blob holding the serialized catalog; nil if empty
+
+	// pindex, when attached, is the persistent path-index store. It is
+	// attached even in sessions that do not use the index so that
+	// Delete always drops a document's index — otherwise a session
+	// without indexing could delete and re-import a document and leave
+	// a stale index for later sessions to answer queries from. indexOn
+	// additionally enables building on import and answering queries.
+	pindex  *pathindex.Store
+	indexOn bool
+	istats  IndexStats
+}
+
+// IndexStats counts path-index activity.
+type IndexStats struct {
+	Builds         int64 // index builds (imports and reindexes)
+	IndexedQueries int64 // tree-mode queries answered from the index
+	ScanQueries    int64 // tree-mode queries evaluated by navigation
 }
 
 // Create initializes a document manager over a fresh segment: the label
@@ -118,6 +136,58 @@ func (s *Store) Trees() *core.Store { return s.trees }
 
 // Dict exposes the label dictionary.
 func (s *Store) Dict() *dict.Dict { return s.dict }
+
+// EnablePathIndex attaches a path-index store and turns indexing on:
+// ImportXML / ImportTree build an index for each new tree-mode
+// document, Delete drops it, mutations through FinishBulk drop it,
+// and Query answers descendant steps from it when it can.
+func (s *Store) EnablePathIndex(px *pathindex.Store) {
+	s.pindex = px
+	s.indexOn = true
+}
+
+// AttachPathIndex attaches a path-index store for maintenance only:
+// Delete and FinishBulk drop stale indexes, but no indexes are built
+// and queries never consult them. Sessions opened without indexing use
+// this so they cannot strand stale indexes for later sessions.
+func (s *Store) AttachPathIndex(px *pathindex.Store) { s.pindex = px }
+
+// PathIndex returns the attached path-index store (nil when disabled).
+func (s *Store) PathIndex() *pathindex.Store { return s.pindex }
+
+// IndexStats returns the path-index activity counters.
+func (s *Store) IndexStats() IndexStats { return s.istats }
+
+// buildIndex builds and persists the path index of a tree-mode document.
+func (s *Store) buildIndex(name string, root records.RID) error {
+	idx, err := pathindex.Build(s.trees, root)
+	if err != nil {
+		return fmt.Errorf("docstore: index %q: %w", name, err)
+	}
+	if err := s.pindex.Put(name, idx); err != nil {
+		return err
+	}
+	s.istats.Builds++
+	return nil
+}
+
+// ReindexDocument rebuilds the path index of a tree-mode document. It is
+// the maintenance hook for documents mutated through the tree storage
+// manager directly, mutated via FinishBulk (which drops the index), or
+// imported before indexing was enabled.
+func (s *Store) ReindexDocument(name string) error {
+	if s.pindex == nil || !s.indexOn {
+		return errors.New("docstore: path index not enabled")
+	}
+	info, ok := s.catalog[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if info.Mode != ModeTree {
+		return fmt.Errorf("docstore: %q is not a tree-mode document", name)
+	}
+	return s.buildIndex(name, info.Root)
+}
 
 // encodeCatalog serializes the catalog: count, then entries.
 func (s *Store) encodeCatalog() []byte {
@@ -221,11 +291,16 @@ func (s *Store) Tree(name string) (*core.Tree, error) {
 	return s.trees.OpenTree(info.Root), nil
 }
 
-// Delete removes a document and its storage.
+// Delete removes a document and its storage, dropping its path index.
 func (s *Store) Delete(name string) error {
 	info, ok := s.catalog[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if s.pindex != nil {
+		if err := s.pindex.Drop(name); err != nil {
+			return err
+		}
 	}
 	switch info.Mode {
 	case ModeTree:
@@ -333,7 +408,17 @@ func (s *Store) ImportTree(name string, root *xmlkit.Node) (DocInfo, error) {
 		return DocInfo{}, err
 	}
 	info := &DocInfo{Name: name, Mode: ModeTree, Root: tree.RootRID()}
+	// Index before registering: a failed build must not leave a
+	// registered-but-unindexed document behind a returned error.
+	if s.pindex != nil && s.indexOn {
+		if err := s.buildIndex(name, info.Root); err != nil {
+			return DocInfo{}, err
+		}
+	}
 	if err := s.register(info); err != nil {
+		if s.pindex != nil && s.indexOn {
+			_ = s.pindex.Drop(name) // best-effort rollback
+		}
 		return DocInfo{}, err
 	}
 	return *info, nil
@@ -402,8 +487,28 @@ func (s *Store) insertText(tree *core.Tree, path core.Path, pos int, text string
 	return nil
 }
 
-// FinishBulk persists any root-RID change after bulk mutations.
+// PrepareMutation drops the document's path index ahead of a tree
+// mutation. Mutations invalidate the postings (they address nodes by
+// record and position), and dropping first fails closed: if the drop
+// cannot be persisted the mutation is refused, so a live index can
+// never address post-mutation positions. Queries fall back to the
+// scan until ReindexDocument rebuilds the index.
+func (s *Store) PrepareMutation(name string) error {
+	if s.pindex == nil {
+		return nil
+	}
+	return s.pindex.Drop(name)
+}
+
+// FinishBulk persists any root-RID change after bulk mutations. The
+// index was dropped by PrepareMutation; dropping again here covers
+// callers that mutate without announcing.
 func (s *Store) FinishBulk(name string, tree *core.Tree) error {
+	if s.pindex != nil {
+		if err := s.pindex.Drop(name); err != nil {
+			return err
+		}
+	}
 	return s.updateRoot(name, tree.RootRID())
 }
 

@@ -104,7 +104,10 @@ func (r Result) Markup() (string, error) {
 // Query evaluates a path expression against a document. For flat-mode
 // documents the whole stream is read and parsed first — exactly the
 // access cost the paper ascribes to flat storage ("Accessing the
-// documents' structure is only possible through parsing", §1).
+// documents' structure is only possible through parsing", §1). For
+// tree-mode documents the path index answers the query when one is
+// stored and every step is a plain name test; otherwise the evaluator
+// navigates the stored tree.
 func (s *Store) Query(name, query string) ([]Result, error) {
 	steps, err := ParseQuery(query)
 	if err != nil {
@@ -115,21 +118,92 @@ func (s *Store) Query(name, query string) ([]Result, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if info.Mode == ModeFlat {
-		body, err := s.blobs.Read(info.Root)
+		matches, err := s.evalFlat(info, steps)
 		if err != nil {
 			return nil, err
 		}
-		doc, err := xmlkit.ParseString(string(body), xmlkit.ParseOptions{})
-		if err != nil {
-			return nil, err
-		}
-		matches := evalXML(doc.Root, steps)
 		out := make([]Result, len(matches))
 		for i, m := range matches {
 			out[i] = Result{Mode: ModeFlat, XML: m, store: s}
 		}
 		return out, nil
 	}
+	ctx, err := s.evalTree(info, steps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(ctx))
+	for i, ref := range ctx {
+		out[i] = Result{Mode: ModeTree, Ref: ref, store: s}
+	}
+	return out, nil
+}
+
+// QueryCount returns the number of matches without materializing
+// results. On the indexed path the matches are counted directly from
+// the posting lists, never touching the matched records.
+func (s *Store) QueryCount(name, query string) (int, error) {
+	steps, err := ParseQuery(query)
+	if err != nil {
+		return 0, err
+	}
+	info, ok := s.catalog[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if info.Mode == ModeFlat {
+		matches, err := s.evalFlat(info, steps)
+		return len(matches), err
+	}
+	idx, err := s.indexFor(info, steps)
+	if err != nil {
+		return 0, err
+	}
+	if idx != nil {
+		s.istats.IndexedQueries++
+		posts, err := s.evalIndexed(idx, steps)
+		return len(posts), err
+	}
+	s.istats.ScanQueries++
+	refs, err := s.evalScan(info, steps)
+	return len(refs), err
+}
+
+// evalFlat reads, parses and evaluates a flat-mode document.
+func (s *Store) evalFlat(info *DocInfo, steps []Step) ([]*xmlkit.Node, error) {
+	body, err := s.blobs.Read(info.Root)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := xmlkit.ParseString(string(body), xmlkit.ParseOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return evalXML(doc.Root, steps), nil
+}
+
+// evalTree evaluates steps over a tree-mode document, through the path
+// index when possible.
+func (s *Store) evalTree(info *DocInfo, steps []Step) ([]core.NodeRef, error) {
+	idx, err := s.indexFor(info, steps)
+	if err != nil {
+		return nil, err
+	}
+	if idx != nil {
+		s.istats.IndexedQueries++
+		posts, err := s.evalIndexed(idx, steps)
+		if err != nil {
+			return nil, err
+		}
+		return s.resolvePostings(posts)
+	}
+	s.istats.ScanQueries++
+	return s.evalScan(info, steps)
+}
+
+// evalScan evaluates steps by navigating the stored tree (the fallback
+// when no index applies).
+func (s *Store) evalScan(info *DocInfo, steps []Step) ([]core.NodeRef, error) {
 	tree := s.trees.OpenTree(info.Root)
 	root, err := tree.Root()
 	if err != nil {
@@ -157,7 +231,7 @@ func (s *Store) Query(name, query string) ([]Result, error) {
 			ctx = []core.NodeRef{root}
 		}
 	}
-	ctx = applyPosRefs(ctx, first.Pos)
+	ctx = applyPos(ctx, first.Pos)
 	for _, st := range rest {
 		var next []core.NodeRef
 		for _, ref := range ctx {
@@ -179,18 +253,14 @@ func (s *Store) Query(name, query string) ([]Result, error) {
 					}
 				}
 			}
-			next = append(next, applyPosRefs(matches, st.Pos)...)
+			next = append(next, applyPos(matches, st.Pos)...)
 		}
 		ctx = next
 		if len(ctx) == 0 {
 			break
 		}
 	}
-	out := make([]Result, len(ctx))
-	for i, ref := range ctx {
-		out[i] = Result{Mode: ModeTree, Ref: ref, store: s}
-	}
-	return out, nil
+	return ctx, nil
 }
 
 // refMatches tests a name step against a node.
@@ -236,12 +306,14 @@ func (s *Store) collectDescendants(ref core.NodeRef, name string, out *[]core.No
 	return nil
 }
 
-func applyPosRefs(refs []core.NodeRef, pos int) []core.NodeRef {
+// applyPos applies a 1-based positional predicate to a match list
+// (pos == 0 selects all).
+func applyPos[T any](matches []T, pos int) []T {
 	if pos == 0 {
-		return refs
+		return matches
 	}
-	if pos <= len(refs) {
-		return refs[pos-1 : pos]
+	if pos <= len(matches) {
+		return matches[pos-1 : pos]
 	}
 	return nil
 }
@@ -261,7 +333,7 @@ func evalXML(root *xmlkit.Node, steps []Step) []*xmlkit.Node {
 	} else if xmlMatches(root, first.Name) {
 		ctx = []*xmlkit.Node{root}
 	}
-	ctx = applyPosXML(ctx, first.Pos)
+	ctx = applyPos(ctx, first.Pos)
 	for _, st := range rest {
 		var next []*xmlkit.Node
 		for _, n := range ctx {
@@ -275,7 +347,7 @@ func evalXML(root *xmlkit.Node, steps []Step) []*xmlkit.Node {
 					}
 				}
 			}
-			next = append(next, applyPosXML(matches, st.Pos)...)
+			next = append(next, applyPos(matches, st.Pos)...)
 		}
 		ctx = next
 		if len(ctx) == 0 {
@@ -299,14 +371,4 @@ func collectXMLDescendants(n *xmlkit.Node, name string, out *[]*xmlkit.Node) {
 		}
 		collectXMLDescendants(c, name, out)
 	}
-}
-
-func applyPosXML(nodes []*xmlkit.Node, pos int) []*xmlkit.Node {
-	if pos == 0 {
-		return nodes
-	}
-	if pos <= len(nodes) {
-		return nodes[pos-1 : pos]
-	}
-	return nil
 }

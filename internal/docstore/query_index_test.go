@@ -1,0 +1,274 @@
+package docstore
+
+import (
+	"strings"
+	"testing"
+
+	"natix/internal/core"
+	"natix/internal/pathindex"
+)
+
+// nested exercises the corners of step semantics: repeated labels on a
+// path (nested DIVs, so descendant steps see duplicate contexts),
+// attributes, an empty element, and multiple siblings of one label.
+const nested = `<DOC a="1"><DIV id="d1"><DIV id="d2"><A>x</A></DIV><A>y</A><B></B></DIV><A>z</A></DOC>`
+
+// equivalenceQueries covers leading/interior descendant steps, child
+// steps, predicates, misses, and the fallback name tests.
+var equivalenceQueries = []string{
+	"/PLAY//SPEAKER",
+	"/PLAY/ACT[1]/SCENE[2]//SPEAKER",
+	"//SCENE/SPEECH[1]",
+	"/PLAY/ACT[1]/SCENE[1]/SPEECH[1]",
+	"//SPEECH//LINE",
+	"//LINE[2]",
+	"//TITLE",
+	"//ACT/TITLE",
+	"/PLAY//NOSUCH",
+	"/WRONG//SPEAKER",
+	"//SPEECH[2]",
+	"/PLAY/ACT/SCENE//SPEAKER",
+	"/DOC//A",
+	"//DIV//A",
+	"//DIV/A",
+	"//DIV/DIV",
+	"//DIV[1]",
+	"//DIV[1]//A",
+	"//A[2]",
+	"/DOC/DIV/A[1]",
+	"//@id",
+	"/DOC/@a",
+	"//DIV/@id[1]",
+	// Fallback shapes: "*" and "#text" are not index-answerable.
+	"//DIV/*",
+	"//SPEECH/*",
+	"//SPEAKER/#text",
+	"/PLAY/*//SPEAKER",
+}
+
+func enableIndex(t *testing.T, s *Store) *pathindex.Store {
+	t.Helper()
+	px, err := pathindex.Open(s.Trees().Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnablePathIndex(px)
+	return px
+}
+
+// markups renders every match so result sets can be compared
+// byte-for-byte.
+func markups(t *testing.T, s *Store, doc, query string) []string {
+	t.Helper()
+	res, err := s.Query(doc, query)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", query, doc, err)
+	}
+	out := make([]string, len(res))
+	for i, r := range res {
+		m, err := r.Markup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func importBoth(t *testing.T, s *Store) {
+	t.Helper()
+	for name, text := range map[string]string{"p": play, "n": nested} {
+		if _, err := s.ImportXML(name, strings.NewReader(text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func docFor(q string) string {
+	if strings.Contains(q, "DIV") || strings.Contains(q, "DOC") || strings.Contains(q, "@") {
+		return "n"
+	}
+	return "p"
+}
+
+// TestIndexedScanEquivalence runs every query on an indexed store and a
+// plain one and requires byte-identical result sets. The small page
+// size forces record splits, so postings cross proxies and scaffolds.
+func TestIndexedScanEquivalence(t *testing.T) {
+	indexed, _ := newDocStore(t, 512, core.Config{})
+	enableIndex(t, indexed)
+	plain, _ := newDocStore(t, 512, core.Config{})
+	importBoth(t, indexed)
+	importBoth(t, plain)
+
+	for _, q := range equivalenceQueries {
+		doc := docFor(q)
+		got := markups(t, indexed, doc, q)
+		want := markups(t, plain, doc, q)
+		if strings.Join(got, "\x00") != strings.Join(want, "\x00") {
+			t.Errorf("%s on %s:\nindexed: %q\nscan:    %q", q, doc, got, want)
+		}
+	}
+
+	// The indexed store actually used its index: every query without a
+	// "*"/"#text" test is indexed, the rest fall back.
+	st := indexed.IndexStats()
+	var wantIndexed, wantScan int64
+	for _, q := range equivalenceQueries {
+		if strings.Contains(q, "*") || strings.Contains(q, "#text") {
+			wantScan++
+		} else {
+			wantIndexed++
+		}
+	}
+	if st.IndexedQueries != wantIndexed || st.ScanQueries != wantScan {
+		t.Errorf("IndexStats = %+v, want %d indexed / %d scan", st, wantIndexed, wantScan)
+	}
+	if st.Builds != 2 {
+		t.Errorf("Builds = %d, want 2", st.Builds)
+	}
+}
+
+// TestQueryCountMatchesQuery checks the counting evaluator against
+// materialized queries on indexed, plain and flat stores.
+func TestQueryCountMatchesQuery(t *testing.T) {
+	indexed, _ := newDocStore(t, 512, core.Config{})
+	enableIndex(t, indexed)
+	plain, _ := newDocStore(t, 512, core.Config{})
+	flat, _ := newDocStore(t, 512, core.Config{})
+	importBoth(t, indexed)
+	importBoth(t, plain)
+	for name, text := range map[string]string{"p": play, "n": nested} {
+		if _, err := flat.ImportFlat(name, strings.NewReader(text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range equivalenceQueries {
+		doc := docFor(q)
+		for _, s := range []*Store{indexed, plain, flat} {
+			res, err := s.Query(doc, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := s.QueryCount(doc, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(res) {
+				t.Errorf("QueryCount(%s on %s) = %d, want %d", q, doc, n, len(res))
+			}
+		}
+	}
+}
+
+// TestIndexMaintenance checks the index follows the document through
+// delete, convert, and reindex.
+func TestIndexMaintenance(t *testing.T) {
+	s, _ := newDocStore(t, 512, core.Config{})
+	px := enableIndex(t, s)
+
+	if _, err := s.ImportXML("p", strings.NewReader(play)); err != nil {
+		t.Fatal(err)
+	}
+	if !px.Has("p") {
+		t.Fatal("import did not build an index")
+	}
+
+	// Convert to flat drops the index; converting back rebuilds it.
+	if err := s.Convert("p", ModeFlat); err != nil {
+		t.Fatal(err)
+	}
+	if px.Has("p") {
+		t.Fatal("index survived conversion to flat")
+	}
+	if err := s.Convert("p", ModeTree); err != nil {
+		t.Fatal(err)
+	}
+	if !px.Has("p") {
+		t.Fatal("conversion back to tree did not rebuild the index")
+	}
+	if got := markups(t, s, "p", "/PLAY//SPEAKER"); len(got) != 5 {
+		t.Fatalf("speakers after convert = %d", len(got))
+	}
+
+	if err := s.Delete("p"); err != nil {
+		t.Fatal(err)
+	}
+	if px.Has("p") {
+		t.Fatal("index survived delete")
+	}
+
+	// ReindexDocument: error cases and the mutate-then-reindex flow.
+	if err := s.ReindexDocument("p"); err == nil {
+		t.Fatal("reindex of a missing document succeeded")
+	}
+	if _, err := s.ImportFlat("f", strings.NewReader(play)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReindexDocument("f"); err == nil {
+		t.Fatal("reindex of a flat document succeeded")
+	}
+	plain, _ := newDocStore(t, 512, core.Config{})
+	if _, err := plain.ImportXML("p", strings.NewReader(play)); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.ReindexDocument("p"); err == nil {
+		t.Fatal("reindex without an index store succeeded")
+	}
+}
+
+// TestParseQueryEdgeCases pins the parser's error behavior on the
+// malformed shapes users actually type.
+func TestParseQueryEdgeCases(t *testing.T) {
+	bad := []string{
+		"",        // empty query
+		"PLAY",    // no leading slash
+		"/",       // trailing slash only
+		"/PLAY/",  // trailing slash
+		"/PLAY//", // trailing descendant slash
+		"//",      // empty descendant step
+		"/A//B/",  // interior ok, trailing empty
+		"/A[1",    // unclosed predicate
+		"/A[",     // unclosed predicate, empty
+		"/A[]",    // empty predicate
+		"/A[x]",   // non-numeric predicate
+		"/A[0]",   // position below 1
+		"/A[-3]",  // negative position
+		"/A[1]B",  // trailing garbage after predicate
+		"/A/[1]",  // predicate without a name
+		"//[2]",   // descendant predicate without a name
+	}
+	for _, q := range bad {
+		if steps, err := ParseQuery(q); err == nil {
+			t.Errorf("ParseQuery(%q) = %+v, want error", q, steps)
+		}
+	}
+
+	good := []struct {
+		q    string
+		want []Step
+	}{
+		{"/*", []Step{{Name: "*"}}},
+		{"//*", []Step{{Name: "*", Descendant: true}}},
+		{"/A/*[2]", []Step{{Name: "A"}, {Name: "*", Pos: 2}}},
+		{"//#text", []Step{{Name: "#text", Descendant: true}}},
+		{"/A//#text[1]", []Step{{Name: "A"}, {Name: "#text", Descendant: true, Pos: 1}}},
+		{"/A[12]//B", []Step{{Name: "A", Pos: 12}, {Name: "B", Descendant: true}}},
+	}
+	for _, g := range good {
+		steps, err := ParseQuery(g.q)
+		if err != nil {
+			t.Errorf("ParseQuery(%q): %v", g.q, err)
+			continue
+		}
+		if len(steps) != len(g.want) {
+			t.Errorf("ParseQuery(%q) = %+v, want %+v", g.q, steps, g.want)
+			continue
+		}
+		for i := range g.want {
+			if steps[i] != g.want[i] {
+				t.Errorf("ParseQuery(%q)[%d] = %+v, want %+v", g.q, i, steps[i], g.want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package docstore
+
+import (
+	"errors"
+
+	"natix/internal/core"
+	"natix/internal/pathindex"
+	"natix/internal/records"
+)
+
+// The indexed evaluator answers a whole query from the path index when
+// every step is a plain element name test: context sets are posting
+// lists instead of node refs, descendant steps become binary-searched
+// containment ranges over the step label's postings, and child steps
+// additionally require the summary path of the candidate to extend the
+// context node's path by exactly one label. Only the final matches are
+// resolved to records; non-matching subtrees are never visited.
+//
+// The semantics mirror evalScan exactly — per-context match lists,
+// positional predicates applied per context node (globally for the
+// first step), duplicates preserved for nested descendant contexts —
+// so the two paths return identical results.
+
+// indexFor returns a handle on the document's index when the query can
+// use it: indexing is enabled, the document has a stored index, and
+// every step is a plain name test (the "*" and "#text" tests match
+// nodes the postings do not cover, so those queries fall back to the
+// scan path). Only the index summary is loaded here; posting lists are
+// read lazily, per step label.
+func (s *Store) indexFor(info *DocInfo, steps []Step) (*pathindex.Handle, error) {
+	if s.pindex == nil || !s.indexOn || info.Mode != ModeTree {
+		return nil, nil
+	}
+	for _, st := range steps {
+		if st.Name == "*" || st.Name == "#text" {
+			return nil, nil
+		}
+	}
+	h, err := s.pindex.Get(info.Name)
+	if errors.Is(err, pathindex.ErrCorrupt) {
+		// A damaged index must not take queries down with it: the scan
+		// path needs nothing from the index and is always correct.
+		// ReindexDocument repairs the index.
+		return nil, nil
+	}
+	return h, err
+}
+
+// evalIndexed evaluates steps over the posting lists, returning the
+// matches in the same order (with the same duplicates) as evalScan.
+// Step names are resolved through the label dictionary; a name that was
+// never interned cannot occur in any document and matches nothing.
+func (s *Store) evalIndexed(idx *pathindex.Handle, steps []Step) ([]pathindex.Posting, error) {
+	if len(steps) == 0 {
+		return nil, nil
+	}
+	first, rest := steps[0], steps[1:]
+	label, ok := s.dict.Lookup(first.Name)
+	var ctx []pathindex.Posting
+	if ok {
+		if first.Descendant {
+			// Every posting of the label, root included: postings are in
+			// document order, which is what collectDescendants produces
+			// (with the root, if it matches, first).
+			list, err := idx.Postings(label)
+			if err != nil {
+				return nil, err
+			}
+			ctx = list
+		} else if idx.RootLabel() == label {
+			if root, found, err := idx.Root(); err != nil {
+				return nil, err
+			} else if found {
+				ctx = []pathindex.Posting{root}
+			}
+		}
+	}
+	ctx = applyPos(ctx, first.Pos)
+	for _, st := range rest {
+		if len(ctx) == 0 {
+			break
+		}
+		label, ok := s.dict.Lookup(st.Name)
+		if !ok {
+			return nil, nil
+		}
+		list, err := idx.Postings(label)
+		if err != nil {
+			return nil, err
+		}
+		var next []pathindex.Posting
+		for _, c := range ctx {
+			within := pathindex.Within(list, c)
+			var matches []pathindex.Posting
+			if st.Descendant {
+				matches = within
+			} else {
+				cDepth := idx.Path(c.Path).Depth
+				for _, p := range within {
+					pn := idx.Path(p.Path)
+					if pn.Depth == cDepth+1 && pn.Parent == c.Path {
+						matches = append(matches, p)
+					}
+				}
+			}
+			next = append(next, applyPos(matches, st.Pos)...)
+		}
+		ctx = next
+	}
+	return ctx, nil
+}
+
+// resolvePostings materializes postings as node refs. Matches are
+// grouped by record so each matching record is loaded exactly once,
+// regardless of how many matches it holds.
+func (s *Store) resolvePostings(posts []pathindex.Posting) ([]core.NodeRef, error) {
+	if len(posts) == 0 {
+		return nil, nil
+	}
+	type group struct {
+		locals    []int
+		positions []int
+	}
+	order := make([]records.RID, 0, 8)
+	groups := make(map[records.RID]*group)
+	for i, p := range posts {
+		g, ok := groups[p.RID]
+		if !ok {
+			g = &group{}
+			groups[p.RID] = g
+			order = append(order, p.RID)
+		}
+		g.locals = append(g.locals, int(p.Local))
+		g.positions = append(g.positions, i)
+	}
+	out := make([]core.NodeRef, len(posts))
+	for _, rid := range order {
+		g := groups[rid]
+		refs, err := s.trees.RefsByFacadeIndex(rid, g.locals)
+		if err != nil {
+			return nil, err
+		}
+		for j, pos := range g.positions {
+			out[pos] = refs[j]
+		}
+	}
+	return out, nil
+}

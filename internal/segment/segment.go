@@ -27,11 +27,11 @@ type rootSlot = int
 
 // Root pointer slots reserved in the segment header.
 const (
-	RootCatalog = 0 // document catalog (package docstore)
-	RootDict    = 1 // label dictionary (package dict)
-	RootSpare2  = 2
-	RootSpare3  = 3
-	NumRoots    = 4
+	RootCatalog   = 0 // document catalog (package docstore)
+	RootDict      = 1 // label dictionary (package dict)
+	RootPathIndex = 2 // path-index catalog (package pathindex)
+	RootSpare3    = 3
+	NumRoots      = 4
 )
 
 // Header page layout (after the 8-byte common header).

@@ -26,9 +26,30 @@
 //		text, _ := m.Text()
 //	}
 //
-// See the examples directory for runnable programs, DESIGN.md for the
-// system inventory and EXPERIMENTS.md for the reproduction of the
-// paper's measurements.
+// # Path index
+//
+// Opening a store with Options.PathIndex enables a persistent
+// structural index (package pathindex): each imported document gets a
+// path summary — the trie of distinct root-to-node label paths with
+// occurrence counts — plus per-label posting lists of logical node
+// addresses. Descendant steps such as //SPEAKER are then answered by
+// probing the postings and filtering by containment, loading only the
+// records that hold matches, instead of walking every record of the
+// document. The index wins exactly when a query's matches touch a small
+// fraction of the document; a full-document query saves nothing.
+//
+// Queries whose steps include the "*" or "#text" name tests fall back
+// to the navigating evaluator, as do documents without a stored index
+// (for example ones imported while PathIndex was off — see
+// DB.ReindexDocument). Results are identical on both paths. The index
+// is maintained automatically: built during ImportXML, dropped on
+// Delete, and dropped + rebuilt on Convert. Editing a document through
+// the Document API drops its index (postings address physical node
+// positions, which edits invalidate); queries fall back to the scan
+// until ReindexDocument rebuilds it.
+//
+// See the examples directory for runnable programs and DESIGN.md for
+// the system inventory.
 package natix
 
 import (
@@ -43,6 +64,7 @@ import (
 	"natix/internal/dict"
 	"natix/internal/docstore"
 	"natix/internal/pagedev"
+	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
 )
@@ -104,6 +126,13 @@ type Options struct {
 	// model of the paper's IBM DCAS-34330W disk; SimStats reports the
 	// accumulated simulated time. Only valid with in-memory stores.
 	SimulateDisk bool
+
+	// PathIndex maintains a persistent structural index per tree-mode
+	// document (path summary + element postings) and answers descendant
+	// steps from it. Indexes built in earlier sessions are picked up
+	// when reopening a store; documents imported while it was off can
+	// be indexed later with ReindexDocument.
+	PathIndex bool
 }
 
 func (o Options) withDefaults() Options {
@@ -219,7 +248,33 @@ func Open(opts Options) (*DB, error) {
 		dev.Close()
 		return nil, err
 	}
+	// The path-index store is always attached so deletes and mutations
+	// drop stale indexes even in sessions that do not use them; the
+	// PathIndex option additionally builds indexes on import and routes
+	// queries through them.
+	px, err := pathindex.Open(rm)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	if opts.PathIndex {
+		store.EnablePathIndex(px)
+	} else {
+		store.AttachPathIndex(px)
+	}
 	return &DB{opts: opts, dev: dev, sim: sim, pool: pool, store: store, matrix: matrix}, nil
+}
+
+// ReindexDocument rebuilds the path index of a tree-mode document. Use
+// it for documents imported before PathIndex was enabled. It fails
+// unless the store was opened with PathIndex.
+func (db *DB) ReindexDocument(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.store.ReindexDocument(name)
 }
 
 // SetPolicy records a split-matrix preference for child elements named
@@ -363,6 +418,10 @@ type Stats struct {
 	// Space.
 	SpaceBytes int64
 	PageSize   int
+	// Path index.
+	PathIndexBuilds int64 // index builds (imports and reindexes)
+	IndexedQueries  int64 // tree-mode queries answered from the index
+	ScanQueries     int64 // tree-mode queries evaluated by navigation
 }
 
 // Stats returns a snapshot of storage counters.
@@ -374,17 +433,21 @@ func (db *DB) Stats() (Stats, error) {
 	}
 	bs := db.pool.Stats()
 	ts := db.store.Trees().Stats()
+	is := db.store.IndexStats()
 	return Stats{
-		LogicalReads:   bs.LogicalReads,
-		BufferHits:     bs.Hits,
-		PhysReads:      bs.PhysReads,
-		PhysWrites:     bs.PhysWrites,
-		Splits:         ts.Splits,
-		RecordsCreated: ts.RecordsCreated,
-		RecordsDeleted: ts.RecordsDeleted,
-		ParentPatches:  ts.ParentPatches,
-		SpaceBytes:     db.store.Trees().Records().Segment().TotalBytes(),
-		PageSize:       db.opts.PageSize,
+		LogicalReads:    bs.LogicalReads,
+		BufferHits:      bs.Hits,
+		PhysReads:       bs.PhysReads,
+		PhysWrites:      bs.PhysWrites,
+		Splits:          ts.Splits,
+		RecordsCreated:  ts.RecordsCreated,
+		RecordsDeleted:  ts.RecordsDeleted,
+		ParentPatches:   ts.ParentPatches,
+		SpaceBytes:      db.store.Trees().Records().Segment().TotalBytes(),
+		PageSize:        db.opts.PageSize,
+		PathIndexBuilds: is.Builds,
+		IndexedQueries:  is.IndexedQueries,
+		ScanQueries:     is.ScanQueries,
 	}, nil
 }
 

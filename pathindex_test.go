@@ -1,0 +1,338 @@
+package natix
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"natix/internal/corpus"
+	"natix/internal/xmlkit"
+)
+
+// corpusXML generates one full-scale Shakespeare-shaped play (the
+// paper's corpus shape, ≈8k logical nodes).
+func corpusXML() string {
+	return xmlkit.SerializeString(corpus.GeneratePlay(corpus.DefaultSpec(), 0))
+}
+
+// measuredQuery runs a query once to warm one-time state (index blob
+// decode on the indexed path, nothing on the scan path), then measures
+// the logical reads of a second, steady-state evaluation.
+func measuredQuery(t *testing.T, db *DB, doc, query string) ([]string, int64) {
+	t.Helper()
+	queryMarkups(t, db, doc, query)
+	before, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := queryMarkups(t, db, doc, query)
+	after, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, after.LogicalReads - before.LogicalReads
+}
+
+// queryMarkups runs a query and serializes every match.
+func queryMarkups(t *testing.T, db *DB, doc, query string) []string {
+	t.Helper()
+	matches, err := db.Query(doc, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(matches))
+	for i, m := range matches {
+		s, err := m.Markup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestPathIndexSelectiveIO is the subsystem's acceptance test: on a
+// Shakespeare-shaped document, a //SPEAKER-style descendant query
+// through the path index must return byte-identical results to the
+// scan path while touching far fewer records, and the index must
+// survive a close/reopen of a file-backed store without rebuilding.
+func TestPathIndexSelectiveIO(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plays.natix")
+	xml := corpusXML()
+	// The paper's query 1 plus two leading-descendant queries. For the
+	// latter the scan has no prefix to prune by and must walk the whole
+	// document, while the postings lead straight to the few matching
+	// records — //PERSONA's 20 matches all sit in the front matter.
+	queries := []string{
+		"/PLAY/ACT[3]/SCENE[2]//SPEAKER",
+		"//PERSONA",
+		"//SCENE/TITLE",
+	}
+	selective := queries[1:]
+
+	db, err := Open(Options{Path: path, PageSize: 2048, PathIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ImportXML("play", strings.NewReader(xml)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PathIndexBuilds != 1 {
+		t.Fatalf("PathIndexBuilds after import = %d", st.PathIndexBuilds)
+	}
+	first := make(map[string][]string)
+	for _, q := range queries {
+		first[q] = queryMarkups(t, db, "play", q)
+		if len(first[q]) == 0 {
+			t.Fatalf("%s matched nothing; corpus too small", q)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the index: no rebuild, identical answers.
+	db, err = Open(Options{Path: path, PageSize: 2048, PathIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := make(map[string][]string)
+	indexedReads := make(map[string]int64)
+	for _, q := range queries {
+		indexed[q], indexedReads[q] = measuredQuery(t, db, "play", q)
+	}
+	st, err = db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PathIndexBuilds != 0 {
+		t.Fatalf("reopen rebuilt the index (%d builds)", st.PathIndexBuilds)
+	}
+	if st.IndexedQueries != int64(2*len(queries)) || st.ScanQueries != 0 {
+		t.Fatalf("index not used: %+v", st)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same store without the index: the scan path.
+	db, err = Open(Options{Path: path, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := make(map[string][]string)
+	scanReads := make(map[string]int64)
+	for _, q := range queries {
+		scan[q], scanReads[q] = measuredQuery(t, db, "play", q)
+	}
+	st, err = db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IndexedQueries != 0 || st.ScanQueries != int64(2*len(queries)) {
+		t.Fatalf("scan path not used: %+v", st)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, q := range queries {
+		if strings.Join(indexed[q], "\x00") != strings.Join(scan[q], "\x00") {
+			t.Errorf("%s: indexed and scan results differ:\nindexed: %q\nscan:    %q",
+				q, indexed[q], scan[q])
+		}
+		if strings.Join(indexed[q], "\x00") != strings.Join(first[q], "\x00") {
+			t.Errorf("%s: results changed across close/reopen", q)
+		}
+	}
+	// "Without visiting non-matching subtrees": on the leading-//
+	// queries the indexed evaluation must read an order of magnitude
+	// less than the whole-document walk.
+	for _, q := range selective {
+		if indexedReads[q]*10 > scanReads[q] {
+			t.Errorf("%s: indexed path read %d pages logically, scan %d — index saved too little",
+				q, indexedReads[q], scanReads[q])
+		}
+	}
+	// On the prefix-pruned query 1 the scan is already selective; the
+	// index must still not read more than it.
+	if q := queries[0]; indexedReads[q] > scanReads[q] {
+		t.Errorf("%s: indexed path read %d pages logically, scan %d",
+			q, indexedReads[q], scanReads[q])
+	}
+}
+
+// TestQueryCountNoMaterialize checks the counting path: same counts as
+// Query, and on an indexed document the count must not even load the
+// matched records (strictly fewer logical reads than Query needs).
+func TestQueryCountNoMaterialize(t *testing.T) {
+	db, err := Open(Options{PathIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ImportXML("play", strings.NewReader(corpusXML())); err != nil {
+		t.Fatal(err)
+	}
+	base, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.QueryCount("play", "//SPEAKER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterCount, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := db.Query("play", "//SPEAKER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterQuery, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(matches) || n == 0 {
+		t.Fatalf("QueryCount = %d, Query = %d", n, len(matches))
+	}
+	countReads := afterCount.LogicalReads - base.LogicalReads
+	queryReads := afterQuery.LogicalReads - afterCount.LogicalReads
+	if countReads >= queryReads {
+		t.Fatalf("QueryCount read %d pages, Query read %d — counting materialized matches",
+			countReads, queryReads)
+	}
+}
+
+// TestMutationDropsIndex checks that editing a document through the
+// Document API invalidates its path index: queries fall back to the
+// scan (and see the new content) until ReindexDocument rebuilds it.
+func TestMutationDropsIndex(t *testing.T) {
+	db, err := Open(Options{PathIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ImportXML("d", strings.NewReader("<A><B>one</B><B>two</B></A>")); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := db.Document("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.InsertElement([]int{}, -1, "B"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.QueryCount("d", "//B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("//B after insert = %d, want 3 (stale index?)", n)
+	}
+	st, _ := db.Stats()
+	if st.IndexedQueries != 0 || st.ScanQueries != 1 {
+		t.Fatalf("mutated document did not fall back to scan: %+v", st)
+	}
+	if err := db.ReindexDocument("d"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err = db.QueryCount("d", "//B"); err != nil || n != 3 {
+		t.Fatalf("//B after reindex = %d, %v", n, err)
+	}
+	st, _ = db.Stats()
+	if st.IndexedQueries != 1 {
+		t.Fatalf("reindexed document not answered from index: %+v", st)
+	}
+}
+
+// TestDeleteWithoutIndexingDropsIndex checks that a session opened
+// without PathIndex still drops a document's stored index on delete,
+// so a later indexing session cannot answer from a dead index.
+func TestDeleteWithoutIndexingDropsIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plays.natix")
+	db, err := Open(Options{Path: path, PathIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ImportXML("d", strings.NewReader("<A><B>one</B><B>two</B></A>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-indexing session replaces the document.
+	db, err = Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ImportXML("d", strings.NewReader("<A><C>three</C></A>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The indexing session must see the new content, not the old index.
+	db, err = Open(Options{Path: path, PathIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if n, err := db.QueryCount("d", "//B"); err != nil || n != 0 {
+		t.Fatalf("//B = %d, %v; want 0 (stale index survived delete)", n, err)
+	}
+	if n, err := db.QueryCount("d", "//C"); err != nil || n != 1 {
+		t.Fatalf("//C = %d, %v; want 1", n, err)
+	}
+}
+
+// TestReindexDocument covers documents imported before indexing was
+// enabled: they fall back to the scan until reindexed.
+func TestReindexDocument(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plays.natix")
+	db, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ImportXML("othello", strings.NewReader(othello)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ReindexDocument("othello"); err == nil {
+		t.Fatal("ReindexDocument succeeded without PathIndex")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = Open(Options{Path: path, PathIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	want := queryMarkups(t, db, "othello", "/PLAY//SPEAKER")
+	st, _ := db.Stats()
+	if st.ScanQueries != 1 || st.IndexedQueries != 0 {
+		t.Fatalf("unindexed document did not fall back: %+v", st)
+	}
+	if err := db.ReindexDocument("othello"); err != nil {
+		t.Fatal(err)
+	}
+	got := queryMarkups(t, db, "othello", "/PLAY//SPEAKER")
+	st, _ = db.Stats()
+	if st.IndexedQueries != 1 {
+		t.Fatalf("reindexed document not answered from index: %+v", st)
+	}
+	if strings.Join(got, "\x00") != strings.Join(want, "\x00") {
+		t.Fatalf("results differ after reindex: %q vs %q", got, want)
+	}
+}

@@ -42,12 +42,15 @@ func (db *DB) Query(name, query string) ([]Match, error) {
 }
 
 // QueryCount returns the number of matches without materializing them.
+// On an indexed document (Options.PathIndex) the count comes straight
+// from the posting lists and never loads the matched records.
 func (db *DB) QueryCount(name, query string) (int, error) {
-	m, err := db.Query(name, query)
-	if err != nil {
-		return 0, err
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
 	}
-	return len(m), nil
+	return db.store.QueryCount(name, query)
 }
 
 // Convert re-stores a document in the other representation: flat
