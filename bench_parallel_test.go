@@ -1,0 +1,80 @@
+package natix
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"natix/internal/benchkit"
+	"natix/internal/corpus"
+)
+
+// BenchmarkParallelQueries measures aggregate query throughput of the
+// concurrent read path: the same query evaluated over and over, fanned
+// across goroutines with b.RunParallel, against stores with one and
+// with several documents, on the navigating scan and on the path
+// index. Compare a sub-benchmark's ns/op against its "serial" sibling
+// to read the speedup; on a multi-core machine the parallel variants
+// on distinct documents should scale with cores, since no query takes
+// a store-wide lock. The serial variants use the identical loop body,
+// so the ratio isolates concurrency.
+//
+//	go test -bench BenchmarkParallelQueries -cpu 4 .
+func BenchmarkParallelQueries(b *testing.B) {
+	for _, tc := range []struct {
+		evaluator string
+		indexed   bool
+		plays     int
+	}{
+		{"scan", false, 1},
+		{"scan", false, 4},
+		{"indexed", true, 1},
+		{"indexed", true, 4},
+	} {
+		env, err := benchkit.BuildEnv(corpus.SmallSpec(tc.plays), benchkit.Config{
+			PageSize: 8192,
+			// Generous buffer: every page stays resident, so the measured
+			// region is the concurrent in-memory hot path, not simulated
+			// disk time (which serializes on the device by design).
+			BufferBytes: 64 << 20,
+			Mode:        benchkit.ModeNative,
+			Order:       benchkit.OrderAppend,
+			PathIndex:   tc.indexed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := env.Store()
+		docs := env.Docs()
+		// Warm caches and indexes so first-touch loads are off the clock.
+		for _, d := range docs {
+			if _, err := store.Query(d, benchkit.Query1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		name := fmt.Sprintf("%s_%ddoc", tc.evaluator, tc.plays)
+
+		b.Run(name+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Query(docs[i%len(docs)], benchkit.Query1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/parallel", func(b *testing.B) {
+			var next, failures atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					d := docs[int(next.Add(1))%len(docs)]
+					if _, err := store.Query(d, benchkit.Query1); err != nil {
+						failures.Add(1)
+						return
+					}
+				}
+			})
+			if n := failures.Load(); n > 0 {
+				b.Fatalf("%d parallel queries failed", n)
+			}
+		})
+	}
+}

@@ -6,15 +6,25 @@
 //	natix-cli -db plays.natix import -flat raw raw.xml
 //	natix-cli -db plays.natix ls
 //	natix-cli -db plays.natix query othello '/PLAY/ACT[3]/SCENE[2]//SPEAKER'
+//	natix-cli -db plays.natix -workers 8 batch queries.txt
 //	natix-cli -db plays.natix export othello > othello-out.xml
 //	natix-cli -db plays.natix rm othello
 //	natix-cli -db plays.natix stats
+//
+// batch evaluates a file of queries (one "<document> <path>" pair per
+// line; blank lines and # comments skipped) fanned across -workers
+// goroutines — a live demo of the concurrent read path.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"natix"
 )
@@ -25,6 +35,7 @@ func main() {
 		pageSize = flag.Int("pagesize", 8192, "page size for new stores")
 		buffer   = flag.Int("buffer", 2<<20, "buffer pool bytes")
 		pathIdx  = flag.Bool("pathindex", false, "maintain and use the path index")
+		workers  = flag.Int("workers", 4, "goroutines for the batch command")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -88,6 +99,13 @@ func main() {
 			fmt.Println(markup)
 		}
 		fmt.Fprintf(os.Stderr, "%d match(es)\n", len(matches))
+	case "batch":
+		if len(rest) != 1 {
+			fatalf("usage: batch <queries.txt>  (lines: <document> <path>)")
+		}
+		if err := runBatch(db, rest[0], *workers); err != nil {
+			fatalf("batch: %v", err)
+		}
 	case "ls":
 		docs, err := db.Documents()
 		if err != nil {
@@ -168,12 +186,93 @@ commands:
   import [-flat] <name> <file.xml>   store a document (tree or flat mode)
   export <name>                      write a document's XML to stdout
   query <name> <path>                evaluate a path query
+  batch <queries.txt>                run a query file across -workers goroutines
+                                     (lines: <document> <path>; # comments ok)
   validate <file.xml>                check a document against its own DTD
   ls                                 list documents
   rm <name>                          remove a document
   reindex <name>                     rebuild a document's path index
   stats                              storage statistics
 `)
+}
+
+// batchJob is one line of the query file.
+type batchJob struct {
+	line  int
+	doc   string
+	query string
+}
+
+// runBatch fans the query file's lines across workerCount goroutines
+// over the shared DB and prints per-line match counts in input order.
+func runBatch(db *natix.DB, path string, workerCount int) error {
+	if workerCount < 1 {
+		workerCount = 1
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var jobs []batchJob
+	sc := bufio.NewScanner(f)
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		doc, query, ok := strings.Cut(line, " ")
+		if !ok {
+			return fmt.Errorf("%s:%d: want \"<document> <path>\", got %q", path, n, line)
+		}
+		jobs = append(jobs, batchJob{line: n, doc: doc, query: strings.TrimSpace(query)})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	counts := make([]int, len(jobs))
+	errs := make([]error, len(jobs))
+	var next, total, failed atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workerCount; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				n, err := db.QueryCount(jobs[i].doc, jobs[i].query)
+				if err != nil {
+					errs[i] = err
+					failed.Add(1)
+					continue
+				}
+				counts[i] = n
+				total.Add(int64(n))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i, j := range jobs {
+		if errs[i] != nil {
+			fmt.Printf("%-20s %-40s ERROR %v\n", j.doc, j.query, errs[i])
+			continue
+		}
+		fmt.Printf("%-20s %-40s %d\n", j.doc, j.query, counts[i])
+	}
+	fmt.Fprintf(os.Stderr, "%d queries, %d matches, %d errors, %d workers, %v (%.0f queries/s)\n",
+		len(jobs), total.Load(), failed.Load(), workerCount, elapsed.Round(time.Microsecond),
+		float64(len(jobs))/elapsed.Seconds())
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("%d of %d queries failed", n, len(jobs))
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,256 @@
+package natix
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"natix/internal/corpus"
+	"natix/internal/xmlkit"
+)
+
+// The concurrency stress tests exercise the read path's central claim:
+// any number of Query/QueryCount/ExportXML calls run in parallel —
+// with each other and with a mutator churning unrelated documents —
+// and every result is byte-identical to a serial run. They are meant
+// to be run under the race detector (the CI race job does).
+
+// stressQueries mixes indexed descendant steps, positional child
+// steps, and a "*" step that forces the navigating scan, so both
+// evaluators run concurrently.
+var stressQueries = []string{
+	"/PLAY//SPEAKER",
+	"//SCENE/SPEECH[1]",
+	"/PLAY/ACT[1]/SCENE[1]/SPEECH[1]",
+	"/PLAY/ACT[2]//*",
+}
+
+// stressCorpus serializes n small generated plays to XML text.
+func stressCorpus(n int) []string {
+	spec := corpus.SmallSpec(n)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = xmlkit.SerializeString(corpus.GeneratePlay(spec, i))
+	}
+	return out
+}
+
+// baseline captures the serial answers for one document.
+type baseline struct {
+	markup map[string]string // query -> concatenated match markup
+	counts map[string]int    // query -> match count
+	export string
+}
+
+func serialBaseline(t *testing.T, db *DB, name string) baseline {
+	t.Helper()
+	b := baseline{markup: make(map[string]string), counts: make(map[string]int)}
+	for _, q := range stressQueries {
+		matches, err := db.Query(name, q)
+		if err != nil {
+			t.Fatalf("baseline %s %s: %v", name, q, err)
+		}
+		var sb strings.Builder
+		for _, m := range matches {
+			mk, err := m.Markup()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.WriteString(mk)
+		}
+		b.markup[q] = sb.String()
+		n, err := db.QueryCount(name, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.counts[q] = n
+	}
+	var buf bytes.Buffer
+	if err := db.ExportXML(name, &buf); err != nil {
+		t.Fatal(err)
+	}
+	b.export = buf.String()
+	return b
+}
+
+// TestConcurrentReadersWithChurn runs parallel readers over a set of
+// stable documents while one goroutine imports, converts, reindexes
+// and deletes scratch documents, asserting reader results stay
+// byte-identical to the serial baselines throughout.
+func TestConcurrentReadersWithChurn(t *testing.T) {
+	const (
+		stableDocs = 3
+		readers    = 4
+		iterations = 12
+		churnLoops = 20
+	)
+	db, err := Open(Options{PathIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	texts := stressCorpus(stableDocs + 1)
+	scratchText := texts[stableDocs]
+	names := make([]string, stableDocs)
+	baselines := make([]baseline, stableDocs)
+	for i := 0; i < stableDocs; i++ {
+		names[i] = fmt.Sprintf("play-%d", i)
+		if err := db.ImportXML(names[i], strings.NewReader(texts[i])); err != nil {
+			t.Fatal(err)
+		}
+		baselines[i] = serialBaseline(t, db, names[i])
+	}
+
+	errc := make(chan error, readers+1)
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				d := (r + it) % stableDocs
+				name, want := names[d], baselines[d]
+				q := stressQueries[(r+it)%len(stressQueries)]
+				matches, err := db.Query(name, q)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: Query(%s, %s): %w", r, name, q, err)
+					return
+				}
+				var sb strings.Builder
+				for _, m := range matches {
+					mk, err := m.Markup()
+					if err != nil {
+						errc <- fmt.Errorf("reader %d: Markup: %w", r, err)
+						return
+					}
+					sb.WriteString(mk)
+				}
+				if sb.String() != want.markup[q] {
+					errc <- fmt.Errorf("reader %d: Query(%s, %s) diverged from serial run", r, name, q)
+					return
+				}
+				n, err := db.QueryCount(name, q)
+				if err != nil || n != want.counts[q] {
+					errc <- fmt.Errorf("reader %d: QueryCount(%s, %s) = %d, %v; want %d", r, name, q, n, err, want.counts[q])
+					return
+				}
+				var buf bytes.Buffer
+				if err := db.ExportXML(name, &buf); err != nil {
+					errc <- fmt.Errorf("reader %d: ExportXML(%s): %w", r, name, err)
+					return
+				}
+				if buf.String() != want.export {
+					errc <- fmt.Errorf("reader %d: ExportXML(%s) diverged from serial run", r, name)
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for it := 0; it < churnLoops; it++ {
+			name := fmt.Sprintf("scratch-%d", it%2)
+			if err := db.ImportXML(name, strings.NewReader(scratchText)); err != nil {
+				errc <- fmt.Errorf("churn: import %s: %w", name, err)
+				return
+			}
+			if _, err := db.Query(name, "/PLAY//SPEAKER"); err != nil {
+				errc <- fmt.Errorf("churn: query %s: %w", name, err)
+				return
+			}
+			switch it % 3 {
+			case 0:
+				if err := db.Convert(name, true); err != nil {
+					errc <- fmt.Errorf("churn: convert %s to flat: %w", name, err)
+					return
+				}
+			case 1:
+				if err := db.ReindexDocument(name); err != nil {
+					errc <- fmt.Errorf("churn: reindex %s: %w", name, err)
+					return
+				}
+			}
+			if err := db.Delete(name); err != nil {
+				errc <- fmt.Errorf("churn: delete %s: %w", name, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentDocumentEditsAndReads pits Document edits of one
+// document against readers of another: the readers must never block on
+// or observe the edits, and the edited document must come out exactly
+// as a serial edit sequence leaves it.
+func TestConcurrentDocumentEditsAndReads(t *testing.T) {
+	db, err := Open(Options{PathIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	texts := stressCorpus(1)
+	if err := db.ImportXML("stable", strings.NewReader(texts[0])); err != nil {
+		t.Fatal(err)
+	}
+	want := serialBaseline(t, db, "stable")
+	if err := db.ImportXML("edited", strings.NewReader(othello)); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := db.Document("edited")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const edits = 30
+	errc := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < edits; i++ {
+			if err := doc.InsertElement([]int{}, -1, "EPILOGUE"); err != nil {
+				errc <- fmt.Errorf("edit %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < edits; i++ {
+			q := stressQueries[i%len(stressQueries)]
+			n, err := db.QueryCount("stable", q)
+			if err != nil || n != want.counts[q] {
+				errc <- fmt.Errorf("reader during edits: QueryCount(stable, %s) = %d, %v; want %d", q, n, err, want.counts[q])
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	n, err := db.QueryCount("edited", "/PLAY/EPILOGUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != edits {
+		t.Fatalf("EPILOGUE count after concurrent edits = %d, want %d", n, edits)
+	}
+	if err := doc.Check(); err != nil {
+		t.Fatalf("invariants after concurrent edits: %v", err)
+	}
+}

@@ -13,6 +13,8 @@ package benchkit
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"natix/internal/buffer"
@@ -404,6 +406,63 @@ func (e *Env) RunQuery(op, query string, markup bool) (Metrics, error) {
 		return Metrics{}, err
 	}
 	return e.capture(op, start, work), nil
+}
+
+// RunQueryParallel evaluates a path query over every document like
+// RunQuery, but fans the documents across workers goroutines — the
+// multi-user read workload the concurrent read path exists for. Work
+// and I/O counters aggregate across workers; WallMS is where the
+// parallel speedup shows (SimMS still charges every device access to
+// one simulated disk, so it is unaffected by concurrency). With
+// workers == 1 the measurement degenerates to RunQuery's.
+func (e *Env) RunQueryParallel(op, query string, markup bool, workers int) (Metrics, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	e.resetMeasurement()
+	start := time.Now()
+	var work atomic.Int64
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(e.docs); i += workers {
+				res, err := e.store.Query(e.docs[i], query)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for _, r := range res {
+					if markup {
+						m, err := r.Markup()
+						if err != nil {
+							errc <- err
+							return
+						}
+						work.Add(int64(len(m)))
+					} else {
+						txt, err := r.Text()
+						if err != nil {
+							errc <- err
+							return
+						}
+						work.Add(int64(len(txt)))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return Metrics{}, err
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		return Metrics{}, err
+	}
+	return e.capture(op, start, work.Load()), nil
 }
 
 // Space reports the on-disk size of the store (Figure 14).

@@ -187,3 +187,25 @@ func TestSeriesLabels(t *testing.T) {
 		t.Fatalf("series = %q", got)
 	}
 }
+
+// TestRunQueryParallelMatchesSerial: fanning the documents across
+// workers must do exactly the work of the serial run.
+func TestRunQueryParallelMatchesSerial(t *testing.T) {
+	env, err := BuildEnv(corpus.SmallSpec(4), Config{PageSize: 2048, Mode: ModeNative, Order: OrderAppend, PathIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := env.RunQuery("q1", Query1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 9} {
+		par, err := env.RunQueryParallel("q1-par", Query1, false, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Work != serial.Work {
+			t.Fatalf("workers=%d: work = %d, serial = %d", workers, par.Work, serial.Work)
+		}
+	}
+}

@@ -1,20 +1,37 @@
 // Package buffer implements the NATIX buffer manager: a fixed-capacity
-// pool of page frames over a pagedev.Device with pin counting, LRU
-// replacement and write-back of dirty pages.
+// pool of page frames over a pagedev.Device with pin counting,
+// second-chance (clock) replacement and write-back of dirty pages.
 //
 // The paper's experiments use a 2 MB buffer that is cleared at the start
 // of each measured operation (§4.2); Clear provides exactly that. The pool
 // tracks logical and physical I/O counts so the benchmark harness can
 // report both, and it verifies/refreshes per-page checksums at the
 // physical I/O boundary.
+//
+// # Concurrency
+//
+// The pool is safe for concurrent use and is built so a buffer hit never
+// takes a pool-wide lock: the page table is sharded (per-shard RWMutex),
+// pin counts and the dirty/reference bits are per-frame atomics, and
+// replacement is an approximate-LRU clock sweep that only runs on
+// misses, serialized by a narrow eviction lock. The reference bit is set
+// on hits, not on first load, so a page touched twice survives a page
+// streamed through once — the property the LRU tests pin down.
+//
+// Frames additionally carry a latch (an RWMutex over the page image):
+// callers that read page bytes hold the shared latch, callers that
+// mutate them hold the exclusive latch. Pinning keeps a frame resident;
+// latching keeps its bytes consistent. The two are separate so many
+// readers of one page can proceed in parallel while a writer of an
+// unrelated page mutates its own frames.
 package buffer
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"natix/internal/pagedev"
 	"natix/internal/pageformat"
@@ -38,26 +55,53 @@ type Stats struct {
 	Evictions    int64 // frames evicted to make room
 }
 
+// numShards is the page-table shard count. Pages are numbered densely,
+// so a simple modulo spreads consecutive pages across shards.
+const numShards = 16
+
+// shard is one partition of the page table. ring holds the shard's
+// frames in clock order for the second-chance sweep; hand is the sweep
+// position within ring.
+type shard struct {
+	mu     sync.RWMutex
+	frames map[pagedev.PageNo]*Frame
+	ring   []*Frame
+	hand   int
+}
+
 // Pool is a buffer pool. All methods are safe for concurrent use.
 type Pool struct {
-	mu       sync.Mutex
 	dev      pagedev.Device
 	capacity int
-	frames   map[pagedev.PageNo]*Frame
-	lru      *list.List // unpinned frames, front = least recently used
-	stats    Stats
-	verify   bool
+	shards   [numShards]shard
+	size     atomic.Int64 // frames resident (never exceeds capacity)
+	verify   atomic.Bool
+
+	// evictMu serializes clock sweeps; handShard is the shard the next
+	// sweep starts at, persisting the clock position across evictions.
+	evictMu   sync.Mutex
+	handShard int
+
+	logicalReads atomic.Int64
+	hits         atomic.Int64
+	physReads    atomic.Int64
+	physWrites   atomic.Int64
+	evictions    atomic.Int64
 }
 
 // Frame is a pinned page image. Callers must Release every frame they
-// obtain; Data is valid only while the frame is pinned.
+// obtain; Data is valid only while the frame is pinned. Concurrent users
+// must additionally hold the frame latch around Data access: shared
+// (RLatch) to read the bytes, exclusive (Latch) to mutate them.
 type Frame struct {
-	pool  *Pool
-	page  pagedev.PageNo
-	data  []byte
-	pins  int
-	dirty bool
-	elem  *list.Element // non-nil while unpinned and on the LRU list
+	pool    *Pool
+	page    pagedev.PageNo
+	data    []byte
+	pins    atomic.Int32
+	ref     atomic.Bool // second-chance reference bit, set on hits
+	dirty   atomic.Bool
+	latch   sync.RWMutex
+	ringIdx int // position in its shard's ring; under shard.mu
 }
 
 // New creates a pool of numFrames frames over dev.
@@ -65,13 +109,12 @@ func New(dev pagedev.Device, numFrames int) (*Pool, error) {
 	if numFrames < 1 {
 		return nil, ErrNoFrames
 	}
-	return &Pool{
-		dev:      dev,
-		capacity: numFrames,
-		frames:   make(map[pagedev.PageNo]*Frame, numFrames),
-		lru:      list.New(),
-		verify:   true,
-	}, nil
+	p := &Pool{dev: dev, capacity: numFrames}
+	for i := range p.shards {
+		p.shards[i].frames = make(map[pagedev.PageNo]*Frame)
+	}
+	p.verify.Store(true)
+	return p, nil
 }
 
 // NewSized creates a pool whose total frame memory is approximately
@@ -85,11 +128,7 @@ func NewSized(dev pagedev.Device, bufBytes int) (*Pool, error) {
 }
 
 // SetVerifyChecksums toggles checksum verification on physical reads.
-func (p *Pool) SetVerifyChecksums(v bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.verify = v
-}
+func (p *Pool) SetVerifyChecksums(v bool) { p.verify.Store(v) }
 
 // Capacity returns the number of frames in the pool.
 func (p *Pool) Capacity() int { return p.capacity }
@@ -97,18 +136,29 @@ func (p *Pool) Capacity() int { return p.capacity }
 // Device returns the underlying page device.
 func (p *Pool) Device() pagedev.Device { return p.dev }
 
+// shardOf returns the shard holding page pn.
+func (p *Pool) shardOf(pn pagedev.PageNo) *shard {
+	return &p.shards[uint64(pn)%numShards]
+}
+
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		LogicalReads: p.logicalReads.Load(),
+		Hits:         p.hits.Load(),
+		PhysReads:    p.physReads.Load(),
+		PhysWrites:   p.physWrites.Load(),
+		Evictions:    p.evictions.Load(),
+	}
 }
 
 // ResetStats zeroes the pool counters.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.logicalReads.Store(0)
+	p.hits.Store(0)
+	p.physReads.Store(0)
+	p.physWrites.Store(0)
+	p.evictions.Store(0)
 }
 
 // Get pins the frame for page pn, reading it from the device on a miss.
@@ -124,36 +174,70 @@ func (p *Pool) GetNew(pn pagedev.PageNo) (*Frame, error) {
 }
 
 func (p *Pool) get(pn pagedev.PageNo, read bool) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.LogicalReads++
-	if f, ok := p.frames[pn]; ok {
-		p.stats.Hits++
-		if f.elem != nil {
-			p.lru.Remove(f.elem)
-			f.elem = nil
-		}
-		f.pins++
+	p.logicalReads.Add(1)
+	sh := p.shardOf(pn)
+
+	// Hit path: shared shard lock, atomic pin. No pool-wide lock.
+	sh.mu.RLock()
+	if f, ok := sh.frames[pn]; ok {
+		f.pins.Add(1)
+		f.ref.Store(true)
+		sh.mu.RUnlock()
+		p.hits.Add(1)
 		return f, nil
 	}
-	if len(p.frames) >= p.capacity {
-		if err := p.evictLocked(); err != nil {
-			return nil, err
+	sh.mu.RUnlock()
+
+	// Miss: reserve a frame slot against the capacity, evicting as
+	// needed, then load under the shard's exclusive lock. Holding the
+	// shard lock across the device read stalls same-shard hits for the
+	// duration of one I/O — accepted: it keeps load failures trivially
+	// consistent (no half-loaded frame is ever visible), misses are
+	// about to pay the I/O anyway, and the other 15 shards stay hot.
+	for {
+		n := p.size.Load()
+		if n >= int64(p.capacity) {
+			if err := p.evictOne(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.size.CompareAndSwap(n, n+1) {
+			break
 		}
 	}
-	f := &Frame{pool: p, page: pn, data: make([]byte, p.dev.PageSize()), pins: 1}
+
+	sh.mu.Lock()
+	if f, ok := sh.frames[pn]; ok {
+		// Raced with another loader of the same page: use theirs.
+		f.pins.Add(1)
+		f.ref.Store(true)
+		sh.mu.Unlock()
+		p.size.Add(-1)
+		p.hits.Add(1)
+		return f, nil
+	}
+	f := &Frame{pool: p, page: pn, data: make([]byte, p.dev.PageSize())}
+	f.pins.Store(1)
 	if read {
 		if err := p.dev.Read(pn, f.data); err != nil {
+			sh.mu.Unlock()
+			p.size.Add(-1)
 			return nil, err
 		}
-		p.stats.PhysReads++
-		if p.verify {
+		p.physReads.Add(1)
+		if p.verify.Load() {
 			if err := pageformat.VerifyChecksum(f.data); err != nil {
+				sh.mu.Unlock()
+				p.size.Add(-1)
 				return nil, fmt.Errorf("%w: page %d: %v", ErrCorrupted, pn, err)
 			}
 		}
 	}
-	p.frames[pn] = f
+	sh.frames[pn] = f
+	f.ringIdx = len(sh.ring)
+	sh.ring = append(sh.ring, f)
+	sh.mu.Unlock()
 	return f, nil
 }
 
@@ -169,118 +253,232 @@ func (p *Pool) Touch(pn pagedev.PageNo) error {
 	return nil
 }
 
-// evictLocked removes the least recently used unpinned frame, writing it
-// back if dirty. Callers hold p.mu.
-func (p *Pool) evictLocked() error {
-	e := p.lru.Front()
-	if e == nil {
-		return ErrPoolFull
+// evictOne removes one unpinned frame, writing it back if dirty. The
+// clock sweep visits shards round-robin from the persisted hand
+// position; within a shard it advances that shard's hand, clearing
+// reference bits of unpinned frames it passes and evicting the first
+// unpinned frame whose bit is already clear. Two full cycles without a
+// victim mean every frame is pinned.
+func (p *Pool) evictOne() error {
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	if p.size.Load() < int64(p.capacity) {
+		// Another eviction (or a failed load) made room meanwhile.
+		return nil
 	}
-	f := e.Value.(*Frame)
-	if f.dirty {
-		if err := p.writeBackLocked(f); err != nil {
-			return err
+	for cycle := 0; cycle < 2; cycle++ {
+		for i := 0; i < numShards; i++ {
+			sh := &p.shards[p.handShard]
+			evicted, err := p.sweepShard(sh)
+			if err != nil {
+				return err
+			}
+			if evicted {
+				return nil
+			}
+			p.handShard = (p.handShard + 1) % numShards
 		}
 	}
-	p.lru.Remove(e)
-	delete(p.frames, f.page)
-	p.stats.Evictions++
-	return nil
+	return ErrPoolFull
 }
 
-func (p *Pool) writeBackLocked(f *Frame) error {
+// sweepShard advances the shard's clock hand over its ring once,
+// evicting the first second-chance victim it finds. Caller holds
+// evictMu.
+func (p *Pool) sweepShard(sh *shard) (bool, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := len(sh.ring)
+	for i := 0; i < n; i++ {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		f := sh.ring[sh.hand]
+		if f.pins.Load() > 0 {
+			sh.hand++
+			continue
+		}
+		if f.ref.CompareAndSwap(true, false) {
+			sh.hand++
+			continue
+		}
+		// Victim: write back if dirty, then drop. No pins and the shard
+		// lock is held, so no caller can hold the frame's latch or pin
+		// it concurrently.
+		if f.dirty.Load() {
+			if err := p.writeBack(f); err != nil {
+				return false, err
+			}
+		}
+		delete(sh.frames, f.page)
+		last := len(sh.ring) - 1
+		sh.ring[f.ringIdx] = sh.ring[last]
+		sh.ring[f.ringIdx].ringIdx = f.ringIdx
+		sh.ring = sh.ring[:last]
+		if sh.hand > last {
+			sh.hand = 0
+		}
+		p.size.Add(-1)
+		p.evictions.Add(1)
+		return true, nil
+	}
+	return false, nil
+}
+
+// writeBack flushes one frame's bytes to the device. The caller must
+// guarantee exclusive access to the frame data (shard lock with zero
+// pins, or the frame's exclusive latch): refreshing the checksum
+// mutates the page image.
+func (p *Pool) writeBack(f *Frame) error {
 	if pageformat.TypeOf(f.data) != pageformat.TypeInvalid {
 		pageformat.UpdateChecksum(f.data)
 	}
 	if err := p.dev.Write(f.page, f.data); err != nil {
 		return err
 	}
-	p.stats.PhysWrites++
-	f.dirty = false
+	p.physWrites.Add(1)
+	f.dirty.Store(false)
 	return nil
 }
 
 // FlushAll writes every dirty frame back to the device and syncs it.
 // Frames stay cached and pins are unaffected. Dirty pages are written in
 // ascending page order (elevator order), as any real write-back cache
-// would, which matters to the simulated disk's seek accounting.
+// would, which matters to the simulated disk's seek accounting. Each
+// frame is written under its exclusive latch, so a flush concurrent
+// with page mutations sees page-atomic states.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.flushAllLocked()
-}
-
-func (p *Pool) flushAllLocked() error {
-	dirty := make([]*Frame, 0, len(p.frames))
-	for _, f := range p.frames {
-		if f.dirty {
-			dirty = append(dirty, f)
-		}
-	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].page < dirty[j].page })
-	for _, f := range dirty {
-		if err := p.writeBackLocked(f); err != nil {
-			return err
-		}
+	dirty := p.pinDirty()
+	err := p.flushPinned(dirty)
+	if err != nil {
+		return err
 	}
 	return p.dev.Sync()
+}
+
+// pinDirty collects and pins every currently-dirty frame, sorted by
+// page number.
+func (p *Pool) pinDirty() []*Frame {
+	var dirty []*Frame
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		for _, f := range sh.frames {
+			if f.dirty.Load() {
+				f.pins.Add(1)
+				dirty = append(dirty, f)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].page < dirty[j].page })
+	return dirty
+}
+
+// flushPinned writes back the given pinned frames and unpins them all,
+// returning the first write error.
+func (p *Pool) flushPinned(frames []*Frame) error {
+	var firstErr error
+	for _, f := range frames {
+		f.latch.Lock()
+		if f.dirty.Load() && firstErr == nil {
+			if err := p.writeBack(f); err != nil {
+				firstErr = err
+			}
+		}
+		f.latch.Unlock()
+		f.Release()
+	}
+	return firstErr
+}
+
+// lockAll takes every shard lock (in index order; Clear is the only
+// multi-shard locker, so the order only matters for consistency).
+func (p *Pool) lockAll() {
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+	}
+}
+
+func (p *Pool) unlockAll() {
+	for i := len(p.shards) - 1; i >= 0; i-- {
+		p.shards[i].mu.Unlock()
+	}
 }
 
 // Clear flushes all dirty frames and then empties the pool. It fails with
 // ErrPinned if any frame is still pinned. The paper clears the buffer at
 // the start of each measured operation.
 func (p *Pool) Clear() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for pn, f := range p.frames {
-		if f.pins > 0 {
-			return fmt.Errorf("%w: page %d (%d pins)", ErrPinned, pn, f.pins)
+	p.lockAll()
+	defer p.unlockAll()
+	var dirty []*Frame
+	for i := range p.shards {
+		for pn, f := range p.shards[i].frames {
+			if n := f.pins.Load(); n > 0 {
+				return fmt.Errorf("%w: page %d (%d pins)", ErrPinned, pn, n)
+			}
+			if f.dirty.Load() {
+				dirty = append(dirty, f)
+			}
 		}
 	}
-	if err := p.flushAllLocked(); err != nil {
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].page < dirty[j].page })
+	for _, f := range dirty {
+		if err := p.writeBack(f); err != nil {
+			return err
+		}
+	}
+	if err := p.dev.Sync(); err != nil {
 		return err
 	}
-	for pn, f := range p.frames {
-		if f.elem != nil {
-			p.lru.Remove(f.elem)
-		}
-		delete(p.frames, pn)
+	var removed int64
+	for i := range p.shards {
+		sh := &p.shards[i]
+		removed += int64(len(sh.frames))
+		sh.frames = make(map[pagedev.PageNo]*Frame)
+		sh.ring = nil
+		sh.hand = 0
 	}
+	// Subtract what was dropped rather than zeroing: a concurrent miss
+	// may have reserved a slot in size and be waiting on a shard lock,
+	// and that reservation must survive the clear.
+	p.size.Add(-removed)
 	return nil
 }
 
 // Cached returns the number of frames currently held (pinned or not).
-func (p *Pool) Cached() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
-}
+func (p *Pool) Cached() int { return int(p.size.Load()) }
 
 // Page returns the page number this frame images.
 func (f *Frame) Page() pagedev.PageNo { return f.page }
 
 // Data returns the page image. Mutations must be followed by MarkDirty.
-// The slice is valid only while the frame is pinned.
+// The slice is valid only while the frame is pinned; concurrent users
+// must hold the frame latch (shared to read, exclusive to mutate).
 func (f *Frame) Data() []byte { return f.data }
 
 // MarkDirty records that the frame differs from the on-device page.
-func (f *Frame) MarkDirty() {
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
-	f.dirty = true
-}
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+
+// RLatch acquires the frame latch shared, for reading the page bytes.
+func (f *Frame) RLatch() { f.latch.RLock() }
+
+// RUnlatch releases a shared latch.
+func (f *Frame) RUnlatch() { f.latch.RUnlock() }
+
+// Latch acquires the frame latch exclusively, for mutating the page
+// bytes.
+func (f *Frame) Latch() { f.latch.Lock() }
+
+// Unlatch releases an exclusive latch.
+func (f *Frame) Unlatch() { f.latch.Unlock() }
 
 // Release unpins the frame. The frame becomes eligible for eviction once
 // its pin count reaches zero. Releasing an unpinned frame panics: it
 // indicates a pin-accounting bug in the caller.
 func (f *Frame) Release() {
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
-	if f.pins <= 0 {
+	if f.pins.Add(-1) < 0 {
 		panic(ErrReleased)
-	}
-	f.pins--
-	if f.pins == 0 {
-		f.elem = f.pool.lru.PushBack(f)
 	}
 }

@@ -14,7 +14,11 @@
 // benchmarks against.
 package core
 
-import "natix/internal/dict"
+import (
+	"sync"
+
+	"natix/internal/dict"
+)
 
 // Policy is one entry of the split matrix: the desired clustering of a
 // child label under a parent label (§3.3).
@@ -50,8 +54,11 @@ type matrixKey struct {
 
 // SplitMatrix holds clustering preferences indexed by (parent label,
 // child label). Unset pairs fall back to a default policy. The zero
-// value is not usable; call NewSplitMatrix.
+// value is not usable; call NewSplitMatrix. The matrix is safe for
+// concurrent use: it is a runtime tuning parameter that SetPolicy may
+// adjust while an import is consulting it.
 type SplitMatrix struct {
+	mu      sync.RWMutex
 	def     Policy
 	entries map[matrixKey]Policy
 }
@@ -73,11 +80,15 @@ func AllStandalone() *SplitMatrix { return NewSplitMatrix(PolicyStandalone) }
 // Set records the policy for child nodes labelled child under parents
 // labelled parent.
 func (m *SplitMatrix) Set(parent, child dict.LabelID, p Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.entries[matrixKey{parent, child}] = p
 }
 
 // Get returns the policy for the (parent, child) label pair.
 func (m *SplitMatrix) Get(parent, child dict.LabelID) Policy {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if p, ok := m.entries[matrixKey{parent, child}]; ok {
 		return p
 	}
@@ -88,4 +99,8 @@ func (m *SplitMatrix) Get(parent, child dict.LabelID) Policy {
 func (m *SplitMatrix) Default() Policy { return m.def }
 
 // Len returns the number of explicit entries.
-func (m *SplitMatrix) Len() int { return len(m.entries) }
+func (m *SplitMatrix) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}

@@ -14,7 +14,7 @@ import (
 // (recursively growing the parent). For the root record a new root
 // record holding just the separator is created.
 func (s *Store) splitRecord(rid records.RID, rec *noderep.Record, ctx *opCtx) error {
-	s.stats.Splits++
+	s.stats.splits.Add(1)
 	near, err := s.rm.PageOf(rid)
 	if err != nil {
 		return err

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"natix/internal/dict"
 	"natix/internal/noderep"
@@ -72,13 +74,28 @@ var (
 	ErrIsRoot       = errors.New("core: operation not allowed on the tree root")
 )
 
-// Store is the tree storage manager. It is not safe for concurrent use;
-// callers (package docstore, the public API) serialize access.
+// Store is the tree storage manager. Read traversals (Root, Children,
+// Cursor walks, TextContent, RefsByFacadeIndex, loadRecord paths) are
+// safe for any number of concurrent callers: the parsed-record cache is
+// sharded and the counters are atomics. Mutating operations
+// (InsertChild, Delete, splits) must be serialized by the caller and
+// must not run concurrently with readers of the same document — package
+// docstore's per-document locks provide both.
 type Store struct {
 	rm    *records.Manager
 	cfg   Config
 	cache *recCache
-	stats Stats
+	stats storeStats
+}
+
+// storeStats is the internal atomic form of Stats.
+type storeStats struct {
+	splits         atomic.Int64
+	recordsCreated atomic.Int64
+	recordsDeleted atomic.Int64
+	parentPatches  atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
 }
 
 // New creates a tree storage manager over rm.
@@ -98,10 +115,26 @@ func (s *Store) Records() *records.Manager { return s.rm }
 func (s *Store) Config() Config { return s.cfg }
 
 // Stats returns a snapshot of the manager's counters.
-func (s *Store) Stats() Stats { return s.stats }
+func (s *Store) Stats() Stats {
+	return Stats{
+		Splits:         s.stats.splits.Load(),
+		RecordsCreated: s.stats.recordsCreated.Load(),
+		RecordsDeleted: s.stats.recordsDeleted.Load(),
+		ParentPatches:  s.stats.parentPatches.Load(),
+		CacheHits:      s.stats.cacheHits.Load(),
+		CacheMisses:    s.stats.cacheMisses.Load(),
+	}
+}
 
 // ResetStats zeroes the counters.
-func (s *Store) ResetStats() { s.stats = Stats{} }
+func (s *Store) ResetStats() {
+	s.stats.splits.Store(0)
+	s.stats.recordsCreated.Store(0)
+	s.stats.recordsDeleted.Store(0)
+	s.stats.parentPatches.Store(0)
+	s.stats.cacheHits.Store(0)
+	s.stats.cacheMisses.Store(0)
+}
 
 // InvalidateCache drops all parsed records (e.g. after a buffer clear).
 func (s *Store) InvalidateCache() {
@@ -119,13 +152,13 @@ func (s *Store) maxRecordSize() int { return s.rm.MaxRecordSize() }
 func (s *Store) loadRecord(rid records.RID) (*noderep.Record, error) {
 	if s.cache != nil {
 		if rec, ok := s.cache.get(rid); ok {
-			s.stats.CacheHits++
+			s.stats.cacheHits.Add(1)
 			if err := s.rm.Touch(rid); err != nil {
 				return nil, err
 			}
 			return rec, nil
 		}
-		s.stats.CacheMisses++
+		s.stats.cacheMisses.Add(1)
 	}
 	body, err := s.rm.Read(rid)
 	if err != nil {
@@ -166,7 +199,7 @@ func (s *Store) insertRecord(rec *noderep.Record, near pagedev.PageNo) (records.
 	if err != nil {
 		return records.NilRID, err
 	}
-	s.stats.RecordsCreated++
+	s.stats.recordsCreated.Add(1)
 	if s.cache != nil {
 		s.cache.put(rid, rec)
 	}
@@ -178,7 +211,7 @@ func (s *Store) deleteRecord(rid records.RID) error {
 	if s.cache != nil {
 		s.cache.remove(rid)
 	}
-	s.stats.RecordsDeleted++
+	s.stats.recordsDeleted.Add(1)
 	return s.rm.Delete(rid)
 }
 
@@ -196,7 +229,7 @@ func (s *Store) patchParentRID(child, parent records.RID) error {
 	var enc [records.RIDSize]byte
 	parent.Put(enc[:])
 	off := noderep.RecordParentRIDOffset(rec)
-	s.stats.ParentPatches++
+	s.stats.parentPatches.Add(1)
 	return s.rm.Patch(child, off, enc[:])
 }
 
@@ -265,10 +298,22 @@ func (s *Store) deleteRecordTree(rid records.RID) error {
 	return s.deleteRecord(rid)
 }
 
-// recCache is a small LRU of parsed records. Mutating operations always
-// write through (writeRecord/insertRecord) so cache contents never
-// diverge from disk.
+// recCache is a small LRU of parsed records, sharded by RID so
+// concurrent readers of different records rarely contend. Each shard
+// keeps its own LRU order under its own mutex — an approximation of
+// global LRU that stays exact within a shard. Mutating operations
+// always write through (writeRecord/insertRecord) so cache contents
+// never diverge from disk.
 type recCache struct {
+	shards [cacheShards]cacheShard
+}
+
+// cacheShards is the shard count; a power of two so the RID hash
+// reduces with a mask.
+const cacheShards = 16
+
+type cacheShard struct {
+	mu       sync.Mutex
 	capacity int
 	entries  map[records.RID]*list.Element
 	order    *list.List // front = most recently used
@@ -280,47 +325,72 @@ type cacheItem struct {
 }
 
 func newRecCache(capacity int) *recCache {
-	return &recCache{
-		capacity: capacity,
-		entries:  make(map[records.RID]*list.Element, capacity),
-		order:    list.New(),
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
 	}
+	c := &recCache{}
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].entries = make(map[records.RID]*list.Element, per)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+func (c *recCache) shardOf(rid records.RID) *cacheShard {
+	h := uint64(rid.Page)*31 + uint64(rid.Slot)
+	return &c.shards[h%cacheShards]
 }
 
 func (c *recCache) get(rid records.RID) (*noderep.Record, bool) {
-	e, ok := c.entries[rid]
+	sh := c.shardOf(rid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[rid]
 	if !ok {
 		return nil, false
 	}
-	c.order.MoveToFront(e)
+	sh.order.MoveToFront(e)
 	return e.Value.(*cacheItem).rec, true
 }
 
 func (c *recCache) put(rid records.RID, rec *noderep.Record) {
-	if e, ok := c.entries[rid]; ok {
+	sh := c.shardOf(rid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[rid]; ok {
 		e.Value.(*cacheItem).rec = rec
-		c.order.MoveToFront(e)
+		sh.order.MoveToFront(e)
 		return
 	}
-	for len(c.entries) >= c.capacity {
-		back := c.order.Back()
+	for len(sh.entries) >= sh.capacity {
+		back := sh.order.Back()
 		if back == nil {
 			break
 		}
-		c.order.Remove(back)
-		delete(c.entries, back.Value.(*cacheItem).rid)
+		sh.order.Remove(back)
+		delete(sh.entries, back.Value.(*cacheItem).rid)
 	}
-	c.entries[rid] = c.order.PushFront(&cacheItem{rid: rid, rec: rec})
+	sh.entries[rid] = sh.order.PushFront(&cacheItem{rid: rid, rec: rec})
 }
 
 func (c *recCache) remove(rid records.RID) {
-	if e, ok := c.entries[rid]; ok {
-		c.order.Remove(e)
-		delete(c.entries, rid)
+	sh := c.shardOf(rid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[rid]; ok {
+		sh.order.Remove(e)
+		delete(sh.entries, rid)
 	}
 }
 
 func (c *recCache) clear() {
-	c.entries = make(map[records.RID]*list.Element, c.capacity)
-	c.order.Init()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[records.RID]*list.Element, sh.capacity)
+		sh.order.Init()
+		sh.mu.Unlock()
+	}
 }

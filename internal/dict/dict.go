@@ -6,12 +6,22 @@
 //
 // A handful of ids are reserved for labels that are not element names:
 // text literals, scaffolding objects and attribute containers.
+//
+// The read path (Lookup, Name, Len) is lock-free: the mapping lives in an
+// immutable snapshot behind an atomic pointer, so query evaluation never
+// serializes on the dictionary. Intern copies the snapshot, persists the
+// extended dictionary, and publishes the new snapshot atomically; writers
+// are serialized by an internal mutex. Labels are few and interning a new
+// one is rare (imports of documents with unseen element names), so the
+// copy-on-write cost is negligible.
 package dict
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"natix/internal/blobstore"
 	"natix/internal/records"
@@ -40,27 +50,40 @@ var (
 	ErrCorrupt   = errors.New("dict: corrupt dictionary record")
 )
 
-// Dict is the persistent label dictionary. It is serialized as a blob
-// whose id is registered in the segment header's RootDict slot.
-type Dict struct {
-	blobs  *blobstore.Store
-	seg    *segment.Segment
-	blobID blobstore.ID
+// dictState is one immutable snapshot of the mapping. Never mutate a
+// published snapshot: Intern builds a fresh byName map (the names slice
+// is append-only, so older snapshots index safely into their prefix).
+type dictState struct {
 	byName map[string]LabelID
 	names  []string
+}
+
+// Dict is the persistent label dictionary. It is serialized as a blob
+// whose id is registered in the segment header's RootDict slot. Reads
+// are lock-free; Intern serializes internally, so the whole type is
+// safe for concurrent use.
+type Dict struct {
+	blobs *blobstore.Store
+	seg   *segment.Segment
+
+	mu     sync.Mutex // serializes Intern/save; guards blobID
+	blobID blobstore.ID
+	state  atomic.Pointer[dictState]
 }
 
 // Create initializes an empty dictionary, persists it, and registers it
 // in the segment header.
 func Create(rm *records.Manager) (*Dict, error) {
-	d := &Dict{blobs: blobstore.New(rm), seg: rm.Segment(), byName: make(map[string]LabelID)}
-	d.names = append(d.names, reservedNames...)
-	for id, n := range d.names {
+	d := &Dict{blobs: blobstore.New(rm), seg: rm.Segment()}
+	st := &dictState{byName: make(map[string]LabelID)}
+	st.names = append(st.names, reservedNames...)
+	for id, n := range st.names {
 		if id > 0 {
-			d.byName[n] = LabelID(id)
+			st.byName[n] = LabelID(id)
 		}
 	}
-	id, err := d.blobs.Write(d.encode(), 0)
+	d.state.Store(st)
+	id, err := d.blobs.Write(d.encode(st), 0)
 	if err != nil {
 		return nil, fmt.Errorf("dict: persist: %w", err)
 	}
@@ -83,14 +106,16 @@ func Open(rm *records.Manager) (*Dict, error) {
 	}
 	var enc [records.RIDSize]byte
 	binary.LittleEndian.PutUint64(enc[:], raw)
-	d := &Dict{blobs: blobstore.New(rm), seg: seg, blobID: records.DecodeRID(enc[:]), byName: make(map[string]LabelID)}
+	d := &Dict{blobs: blobstore.New(rm), seg: seg, blobID: records.DecodeRID(enc[:])}
 	body, err := d.blobs.Read(d.blobID)
 	if err != nil {
 		return nil, fmt.Errorf("dict: load: %w", err)
 	}
-	if err := d.decode(body); err != nil {
+	st, err := decode(body)
+	if err != nil {
 		return nil, err
 	}
+	d.state.Store(st)
 	return d, nil
 }
 
@@ -101,12 +126,12 @@ func (d *Dict) registerRoot() error {
 	return d.seg.SetRootRID(segment.RootDict, binary.LittleEndian.Uint64(enc[:]))
 }
 
-// encode serializes the dictionary: count, then (len, bytes) per name.
-func (d *Dict) encode() []byte {
+// encode serializes a snapshot: count, then (len, bytes) per name.
+func (d *Dict) encode(st *dictState) []byte {
 	out := make([]byte, 2, 64)
-	binary.LittleEndian.PutUint16(out, uint16(len(d.names)))
+	binary.LittleEndian.PutUint16(out, uint16(len(st.names)))
 	var l [2]byte
-	for _, n := range d.names {
+	for _, n := range st.names {
 		binary.LittleEndian.PutUint16(l[:], uint16(len(n)))
 		out = append(out, l[:]...)
 		out = append(out, n...)
@@ -119,44 +144,45 @@ func (d *Dict) encode() []byte {
 	return out
 }
 
-func (d *Dict) decode(b []byte) error {
+func decode(b []byte) (*dictState, error) {
 	if len(b) < 2 {
-		return ErrCorrupt
+		return nil, ErrCorrupt
 	}
 	count := int(binary.LittleEndian.Uint16(b))
 	pos := 2
-	d.names = d.names[:0]
+	st := &dictState{byName: make(map[string]LabelID, count)}
 	for i := 0; i < count; i++ {
 		if pos+2 > len(b) {
-			return fmt.Errorf("%w: truncated at entry %d", ErrCorrupt, i)
+			return nil, fmt.Errorf("%w: truncated at entry %d", ErrCorrupt, i)
 		}
 		n := int(binary.LittleEndian.Uint16(b[pos:]))
 		pos += 2
 		if pos+n > len(b) {
-			return fmt.Errorf("%w: truncated name at entry %d", ErrCorrupt, i)
+			return nil, fmt.Errorf("%w: truncated name at entry %d", ErrCorrupt, i)
 		}
 		name := string(b[pos : pos+n])
 		pos += n
-		d.names = append(d.names, name)
+		st.names = append(st.names, name)
 		if i > 0 {
-			d.byName[name] = LabelID(i)
+			st.byName[name] = LabelID(i)
 		}
 	}
-	if len(d.names) < len(reservedNames) {
-		return fmt.Errorf("%w: missing reserved labels", ErrCorrupt)
+	if len(st.names) < len(reservedNames) {
+		return nil, fmt.Errorf("%w: missing reserved labels", ErrCorrupt)
 	}
 	for i, want := range reservedNames {
-		if i > 0 && d.names[i] != want {
-			return fmt.Errorf("%w: reserved id %d is %q, want %q", ErrCorrupt, i, d.names[i], want)
+		if i > 0 && st.names[i] != want {
+			return nil, fmt.Errorf("%w: reserved id %d is %q, want %q", ErrCorrupt, i, st.names[i], want)
 		}
 	}
-	return nil
+	return st, nil
 }
 
-// save persists the current state. Blob ids change when the chunk count
+// save persists a snapshot. Blob ids change when the chunk count
 // changes, so the header root is re-registered after every save.
-func (d *Dict) save() error {
-	id, err := d.blobs.Overwrite(d.blobID, d.encode())
+// Caller holds d.mu.
+func (d *Dict) save(st *dictState) error {
+	id, err := d.blobs.Overwrite(d.blobID, d.encode(st))
 	if err != nil {
 		return err
 	}
@@ -169,37 +195,50 @@ func (d *Dict) Intern(name string) (LabelID, error) {
 	if name == "" {
 		return Invalid, errors.New("dict: empty label")
 	}
-	if id, ok := d.byName[name]; ok {
+	if id, ok := d.state.Load().byName[name]; ok {
 		return id, nil
 	}
-	if len(d.names) > 0xFFFF {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.state.Load()
+	if id, ok := cur.byName[name]; ok { // raced with another Intern
+		return id, nil
+	}
+	if len(cur.names) > 0xFFFF {
 		return Invalid, fmt.Errorf("%w: 16-bit id space exhausted", ErrFull)
 	}
-	id := LabelID(len(d.names))
-	d.names = append(d.names, name)
-	d.byName[name] = id
-	if err := d.save(); err != nil {
-		// Roll back the in-memory addition so state matches disk.
-		d.names = d.names[:len(d.names)-1]
-		delete(d.byName, name)
+	id := LabelID(len(cur.names))
+	next := &dictState{
+		byName: make(map[string]LabelID, len(cur.byName)+1),
+		names:  append(cur.names[:len(cur.names):len(cur.names)], name),
+	}
+	for n, i := range cur.byName {
+		next.byName[n] = i
+	}
+	next.byName[name] = id
+	// Persist before publishing, so in-memory state never runs ahead of
+	// disk when the save fails.
+	if err := d.save(next); err != nil {
 		return Invalid, err
 	}
+	d.state.Store(next)
 	return id, nil
 }
 
 // Lookup returns the id for name without adding it.
 func (d *Dict) Lookup(name string) (LabelID, bool) {
-	id, ok := d.byName[name]
+	id, ok := d.state.Load().byName[name]
 	return id, ok
 }
 
 // Name returns the label text for id.
 func (d *Dict) Name(id LabelID) (string, error) {
-	if int(id) >= len(d.names) || id == Invalid {
+	st := d.state.Load()
+	if int(id) >= len(st.names) || id == Invalid {
 		return "", fmt.Errorf("%w: %d", ErrUnknownID, id)
 	}
-	return d.names[id], nil
+	return st.names[id], nil
 }
 
 // Len returns the number of labels including the reserved ones.
-func (d *Dict) Len() int { return len(d.names) }
+func (d *Dict) Len() int { return len(d.state.Load().names) }

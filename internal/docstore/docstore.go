@@ -10,6 +10,29 @@
 //   - ModeFlat: as a serialized byte stream in the BLOB manager — the
 //     "flat stream" baseline of §1, where structure is only accessible
 //     by re-parsing.
+//
+// # Concurrency
+//
+// The store is safe for concurrent use under a two-level scheme. Read
+// operations on a document (Query, QueryCount, ExportXML, Stats) take
+// that document's read lock, so any number of them run in parallel —
+// including against a document another goroutine is mutating a sibling
+// of. Catalog-only reads (Documents, Lookup, Tree) take just the
+// catalog lock: they serialize with catalog updates, not with document
+// content mutation. Mutations (ImportXML, ImportTree, ImportFlat,
+// Delete, Convert, ReindexDocument, RegisterTree) take a store-wide
+// writer mutex — one mutator at a time, because they share the segment
+// allocator and the catalog — plus the target document's write lock,
+// so they exclude only readers of the same document. Readers of other
+// documents never wait on a mutator; page-level integrity between a
+// mutator and concurrent readers of unrelated records on shared pages
+// is the buffer manager's frame latches' job.
+//
+// Lock order: writer mutex → per-document lock → catalog lock →
+// package-internal locks (dict, caches, pool shards, frame latches).
+// Code that mutates a tree directly through Tree's handle (the
+// Document edit API, the benchmark harness) must wrap the mutation in
+// Mutate, which takes the same locks the built-in mutators do.
 package docstore
 
 import (
@@ -19,6 +42,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"natix/internal/blobstore"
 	"natix/internal/core"
@@ -65,8 +90,21 @@ type Store struct {
 	dict  *dict.Dict
 	seg   *segment.Segment
 
-	catalog   map[string]*DocInfo
-	catalogID records.RID // blob holding the serialized catalog; nil if empty
+	// wmu serializes all mutating operations: they share the segment
+	// allocator, the catalog blob and the path-index catalog, none of
+	// which support two concurrent writers.
+	wmu sync.Mutex
+
+	// locks is the per-document lock table: name -> *sync.RWMutex.
+	// Entries are created on demand and kept for the store's lifetime
+	// (names recur; the table is bounded by the number of distinct
+	// names ever used). A sync.Map so the lookup on every query and
+	// match access is lock-free once the entry exists.
+	locks sync.Map
+
+	cmu       sync.RWMutex        // guards catalog
+	catalog   map[string]*DocInfo // entries are mutated only under cmu
+	catalogID records.RID         // catalog blob RID; touched only under wmu
 
 	// pindex, when attached, is the persistent path-index store. It is
 	// attached even in sessions that do not use the index so that
@@ -76,7 +114,10 @@ type Store struct {
 	// additionally enables building on import and answering queries.
 	pindex  *pathindex.Store
 	indexOn bool
-	istats  IndexStats
+
+	builds         atomic.Int64
+	indexedQueries atomic.Int64
+	scanQueries    atomic.Int64
 }
 
 // IndexStats counts path-index activity.
@@ -84,6 +125,40 @@ type IndexStats struct {
 	Builds         int64 // index builds (imports and reindexes)
 	IndexedQueries int64 // tree-mode queries answered from the index
 	ScanQueries    int64 // tree-mode queries evaluated by navigation
+}
+
+// lockFor returns the named document's lock, creating it on first use.
+// Locks are addressed by name independent of catalog membership, so a
+// reader and an importer of the same not-yet-existing document still
+// serialize correctly.
+func (s *Store) lockFor(name string) *sync.RWMutex {
+	if l, ok := s.locks.Load(name); ok {
+		return l.(*sync.RWMutex)
+	}
+	l, _ := s.locks.LoadOrStore(name, new(sync.RWMutex))
+	return l.(*sync.RWMutex)
+}
+
+// View runs fn holding the named document's read lock. Use it to wrap
+// read-only access that goes through a Tree handle directly.
+func (s *Store) View(name string, fn func() error) error {
+	l := s.lockFor(name)
+	l.RLock()
+	defer l.RUnlock()
+	return fn()
+}
+
+// Mutate runs fn holding the writer mutex and the named document's
+// write lock — the locks every built-in mutator takes. Use it to wrap
+// direct tree mutations (Document edits, harness-driven inserts),
+// including their PrepareMutation/FinishBulk bracketing.
+func (s *Store) Mutate(name string, fn func() error) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	l := s.lockFor(name)
+	l.Lock()
+	defer l.Unlock()
+	return fn()
 }
 
 // Create initializes a document manager over a fresh segment: the label
@@ -156,7 +231,13 @@ func (s *Store) AttachPathIndex(px *pathindex.Store) { s.pindex = px }
 func (s *Store) PathIndex() *pathindex.Store { return s.pindex }
 
 // IndexStats returns the path-index activity counters.
-func (s *Store) IndexStats() IndexStats { return s.istats }
+func (s *Store) IndexStats() IndexStats {
+	return IndexStats{
+		Builds:         s.builds.Load(),
+		IndexedQueries: s.indexedQueries.Load(),
+		ScanQueries:    s.scanQueries.Load(),
+	}
+}
 
 // buildIndex builds and persists the path index of a tree-mode document.
 func (s *Store) buildIndex(name string, root records.RID) error {
@@ -167,7 +248,7 @@ func (s *Store) buildIndex(name string, root records.RID) error {
 	if err := s.pindex.Put(name, idx); err != nil {
 		return err
 	}
-	s.istats.Builds++
+	s.builds.Add(1)
 	return nil
 }
 
@@ -176,10 +257,14 @@ func (s *Store) buildIndex(name string, root records.RID) error {
 // manager directly, mutated via FinishBulk (which drops the index), or
 // imported before indexing was enabled.
 func (s *Store) ReindexDocument(name string) error {
+	return s.Mutate(name, func() error { return s.reindexLocked(name) })
+}
+
+func (s *Store) reindexLocked(name string) error {
 	if s.pindex == nil || !s.indexOn {
 		return errors.New("docstore: path index not enabled")
 	}
-	info, ok := s.catalog[name]
+	info, ok := s.lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -189,8 +274,23 @@ func (s *Store) ReindexDocument(name string) error {
 	return s.buildIndex(name, info.Root)
 }
 
+// lookup returns a copy of the catalog entry for name. Copies, not the
+// shared pointer: updateRoot mutates entries in place under cmu, and a
+// reader must not observe that mid-operation.
+func (s *Store) lookup(name string) (DocInfo, bool) {
+	s.cmu.RLock()
+	defer s.cmu.RUnlock()
+	info, ok := s.catalog[name]
+	if !ok {
+		return DocInfo{}, false
+	}
+	return *info, true
+}
+
 // encodeCatalog serializes the catalog: count, then entries.
 func (s *Store) encodeCatalog() []byte {
+	s.cmu.RLock()
+	defer s.cmu.RUnlock()
 	names := make([]string, 0, len(s.catalog))
 	for n := range s.catalog {
 		names = append(names, n)
@@ -239,7 +339,8 @@ func (s *Store) decodeCatalog(b []byte) error {
 }
 
 // saveCatalog persists the catalog blob and re-registers it in the
-// segment header.
+// segment header. Called only from mutator context (under wmu, or
+// during single-threaded construction).
 func (s *Store) saveCatalog() error {
 	body := s.encodeCatalog()
 	var (
@@ -262,26 +363,30 @@ func (s *Store) saveCatalog() error {
 
 // Documents lists the catalog in name order.
 func (s *Store) Documents() []DocInfo {
+	s.cmu.RLock()
 	out := make([]DocInfo, 0, len(s.catalog))
 	for _, info := range s.catalog {
 		out = append(out, *info)
 	}
+	s.cmu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // Lookup returns the catalog entry for name.
 func (s *Store) Lookup(name string) (DocInfo, error) {
-	info, ok := s.catalog[name]
+	info, ok := s.lookup(name)
 	if !ok {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return *info, nil
+	return info, nil
 }
 
-// Tree returns a handle to a tree-mode document.
+// Tree returns a handle to a tree-mode document. Reads through the
+// handle must be wrapped in View, mutations in Mutate, unless the
+// caller is single-threaded.
 func (s *Store) Tree(name string) (*core.Tree, error) {
-	info, ok := s.catalog[name]
+	info, ok := s.lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -293,7 +398,11 @@ func (s *Store) Tree(name string) (*core.Tree, error) {
 
 // Delete removes a document and its storage, dropping its path index.
 func (s *Store) Delete(name string) error {
-	info, ok := s.catalog[name]
+	return s.Mutate(name, func() error { return s.deleteLocked(name) })
+}
+
+func (s *Store) deleteLocked(name string) error {
+	info, ok := s.lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -312,35 +421,61 @@ func (s *Store) Delete(name string) error {
 			return err
 		}
 	}
+	s.cmu.Lock()
 	delete(s.catalog, name)
+	s.cmu.Unlock()
 	return s.saveCatalog()
 }
 
-// register adds a catalog entry.
+// register adds a catalog entry. Mutator context.
 func (s *Store) register(info *DocInfo) error {
+	s.cmu.Lock()
 	if _, ok := s.catalog[info.Name]; ok {
+		s.cmu.Unlock()
 		return fmt.Errorf("%w: %q", ErrDuplicate, info.Name)
 	}
 	s.catalog[info.Name] = info
+	s.cmu.Unlock()
 	return s.saveCatalog()
 }
 
 // updateRoot persists a changed root RID (tree roots move when the root
-// record splits).
+// record splits). Mutator context.
 func (s *Store) updateRoot(name string, root records.RID) error {
+	s.cmu.Lock()
 	info, ok := s.catalog[name]
 	if !ok {
+		s.cmu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if info.Root == root {
+		s.cmu.Unlock()
 		return nil
 	}
 	info.Root = root
+	s.cmu.Unlock()
 	return s.saveCatalog()
 }
 
-// labelFor interns an element name.
+// labelFor interns an element name. Mutator context (the import paths
+// that call it already hold the writer mutex).
 func (s *Store) labelFor(name string) (dict.LabelID, error) {
+	return s.dict.Intern(name)
+}
+
+// InternLabel interns a label under the store's writer mutex. Callers
+// outside the docstore mutators (SetPolicy, Document edits) must use
+// this instead of Dict().Intern: interning an unseen label persists
+// the grown dictionary blob, which allocates pages — and the segment
+// allocator requires a single mutator at a time. Interning an existing
+// label short-circuits on the dictionary's lock-free fast path before
+// the mutex is taken.
+func (s *Store) InternLabel(name string) (dict.LabelID, error) {
+	if id, ok := s.dict.Lookup(name); ok {
+		return id, nil
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	return s.dict.Intern(name)
 }
 
@@ -378,6 +513,8 @@ func (s *Store) nodeFromXML(n *xmlkit.Node) (*noderep.Node, error) {
 // ImportXML parses an XML document and stores it in tree mode by
 // pre-order insertion (one storage-manager insert per logical node — the
 // paper's "bulkload" pattern, §4.3). It returns the document info.
+// Parsing happens before any lock is taken, so concurrent readers are
+// not stalled behind XML parsing.
 func (s *Store) ImportXML(name string, r io.Reader) (DocInfo, error) {
 	doc, err := xmlkit.Parse(r, xmlkit.ParseOptions{})
 	if err != nil {
@@ -389,7 +526,17 @@ func (s *Store) ImportXML(name string, r io.Reader) (DocInfo, error) {
 // ImportTree stores a parsed XML tree in tree mode, inserting node by
 // node in pre-order.
 func (s *Store) ImportTree(name string, root *xmlkit.Node) (DocInfo, error) {
-	if _, ok := s.catalog[name]; ok {
+	var info DocInfo
+	err := s.Mutate(name, func() error {
+		var err error
+		info, err = s.importTreeLocked(name, root)
+		return err
+	})
+	return info, err
+}
+
+func (s *Store) importTreeLocked(name string, root *xmlkit.Node) (DocInfo, error) {
+	if _, ok := s.lookup(name); ok {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	if root.IsText() {
@@ -492,7 +639,7 @@ func (s *Store) insertText(tree *core.Tree, path core.Path, pos int, text string
 // record and position), and dropping first fails closed: if the drop
 // cannot be persisted the mutation is refused, so a live index can
 // never address post-mutation positions. Queries fall back to the
-// scan until ReindexDocument rebuilds the index.
+// scan until ReindexDocument rebuilds the index. Call within Mutate.
 func (s *Store) PrepareMutation(name string) error {
 	if s.pindex == nil {
 		return nil
@@ -502,7 +649,7 @@ func (s *Store) PrepareMutation(name string) error {
 
 // FinishBulk persists any root-RID change after bulk mutations. The
 // index was dropped by PrepareMutation; dropping again here covers
-// callers that mutate without announcing.
+// callers that mutate without announcing. Call within Mutate.
 func (s *Store) FinishBulk(name string, tree *core.Tree) error {
 	if s.pindex != nil {
 		if err := s.pindex.Drop(name); err != nil {
@@ -513,9 +660,12 @@ func (s *Store) FinishBulk(name string, tree *core.Tree) error {
 }
 
 // ImportFlat stores the XML text verbatim as a BLOB (the flat-stream
-// baseline). The text is validated by parsing first.
+// baseline). The text is validated by parsing first, before any lock
+// is taken.
 func (s *Store) ImportFlat(name string, r io.Reader) (DocInfo, error) {
-	if _, ok := s.catalog[name]; ok {
+	// Racy duplicate pre-check so an existing name is rejected before
+	// the reader is drained; importFlatLocked re-checks authoritatively.
+	if _, ok := s.lookup(name); ok {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	text, err := io.ReadAll(r)
@@ -524,6 +674,19 @@ func (s *Store) ImportFlat(name string, r io.Reader) (DocInfo, error) {
 	}
 	if _, err := xmlkit.ParseString(string(text), xmlkit.ParseOptions{}); err != nil {
 		return DocInfo{}, fmt.Errorf("docstore: flat import: %w", err)
+	}
+	var info DocInfo
+	err = s.Mutate(name, func() error {
+		var err error
+		info, err = s.importFlatLocked(name, text)
+		return err
+	})
+	return info, err
+}
+
+func (s *Store) importFlatLocked(name string, text []byte) (DocInfo, error) {
+	if _, ok := s.lookup(name); ok {
+		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	id, err := s.blobs.Write(text, 0)
 	if err != nil {
@@ -538,7 +701,14 @@ func (s *Store) ImportFlat(name string, r io.Reader) (DocInfo, error) {
 
 // ExportXML serializes a document back to XML markup.
 func (s *Store) ExportXML(name string, w io.Writer) error {
-	info, ok := s.catalog[name]
+	l := s.lockFor(name)
+	l.RLock()
+	defer l.RUnlock()
+	return s.exportXMLLocked(name, w)
+}
+
+func (s *Store) exportXMLLocked(name string, w io.Writer) error {
+	info, ok := s.lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -611,19 +781,31 @@ func (s *Store) xmlFromRef(ref core.NodeRef) (*xmlkit.Node, error) {
 // through the tree storage manager (the benchmark harness drives
 // insertion orders itself).
 func (s *Store) RegisterTree(name string, tree *core.Tree) (DocInfo, error) {
-	info := &DocInfo{Name: name, Mode: ModeTree, Root: tree.RootRID()}
-	if err := s.register(info); err != nil {
-		return DocInfo{}, err
-	}
-	return *info, nil
+	var info DocInfo
+	err := s.Mutate(name, func() error {
+		entry := &DocInfo{Name: name, Mode: ModeTree, Root: tree.RootRID()}
+		if err := s.register(entry); err != nil {
+			return err
+		}
+		info = *entry
+		return nil
+	})
+	return info, err
 }
 
 // Convert re-stores a document in the other representation (tree ↔
 // flat) under the same name, preserving content. Converting to flat
 // serializes the tree; converting to tree parses the stream. This is
-// the migration path between the paper's storage categories (§1).
+// the migration path between the paper's storage categories (§1). The
+// whole conversion holds the document's write lock, so readers see
+// either the old representation or the new one, never the gap between
+// delete and re-import.
 func (s *Store) Convert(name string, to Mode) error {
-	info, ok := s.catalog[name]
+	return s.Mutate(name, func() error { return s.convertLocked(name, to) })
+}
+
+func (s *Store) convertLocked(name string, to Mode) error {
+	info, ok := s.lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -631,18 +813,21 @@ func (s *Store) Convert(name string, to Mode) error {
 		return nil
 	}
 	var buf strings.Builder
-	if err := s.ExportXML(name, &buf); err != nil {
+	if err := s.exportXMLLocked(name, &buf); err != nil {
 		return err
 	}
-	if err := s.Delete(name); err != nil {
+	if err := s.deleteLocked(name); err != nil {
 		return err
 	}
-	var err error
 	if to == ModeFlat {
-		_, err = s.ImportFlat(name, strings.NewReader(buf.String()))
-	} else {
-		_, err = s.ImportXML(name, strings.NewReader(buf.String()))
+		_, err := s.importFlatLocked(name, []byte(buf.String()))
+		return err
 	}
+	doc, err := xmlkit.ParseString(buf.String(), xmlkit.ParseOptions{})
+	if err != nil {
+		return err
+	}
+	_, err = s.importTreeLocked(name, doc.Root)
 	return err
 }
 
@@ -663,7 +848,10 @@ type TreeStats struct {
 // Stats computes physical statistics for a tree-mode document by
 // walking its record tree.
 func (s *Store) Stats(name string) (TreeStats, error) {
-	info, ok := s.catalog[name]
+	l := s.lockFor(name)
+	l.RLock()
+	defer l.RUnlock()
+	info, ok := s.lookup(name)
 	if !ok {
 		return TreeStats{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}

@@ -71,9 +71,16 @@ func ParseQuery(q string) ([]Step, error) {
 
 // Result is one query match. Exactly one of Ref (tree mode) or XML
 // (flat mode) is meaningful; Store.ResultText and Store.ResultXML work
-// on both.
+// on both. Results are consumed after Query returns (and releases the
+// document lock), so Text and Markup re-take the document's read lock
+// for the duration of each access — consuming matches stays safe while
+// other goroutines query or mutate. A mutation of the matched document
+// between Query and consumption still invalidates the refs themselves
+// (they address parsed records); hold off concurrent edits of a
+// document whose matches are still being read.
 type Result struct {
 	Mode Mode
+	Doc  string // catalog name of the queried document
 	Ref  core.NodeRef
 	XML  *xmlkit.Node
 
@@ -85,7 +92,13 @@ func (r Result) Text() (string, error) {
 	if r.Mode == ModeFlat {
 		return r.XML.TextContent(), nil
 	}
-	return r.store.trees.TextContent(r.Ref)
+	var out string
+	err := r.store.View(r.Doc, func() error {
+		var err error
+		out, err = r.store.trees.TextContent(r.Ref)
+		return err
+	})
+	return out, err
 }
 
 // Markup returns the XML serialization of the match ("recreates the
@@ -94,11 +107,16 @@ func (r Result) Markup() (string, error) {
 	if r.Mode == ModeFlat {
 		return xmlkit.SerializeString(r.XML), nil
 	}
-	xn, err := r.store.xmlFromRef(r.Ref)
-	if err != nil {
-		return "", err
-	}
-	return xmlkit.SerializeString(xn), nil
+	var out string
+	err := r.store.View(r.Doc, func() error {
+		xn, err := r.store.xmlFromRef(r.Ref)
+		if err != nil {
+			return err
+		}
+		out = xmlkit.SerializeString(xn)
+		return nil
+	})
+	return out, err
 }
 
 // Query evaluates a path expression against a document. For flat-mode
@@ -113,7 +131,10 @@ func (s *Store) Query(name, query string) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	info, ok := s.catalog[name]
+	l := s.lockFor(name)
+	l.RLock()
+	defer l.RUnlock()
+	info, ok := s.lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -124,7 +145,7 @@ func (s *Store) Query(name, query string) ([]Result, error) {
 		}
 		out := make([]Result, len(matches))
 		for i, m := range matches {
-			out[i] = Result{Mode: ModeFlat, XML: m, store: s}
+			out[i] = Result{Mode: ModeFlat, Doc: name, XML: m, store: s}
 		}
 		return out, nil
 	}
@@ -134,7 +155,7 @@ func (s *Store) Query(name, query string) ([]Result, error) {
 	}
 	out := make([]Result, len(ctx))
 	for i, ref := range ctx {
-		out[i] = Result{Mode: ModeTree, Ref: ref, store: s}
+		out[i] = Result{Mode: ModeTree, Doc: name, Ref: ref, store: s}
 	}
 	return out, nil
 }
@@ -147,7 +168,10 @@ func (s *Store) QueryCount(name, query string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	info, ok := s.catalog[name]
+	l := s.lockFor(name)
+	l.RLock()
+	defer l.RUnlock()
+	info, ok := s.lookup(name)
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -160,17 +184,17 @@ func (s *Store) QueryCount(name, query string) (int, error) {
 		return 0, err
 	}
 	if idx != nil {
-		s.istats.IndexedQueries++
+		s.indexedQueries.Add(1)
 		posts, err := s.evalIndexed(idx, steps)
 		return len(posts), err
 	}
-	s.istats.ScanQueries++
+	s.scanQueries.Add(1)
 	refs, err := s.evalScan(info, steps)
 	return len(refs), err
 }
 
 // evalFlat reads, parses and evaluates a flat-mode document.
-func (s *Store) evalFlat(info *DocInfo, steps []Step) ([]*xmlkit.Node, error) {
+func (s *Store) evalFlat(info DocInfo, steps []Step) ([]*xmlkit.Node, error) {
 	body, err := s.blobs.Read(info.Root)
 	if err != nil {
 		return nil, err
@@ -184,26 +208,26 @@ func (s *Store) evalFlat(info *DocInfo, steps []Step) ([]*xmlkit.Node, error) {
 
 // evalTree evaluates steps over a tree-mode document, through the path
 // index when possible.
-func (s *Store) evalTree(info *DocInfo, steps []Step) ([]core.NodeRef, error) {
+func (s *Store) evalTree(info DocInfo, steps []Step) ([]core.NodeRef, error) {
 	idx, err := s.indexFor(info, steps)
 	if err != nil {
 		return nil, err
 	}
 	if idx != nil {
-		s.istats.IndexedQueries++
+		s.indexedQueries.Add(1)
 		posts, err := s.evalIndexed(idx, steps)
 		if err != nil {
 			return nil, err
 		}
 		return s.resolvePostings(posts)
 	}
-	s.istats.ScanQueries++
+	s.scanQueries.Add(1)
 	return s.evalScan(info, steps)
 }
 
 // evalScan evaluates steps by navigating the stored tree (the fallback
 // when no index applies).
-func (s *Store) evalScan(info *DocInfo, steps []Step) ([]core.NodeRef, error) {
+func (s *Store) evalScan(info DocInfo, steps []Step) ([]core.NodeRef, error) {
 	tree := s.trees.OpenTree(info.Root)
 	root, err := tree.Root()
 	if err != nil {

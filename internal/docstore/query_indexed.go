@@ -27,7 +27,7 @@ import (
 // nodes the postings do not cover, so those queries fall back to the
 // scan path). Only the index summary is loaded here; posting lists are
 // read lazily, per step label.
-func (s *Store) indexFor(info *DocInfo, steps []Step) (*pathindex.Handle, error) {
+func (s *Store) indexFor(info DocInfo, steps []Step) (*pathindex.Handle, error) {
 	if s.pindex == nil || !s.indexOn || info.Mode != ModeTree {
 		return nil, nil
 	}

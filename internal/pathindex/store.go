@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"natix/internal/blobstore"
 	"natix/internal/dict"
@@ -31,10 +32,17 @@ import (
 // updates it. Measurement harnesses that clear the buffer pool between
 // operations should call InvalidateCache too, so index I/O is charged
 // to the operation like every other page access.
+//
+// Reads (Get, Has, Names, lazy posting loads) are safe for any number
+// of concurrent callers; Put and Drop must be serialized by the caller
+// (package docstore's writer lock) but may run concurrently with
+// readers of other documents.
 type Store struct {
-	blobs     *blobstore.Store
-	seg       *segment.Segment
-	catalogID records.RID
+	blobs *blobstore.Store
+	seg   *segment.Segment
+
+	mu        sync.RWMutex // guards entries and cache
+	catalogID records.RID  // touched only by the (serialized) writer
 	entries   map[string]records.RID // document name -> summary blob RID
 	cache     map[string]*Handle
 }
@@ -74,7 +82,9 @@ func Open(rm *records.Manager) (*Store, error) {
 }
 
 func (s *Store) encodeCatalog() []byte {
-	names := s.Names()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := s.namesLocked()
 	out := make([]byte, 0, 8)
 	out = append(out, catalogMagic...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(names)))
@@ -133,6 +143,14 @@ func (s *Store) saveCatalog() error {
 
 // Names lists the indexed documents in name order.
 func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.namesLocked()
+}
+
+// namesLocked lists the indexed documents in name order. Caller holds
+// s.mu (shared or exclusive).
+func (s *Store) namesLocked() []string {
 	out := make([]string, 0, len(s.entries))
 	for n := range s.entries {
 		out = append(out, n)
@@ -143,6 +161,8 @@ func (s *Store) Names() []string {
 
 // Has reports whether name has a stored index.
 func (s *Store) Has(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.entries[name]
 	return ok
 }
@@ -184,12 +204,14 @@ func (s *Store) Put(name string, idx *Index) error {
 	if err != nil {
 		return rollback(fmt.Errorf("pathindex: store %q summary: %w", name, err))
 	}
+	s.mu.Lock()
 	s.entries[name] = id
-	s.cacheAdd(name, &Handle{
+	s.cacheAddLocked(name, &Handle{
 		store:    s,
 		sum:      &summary{paths: idx.paths, root: idx.root, nodes: idx.nodes, dir: dir},
 		postings: idx.postings,
 	})
+	s.mu.Unlock()
 	if err := s.saveCatalog(); err != nil {
 		return err
 	}
@@ -203,12 +225,17 @@ func (s *Store) Put(name string, idx *Index) error {
 
 // Get returns a handle on the index of name, loading and caching its
 // summary on first use. It returns (nil, nil) when the document has no
-// index.
+// index. Concurrent first loads of the same document may both read the
+// summary; one decoded handle wins the cache and both callers get a
+// valid view.
 func (s *Store) Get(name string) (*Handle, error) {
+	s.mu.RLock()
 	if h, ok := s.cache[name]; ok {
+		s.mu.RUnlock()
 		return h, nil
 	}
 	id, ok := s.entries[name]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, nil
 	}
@@ -221,7 +248,12 @@ func (s *Store) Get(name string) (*Handle, error) {
 		return nil, fmt.Errorf("pathindex: %q: %w", name, err)
 	}
 	h := &Handle{store: s, sum: sum, postings: make(map[dict.LabelID][]Posting)}
-	s.cacheAdd(name, h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.cache[name]; ok {
+		return cached, nil
+	}
+	s.cacheAddLocked(name, h)
 	return h, nil
 }
 
@@ -236,8 +268,10 @@ func (s *Store) Drop(name string) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
 	delete(s.entries, name)
 	delete(s.cache, name)
+	s.mu.Unlock()
 	if err := s.saveCatalog(); err != nil {
 		return err
 	}
@@ -255,7 +289,9 @@ func (s *Store) Drop(name string) error {
 // reindex repair path), so its posting blobs — unenumerable without
 // the directory — are leaked and only the summary itself is freed.
 func (s *Store) blobRIDs(name string) ([]records.RID, error) {
+	s.mu.RLock()
 	id, ok := s.entries[name]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, nil
 	}
@@ -276,7 +312,9 @@ func (s *Store) blobRIDs(name string) ([]records.RID, error) {
 // BlobSize returns the total serialized size of name's index in bytes
 // (summary plus all posting blobs).
 func (s *Store) BlobSize(name string) (int64, error) {
+	s.mu.RLock()
 	id, ok := s.entries[name]
+	s.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("pathindex: no index for %q", name)
 	}
@@ -298,9 +336,9 @@ func (s *Store) BlobSize(name string) (int64, error) {
 	return total, nil
 }
 
-// cacheAdd caches a decoded handle, evicting an arbitrary entry at the
-// bound.
-func (s *Store) cacheAdd(name string, h *Handle) {
+// cacheAddLocked caches a decoded handle, evicting an arbitrary entry
+// at the bound. Caller holds s.mu exclusively.
+func (s *Store) cacheAddLocked(name string, h *Handle) {
 	if _, ok := s.cache[name]; !ok && len(s.cache) >= maxCached {
 		for evict := range s.cache {
 			delete(s.cache, evict)
@@ -312,13 +350,22 @@ func (s *Store) cacheAdd(name string, h *Handle) {
 
 // InvalidateCache drops all decoded handles, forcing the next access
 // to re-read summary and postings through the buffer pool.
-func (s *Store) InvalidateCache() { clear(s.cache) }
+func (s *Store) InvalidateCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear(s.cache)
+}
 
 // Handle is a lazily loaded view of one document's index: the summary
 // is resident, posting lists are read (and then kept) on first probe.
+// Handles are shared between concurrent queries of the same document;
+// the lazy loads are guarded by a per-handle lock. The summary itself
+// is immutable once decoded.
 type Handle struct {
-	store    *Store
-	sum      *summary
+	store *Store
+	sum   *summary
+
+	mu       sync.RWMutex // guards postings
 	postings map[dict.LabelID][]Posting
 }
 
@@ -346,9 +393,14 @@ func (h *Handle) PostingCount(label dict.LabelID) int {
 
 // Postings returns the document-order posting list for label (nil when
 // the label does not occur), loading it on first use. The slice is
-// shared; callers must not modify it.
+// shared; callers must not modify it. Concurrent first probes of the
+// same label may both read the blob; the first decoded list wins and
+// is returned to everyone.
 func (h *Handle) Postings(label dict.LabelID) ([]Posting, error) {
-	if list, ok := h.postings[label]; ok {
+	h.mu.RLock()
+	list, ok := h.postings[label]
+	h.mu.RUnlock()
+	if ok {
 		return list, nil
 	}
 	e, ok := h.sum.dir[label]
@@ -359,13 +411,18 @@ func (h *Handle) Postings(label dict.LabelID) ([]Posting, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pathindex: load postings of label %d: %w", label, err)
 	}
-	list, err := decodePostings(body, h.NumPaths())
+	list, err = decodePostings(body, h.NumPaths())
 	if err != nil {
 		return nil, err
 	}
 	if len(list) != int(e.count) {
 		return nil, fmt.Errorf("%w: label %d has %d postings, directory says %d",
 			ErrCorrupt, label, len(list), e.count)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cached, ok := h.postings[label]; ok {
+		return cached, nil
 	}
 	h.postings[label] = list
 	return list, nil

@@ -85,7 +85,14 @@ var (
 // shrink in place to a forwarding stub, so they are at least RIDSize.
 const MinRecordSize = RIDSize
 
-// Manager provides record CRUD over a segment.
+// Manager provides record CRUD over a segment. Read operations (Read,
+// Size, Touch, PageOf, PageFreeBytes) are safe for any number of
+// concurrent callers and may run concurrently with one mutator: every
+// page access holds the frame latch (shared for reads, exclusive for
+// mutations), so a mutator rewriting one page never exposes torn bytes
+// to readers of a neighboring record on the same page. Mutating
+// operations themselves must be serialized by the caller (package
+// docstore holds a single writer lock).
 type Manager struct {
 	seg *segment.Segment
 }
@@ -129,8 +136,10 @@ func (m *Manager) Insert(data []byte, near pagedev.PageNo) (RID, error) {
 		if err != nil {
 			return NilRID, err
 		}
+		f.Latch()
 		sl, err := pageformat.AsSlotted(f.Data())
 		if err != nil {
+			f.Unlatch()
 			f.Release()
 			return NilRID, err
 		}
@@ -139,6 +148,7 @@ func (m *Manager) Insert(data []byte, near pagedev.PageNo) (RID, error) {
 		if ok {
 			f.MarkDirty()
 		}
+		f.Unlatch()
 		f.Release()
 		if err := m.seg.NotifyFree(p, free); err != nil {
 			return NilRID, err
@@ -159,6 +169,8 @@ func (m *Manager) resolve(rid RID) (loc RID, forwarded bool, err error) {
 		return NilRID, false, err
 	}
 	defer f.Release()
+	f.RLatch()
+	defer f.RUnlatch()
 	sl, err := pageformat.AsSlotted(f.Data())
 	if err != nil {
 		return NilRID, false, err
@@ -191,6 +203,8 @@ func (m *Manager) Read(rid RID) ([]byte, error) {
 		return nil, err
 	}
 	defer f.Release()
+	f.RLatch()
+	defer f.RUnlatch()
 	sl, err := pageformat.AsSlotted(f.Data())
 	if err != nil {
 		return nil, err
@@ -218,6 +232,8 @@ func (m *Manager) Size(rid RID) (int, error) {
 		return 0, err
 	}
 	defer f.Release()
+	f.RLatch()
+	defer f.RUnlatch()
 	sl, err := pageformat.AsSlotted(f.Data())
 	if err != nil {
 		return 0, err
@@ -270,17 +286,21 @@ func (m *Manager) Update(rid RID, data []byte) error {
 	if err != nil {
 		return err
 	}
+	f.Latch()
 	sl, err := pageformat.AsSlotted(f.Data())
 	if err != nil {
+		f.Unlatch()
 		f.Release()
 		return err
 	}
 	if sl.Update(int(loc.Slot), data) {
 		free := sl.FreeBytes()
 		f.MarkDirty()
+		f.Unlatch()
 		f.Release()
 		return m.seg.NotifyFree(loc.Page, free)
 	}
+	f.Unlatch()
 	f.Release()
 
 	// Move: place the new body elsewhere, then point the home slot at it.
@@ -301,23 +321,28 @@ func (m *Manager) Update(rid RID, data []byte) error {
 	if err != nil {
 		return err
 	}
+	f.Latch()
 	sl, err = pageformat.AsSlotted(f.Data())
 	if err != nil {
+		f.Unlatch()
 		f.Release()
 		return err
 	}
 	var stub [RIDSize]byte
 	newLoc.Put(stub[:])
 	if !sl.Update(int(rid.Slot), stub[:]) {
+		f.Unlatch()
 		f.Release()
 		return fmt.Errorf("records: cannot install forwarding stub at %s", rid)
 	}
 	if err := sl.SetFlag(int(rid.Slot), true); err != nil {
+		f.Unlatch()
 		f.Release()
 		return err
 	}
 	free := sl.FreeBytes()
 	f.MarkDirty()
+	f.Unlatch()
 	f.Release()
 	return m.seg.NotifyFree(rid.Page, free)
 }
@@ -341,6 +366,8 @@ func (m *Manager) patchStub(home, newLoc RID) error {
 		return err
 	}
 	defer f.Release()
+	f.Latch()
+	defer f.Unlatch()
 	sl, err := pageformat.AsSlotted(f.Data())
 	if err != nil {
 		return err
@@ -363,17 +390,21 @@ func (m *Manager) deleteCell(loc RID) error {
 	if err != nil {
 		return err
 	}
+	f.Latch()
 	sl, err := pageformat.AsSlotted(f.Data())
 	if err != nil {
+		f.Unlatch()
 		f.Release()
 		return err
 	}
 	if err := sl.Delete(int(loc.Slot)); err != nil {
+		f.Unlatch()
 		f.Release()
 		return err
 	}
 	free := sl.FreeBytes()
 	f.MarkDirty()
+	f.Unlatch()
 	f.Release()
 	return m.seg.NotifyFree(loc.Page, free)
 }
@@ -406,6 +437,8 @@ func (m *Manager) Patch(rid RID, off int, data []byte) error {
 		return err
 	}
 	defer f.Release()
+	f.Latch()
+	defer f.Unlatch()
 	sl, err := pageformat.AsSlotted(f.Data())
 	if err != nil {
 		return err
@@ -431,6 +464,8 @@ func (m *Manager) PageFreeBytes(p pagedev.PageNo) (int, error) {
 		return 0, err
 	}
 	defer f.Release()
+	f.RLatch()
+	defer f.RUnlatch()
 	sl, err := pageformat.AsSlotted(f.Data())
 	if err != nil {
 		return 0, err

@@ -59,7 +59,11 @@ var (
 )
 
 // Segment provides page allocation and free-space lookup over a buffer
-// pool. It is not safe for concurrent use; the store serializes access.
+// pool. Read-side methods (RootRID, FreeHint, TotalBytes, NumPages) are
+// safe for concurrent callers; page access holds frame latches. The
+// allocation path (FindSpace, NotifyFree, SetRootRID) must be driven by
+// a single mutator at a time — package docstore's writer lock provides
+// that.
 type Segment struct {
 	pool     *buffer.Pool
 	pageSize int
@@ -123,6 +127,8 @@ func Create(pool *buffer.Pool) (*Segment, error) {
 		return nil, err
 	}
 	defer f.Release()
+	f.Latch()
+	defer f.Unlatch()
 	b := f.Data()
 	pageformat.InitCommon(b, pageformat.TypeHeader)
 	binary.LittleEndian.PutUint32(b[offVersion:], formatVersion)
@@ -145,6 +151,8 @@ func Open(pool *buffer.Pool) (*Segment, error) {
 		return nil, err
 	}
 	defer f.Release()
+	f.RLatch()
+	defer f.RUnlatch()
 	b := f.Data()
 	if pageformat.TypeOf(b) != pageformat.TypeHeader {
 		return nil, ErrBadHeader
@@ -178,6 +186,8 @@ func (s *Segment) RootRID(slot rootSlot) (uint64, error) {
 		return 0, err
 	}
 	defer f.Release()
+	f.RLatch()
+	defer f.RUnlatch()
 	return binary.LittleEndian.Uint64(f.Data()[offRoots+8*slot:]), nil
 }
 
@@ -191,6 +201,8 @@ func (s *Segment) SetRootRID(slot rootSlot, v uint64) error {
 		return err
 	}
 	defer f.Release()
+	f.Latch()
+	defer f.Unlatch()
 	binary.LittleEndian.PutUint64(f.Data()[offRoots+8*slot:], v)
 	f.MarkDirty()
 	return nil
@@ -233,6 +245,8 @@ func (s *Segment) NotifyFree(p pagedev.PageNo, freeBytes int) error {
 		return err
 	}
 	defer f.Release()
+	f.Latch()
+	defer f.Unlatch()
 	enc := encodeFree(freeBytes, s.pageSize)
 	b := f.Data()
 	if b[pageformat.CommonHeaderSize+entry] != enc {
@@ -253,6 +267,8 @@ func (s *Segment) FreeHint(p pagedev.PageNo) (int, error) {
 		return 0, err
 	}
 	defer f.Release()
+	f.RLatch()
+	defer f.RUnlatch()
 	return decodeFree(f.Data()[pageformat.CommonHeaderSize+entry], s.pageSize), nil
 }
 
@@ -333,6 +349,8 @@ func (s *Segment) scanGroup(group uint64, need int, numPages pagedev.PageNo, fro
 		return 0, false, err
 	}
 	defer f.Release()
+	f.RLatch()
+	defer f.RUnlatch()
 	b := f.Data()
 	for i := fromEntry; i < s.fsiCap; i++ {
 		p := fsiPage + 1 + pagedev.PageNo(i)
@@ -361,8 +379,10 @@ func (s *Segment) allocPage() (pagedev.PageNo, error) {
 			if err != nil {
 				return 0, err
 			}
+			f.Latch()
 			pageformat.InitCommon(f.Data(), pageformat.TypeFSI)
 			f.MarkDirty()
+			f.Unlatch()
 			f.Release()
 			continue // the page after the FSI page is the data page
 		}
@@ -370,9 +390,11 @@ func (s *Segment) allocPage() (pagedev.PageNo, error) {
 		if err != nil {
 			return 0, err
 		}
+		f.Latch()
 		sl := pageformat.FormatSlotted(f.Data())
 		free := sl.FreeBytes()
 		f.MarkDirty()
+		f.Unlatch()
 		f.Release()
 		if err := s.NotifyFree(p, free); err != nil {
 			return 0, err

@@ -153,11 +153,32 @@ func (o Options) withDefaults() Options {
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("natix: database is closed")
 
-// DB is an open repository. All methods are safe for concurrent use;
-// operations are serialized internally (the paper's system is
-// single-user; no finer-grained concurrency control is implemented).
+// DB is an open repository. All methods are safe for concurrent use,
+// and the read path is built to scale with cores rather than serialize
+// (the paper's system is single-user; this implementation adds the
+// multi-user concurrency control):
+//
+//   - Read operations — Query, QueryCount, ExportXML, Documents,
+//     Stats — run concurrently with each other, on the same document
+//     or different ones.
+//   - Mutations — ImportXML, ImportXMLFlat, Delete, Convert,
+//     ReindexDocument, SetPolicy, Document edits — are serialized
+//     against each other by a store-wide writer lock and exclude
+//     readers of the document they touch via that document's
+//     read–write lock. Readers of other documents proceed
+//     concurrently with a mutation.
+//   - Below the API, the buffer pool serves hits without a pool-wide
+//     lock (sharded page table, atomic pin counts) and guards page
+//     bytes with per-frame latches; the parsed-record and path-index
+//     caches take sharded or per-entry locks; dictionary lookups are
+//     lock-free snapshot reads; statistics counters are atomics.
+//
+// DB.mu is only the lifecycle lock: every operation holds it shared to
+// fence Close, which takes it exclusively and therefore waits for
+// in-flight operations to drain. See DESIGN.md ("Concurrency model")
+// for the full lock order.
 type DB struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex // lifecycle: ops hold shared, Close exclusive
 	opts   Options
 	dev    pagedev.Device
 	sim    *pagedev.SimDisk
@@ -269,8 +290,8 @@ func Open(opts Options) (*DB, error) {
 // it for documents imported before PathIndex was enabled. It fails
 // unless the store was opened with PathIndex.
 func (db *DB) ReindexDocument(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
@@ -280,16 +301,16 @@ func (db *DB) ReindexDocument(name string) error {
 // SetPolicy records a split-matrix preference for child elements named
 // child under parents named parent. It affects subsequent insertions.
 func (db *DB) SetPolicy(parent, child string, p Policy) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
-	pl, err := db.store.Dict().Intern(parent)
+	pl, err := db.store.InternLabel(parent)
 	if err != nil {
 		return err
 	}
-	cl, err := db.store.Dict().Intern(child)
+	cl, err := db.store.InternLabel(child)
 	if err != nil {
 		return err
 	}
@@ -300,12 +321,12 @@ func (db *DB) SetPolicy(parent, child string, p Policy) error {
 // SetTextPolicy records the preference for text nodes under parents
 // named parent.
 func (db *DB) SetTextPolicy(parent string, p Policy) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
-	pl, err := db.store.Dict().Intern(parent)
+	pl, err := db.store.InternLabel(parent)
 	if err != nil {
 		return err
 	}
@@ -316,8 +337,8 @@ func (db *DB) SetTextPolicy(parent string, p Policy) error {
 // ImportXML parses and stores an XML document under the given name using
 // the native tree representation.
 func (db *DB) ImportXML(name string, r io.Reader) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
@@ -329,8 +350,8 @@ func (db *DB) ImportXML(name string, r io.Reader) error {
 // baseline representation: fast whole-document access, no structural
 // access without re-parsing).
 func (db *DB) ImportXMLFlat(name string, r io.Reader) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
@@ -340,8 +361,8 @@ func (db *DB) ImportXMLFlat(name string, r io.Reader) error {
 
 // ExportXML serializes the named document to w.
 func (db *DB) ExportXML(name string, w io.Writer) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
@@ -350,8 +371,8 @@ func (db *DB) ExportXML(name string, w io.Writer) error {
 
 // Delete removes the named document.
 func (db *DB) Delete(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
@@ -366,8 +387,8 @@ type DocInfo struct {
 
 // Documents lists stored documents in name order.
 func (db *DB) Documents() ([]DocInfo, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return nil, ErrClosed
 	}
@@ -380,15 +401,17 @@ func (db *DB) Documents() ([]DocInfo, error) {
 
 // Flush writes all buffered pages to the underlying device.
 func (db *DB) Flush() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
 	return db.pool.FlushAll()
 }
 
-// Close flushes and releases the store.
+// Close flushes and releases the store. It takes the lifecycle lock
+// exclusively, so it waits for every in-flight operation to finish;
+// operations started after Close fail with ErrClosed.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -426,8 +449,8 @@ type Stats struct {
 
 // Stats returns a snapshot of storage counters.
 func (db *DB) Stats() (Stats, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return Stats{}, ErrClosed
 	}
@@ -454,8 +477,8 @@ func (db *DB) Stats() (Stats, error) {
 // SimStats returns the simulated-disk statistics. It fails unless the
 // store was opened with SimulateDisk.
 func (db *DB) SimStats() (pagedev.SimStats, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return pagedev.SimStats{}, ErrClosed
 	}

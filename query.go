@@ -2,7 +2,10 @@ package natix
 
 import "natix/internal/docstore"
 
-// Match is one result of a path query.
+// Match is one result of a path query. Matches may be consumed after
+// Query returns, concurrently with other queries: Text and Markup take
+// the matched document's read lock per call. Mutating the matched
+// document invalidates its outstanding matches, as documented on DB.
 type Match struct {
 	res docstore.Result
 }
@@ -25,8 +28,8 @@ func (m Match) Markup() (string, error) { return m.res.Markup() }
 //	//SCENE/SPEECH[1]                 (query 2)
 //	/PLAY/ACT[1]/SCENE[1]/SPEECH[1]   (query 3)
 func (db *DB) Query(name, query string) ([]Match, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return nil, ErrClosed
 	}
@@ -45,8 +48,8 @@ func (db *DB) Query(name, query string) ([]Match, error) {
 // On an indexed document (Options.PathIndex) the count comes straight
 // from the posting lists and never loads the matched records.
 func (db *DB) QueryCount(name, query string) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return 0, ErrClosed
 	}
@@ -57,8 +60,8 @@ func (db *DB) QueryCount(name, query string) (int, error) {
 // (byte-stream) or native tree. Content is preserved; the document's
 // physical organization changes.
 func (db *DB) Convert(name string, flat bool) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
