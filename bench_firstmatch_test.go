@@ -1,0 +1,67 @@
+package natix
+
+import (
+	"testing"
+
+	"natix/internal/benchkit"
+	"natix/internal/corpus"
+)
+
+// BenchmarkQueryFirstMatch measures the cursor API's early-termination
+// win: pulling the first match of a query through a lazy cursor versus
+// materializing the whole result set, on the navigating scan and on the
+// path index, over the Shakespeare-shaped corpus. The custom metric
+// logical-reads/op is the load-bearing number — the cursor variant must
+// touch far fewer pages, since it stops walking (scan) or stops
+// resolving postings to records (indexed) after the first match. Each
+// iteration clears the buffer pool and decoded caches, so every
+// operation pays its full I/O.
+//
+//	go test -bench BenchmarkQueryFirstMatch .
+func BenchmarkQueryFirstMatch(b *testing.B) {
+	const query = "//SPEAKER"
+	for _, tc := range []struct {
+		evaluator string
+		indexed   bool
+	}{
+		{"scan", false},
+		{"indexed", true},
+	} {
+		env, err := benchkit.BuildEnv(corpus.SmallSpec(2), benchkit.Config{
+			PageSize:    8192,
+			BufferBytes: 8 << 20,
+			Mode:        benchkit.ModeNative,
+			Order:       benchkit.OrderAppend,
+			PathIndex:   tc.indexed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(tc.evaluator+"/cursor_first", func(b *testing.B) {
+			var reads int64
+			for i := 0; i < b.N; i++ {
+				m, err := env.RunQueryFirstMatch("first", query, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Work == 0 {
+					b.Fatal("cursor consumed no match")
+				}
+				reads += m.LogicalReads
+			}
+			b.ReportMetric(float64(reads)/float64(b.N), "logical-reads/op")
+		})
+		b.Run(tc.evaluator+"/materialize_all", func(b *testing.B) {
+			var reads int64
+			for i := 0; i < b.N; i++ {
+				m, err := env.RunQuery("full", query, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reads += m.LogicalReads
+			}
+			b.ReportMetric(float64(reads)/float64(b.N), "logical-reads/op")
+		})
+	}
+}

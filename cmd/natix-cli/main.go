@@ -6,7 +6,8 @@
 //	natix-cli -db plays.natix import -flat raw raw.xml
 //	natix-cli -db plays.natix ls
 //	natix-cli -db plays.natix query othello '/PLAY/ACT[3]/SCENE[2]//SPEAKER'
-//	natix-cli -db plays.natix -workers 8 batch queries.txt
+//	natix-cli -db plays.natix -limit 10 -timeout 500ms query othello '//SPEAKER'
+//	natix-cli -db plays.natix -workers 8 -limit 1 batch queries.txt
 //	natix-cli -db plays.natix export othello > othello-out.xml
 //	natix-cli -db plays.natix rm othello
 //	natix-cli -db plays.natix stats
@@ -18,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +38,8 @@ func main() {
 		buffer   = flag.Int("buffer", 2<<20, "buffer pool bytes")
 		pathIdx  = flag.Bool("pathindex", false, "maintain and use the path index")
 		workers  = flag.Int("workers", 4, "goroutines for the batch command")
+		limit    = flag.Int("limit", 0, "stop each query after N matches (0 = all)")
+		timeout  = flag.Duration("timeout", 0, "per-query timeout, e.g. 500ms (0 = none)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -87,23 +91,33 @@ func main() {
 		if len(rest) != 2 {
 			fatalf("usage: query <name> <path>")
 		}
-		matches, err := db.Query(rest[0], rest[1])
+		// A cursor, not db.Query: matches stream to stdout as they are
+		// found, -limit stops the evaluator (and its page reads) at the
+		// N-th match, and -timeout cancels a runaway scan mid-walk.
+		ctx, cancel := queryContext(*timeout)
+		defer cancel()
+		cur, err := db.QueryIter(ctx, rest[0], rest[1], natix.WithLimit(*limit))
 		if err != nil {
 			fatalf("query: %v", err)
 		}
-		for i, m := range matches {
-			markup, err := m.Markup()
+		n := 0
+		for cur.Next() {
+			markup, err := cur.Match().Markup()
 			if err != nil {
-				fatalf("match %d: %v", i, err)
+				fatalf("match %d: %v", n, err)
 			}
 			fmt.Println(markup)
+			n++
 		}
-		fmt.Fprintf(os.Stderr, "%d match(es)\n", len(matches))
+		if err := cur.Close(); err != nil {
+			fatalf("query: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "%d match(es)\n", n)
 	case "batch":
 		if len(rest) != 1 {
 			fatalf("usage: batch <queries.txt>  (lines: <document> <path>)")
 		}
-		if err := runBatch(db, rest[0], *workers); err != nil {
+		if err := runBatch(db, rest[0], *workers, *limit, *timeout); err != nil {
 			fatalf("batch: %v", err)
 		}
 	case "ls":
@@ -180,12 +194,13 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `natix-cli — manage a NATIX XML store
 
-usage: natix-cli [-db file] [-pagesize n] [-buffer n] [-pathindex] <command> [args]
+usage: natix-cli [-db file] [-pagesize n] [-buffer n] [-pathindex]
+                 [-limit n] [-timeout d] <command> [args]
 
 commands:
   import [-flat] <name> <file.xml>   store a document (tree or flat mode)
   export <name>                      write a document's XML to stdout
-  query <name> <path>                evaluate a path query
+  query <name> <path>                stream a path query's matches to stdout
   batch <queries.txt>                run a query file across -workers goroutines
                                      (lines: <document> <path>; # comments ok)
   validate <file.xml>                check a document against its own DTD
@@ -193,6 +208,10 @@ commands:
   rm <name>                          remove a document
   reindex <name>                     rebuild a document's path index
   stats                              storage statistics
+
+-limit stops each query at its N-th match — the cursor stops reading
+postings and records the moment the limit is hit — and -timeout cancels
+each query that exceeds the given duration.
 `)
 }
 
@@ -203,9 +222,41 @@ type batchJob struct {
 	query string
 }
 
+// queryContext derives the per-query context from -timeout.
+func queryContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// countMatches counts one query's matches. Without a limit it defers to
+// QueryCount (which on an indexed document never loads the matched
+// records); with one it drains a bounded cursor, so evaluation stops
+// reading postings and records as soon as the limit is hit.
+func countMatches(db *natix.DB, doc, query string, limit int, timeout time.Duration) (int, error) {
+	ctx, cancel := queryContext(timeout)
+	defer cancel()
+	if limit <= 0 {
+		return db.QueryCountContext(ctx, doc, query)
+	}
+	cur, err := db.QueryIter(ctx, doc, query, natix.WithLimit(limit))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for cur.Next() {
+		n++
+	}
+	if err := cur.Close(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
 // runBatch fans the query file's lines across workerCount goroutines
 // over the shared DB and prints per-line match counts in input order.
-func runBatch(db *natix.DB, path string, workerCount int) error {
+func runBatch(db *natix.DB, path string, workerCount, limit int, timeout time.Duration) error {
 	if workerCount < 1 {
 		workerCount = 1
 	}
@@ -245,7 +296,7 @@ func runBatch(db *natix.DB, path string, workerCount int) error {
 				if i >= len(jobs) {
 					return
 				}
-				n, err := db.QueryCount(jobs[i].doc, jobs[i].query)
+				n, err := countMatches(db, jobs[i].doc, jobs[i].query, limit, timeout)
 				if err != nil {
 					errs[i] = err
 					failed.Add(1)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"natix/internal/core"
+	"natix/internal/dict"
 	"natix/internal/noderep"
 )
 
@@ -24,16 +25,13 @@ type Document struct {
 
 // Document returns an editable handle to the named tree-mode document.
 func (db *DB) Document(name string) (*Document, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, ErrClosed
-	}
-	tree, err := db.store.Tree(name)
-	if err != nil {
-		return nil, err
-	}
-	return &Document{db: db, name: name, tree: tree}, nil
+	return viewE(db, func() (*Document, error) {
+		tree, err := db.store.Tree(name)
+		if err != nil {
+			return nil, err
+		}
+		return &Document{db: db, name: name, tree: tree}, nil
+	})
 }
 
 // Name returns the document's catalog name.
@@ -43,30 +41,24 @@ func (d *Document) Name() string { return d.name }
 // per-document locks, bracketed by the index drop (PrepareMutation)
 // and root-RID persistence (FinishBulk) every edit needs.
 func (d *Document) mutate(fn func() error) error {
-	d.db.mu.RLock()
-	defer d.db.mu.RUnlock()
-	if d.db.closed {
-		return ErrClosed
-	}
-	return d.db.store.Mutate(d.name, func() error {
-		if err := d.db.store.PrepareMutation(d.name); err != nil {
-			return err
-		}
-		if err := fn(); err != nil {
-			return err
-		}
-		return d.db.store.FinishBulk(d.name, d.tree)
+	return d.db.view(func() error {
+		return d.db.store.Mutate(d.name, func() error {
+			if err := d.db.store.PrepareMutation(d.name); err != nil {
+				return err
+			}
+			if err := fn(); err != nil {
+				return err
+			}
+			return d.db.store.FinishBulk(d.name, d.tree)
+		})
 	})
 }
 
 // view runs fn under the lifecycle lock and the document's read lock.
 func (d *Document) view(fn func() error) error {
-	d.db.mu.RLock()
-	defer d.db.mu.RUnlock()
-	if d.db.closed {
-		return ErrClosed
-	}
-	return d.db.store.View(d.name, fn)
+	return d.db.view(func() error {
+		return d.db.store.View(d.name, fn)
+	})
 }
 
 // InsertElement inserts a new element named name as child idx of the
@@ -74,13 +66,9 @@ func (d *Document) view(fn func() error) error {
 func (d *Document) InsertElement(parentPath []int, idx int, name string) error {
 	// Intern before taking the document lock; InternLabel serializes a
 	// dictionary-growing intern against other mutators.
-	d.db.mu.RLock()
-	if d.db.closed {
-		d.db.mu.RUnlock()
-		return ErrClosed
-	}
-	label, err := d.db.store.InternLabel(name)
-	d.db.mu.RUnlock()
+	label, err := viewE(d.db, func() (dict.LabelID, error) {
+		return d.db.store.InternLabel(name)
+	})
 	if err != nil {
 		return err
 	}

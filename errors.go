@@ -1,0 +1,21 @@
+package natix
+
+import (
+	"errors"
+
+	"natix/internal/docstore"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("natix: database is closed")
+
+// ErrDocNotFound reports an operation against a document name that is
+// not in the catalog. Query, QueryIter, ExportXML, Delete, Convert,
+// Document and ReindexDocument all return it, wrapped with the offending
+// name; test with errors.Is(err, natix.ErrDocNotFound).
+var ErrDocNotFound = docstore.ErrNotFound
+
+// ErrBadQuery reports a malformed path expression. Prepare returns it at
+// prepare time; the one-shot query entry points return it before taking
+// any lock. Test with errors.Is(err, natix.ErrBadQuery).
+var ErrBadQuery = docstore.ErrBadQuery

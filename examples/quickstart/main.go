@@ -1,8 +1,9 @@
-// Quickstart: store an XML document in NATIX, query it, edit it, and
-// export it back to markup.
+// Quickstart: store an XML document in NATIX, stream query matches
+// through a cursor, edit the document, and export it back to markup.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -41,30 +42,60 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Path queries: the paper's query language.
-	matches, err := db.Query("othello", "/PLAY//SPEAKER")
+	ctx := context.Background()
+
+	// Path queries: the paper's query language, streamed through a lazy
+	// cursor. Records load only as matches are pulled, so consuming the
+	// first few results of a large query costs a few record reads, not a
+	// full evaluation. Close releases the document for writers; the
+	// cursor honors ctx, so a deadline cancels a runaway scan.
+	cur, err := db.QueryIter(ctx, "othello", "/PLAY//SPEAKER")
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cur.Close()
 	fmt.Println("speakers:")
-	for _, m := range matches {
-		text, err := m.Text()
+	for cur.Next() {
+		text, err := cur.Match().Text()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %s\n", text)
 	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
 
-	// Reconstruct a fragment's markup (the paper's query 2 pattern).
-	frag, err := db.Query("othello", "//SCENE/SPEECH[1]")
+	// Prepare parses an expression once for reuse across documents and
+	// goroutines; WithLimit stops the evaluator at the n-th match. The
+	// cursor also adapts to a range-over-func loop, closing itself when
+	// the loop ends.
+	first, err := db.Prepare("//SCENE/SPEECH[1]")
 	if err != nil {
 		log.Fatal(err)
 	}
-	markup, err := frag[0].Markup()
+	frag, err := first.Iter(ctx, "othello", natix.WithLimit(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nfirst speech of the first scene:\n%s\n", markup)
+	for m, err := range frag.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		markup, err := m.Markup()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nfirst speech of the first scene:\n%s\n", markup)
+	}
+
+	// One-shot materializing queries remain available when the whole
+	// result set is wanted anyway.
+	count, err := db.QueryCount("othello", "//LINE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d lines total\n", count)
 
 	// Edit the stored tree directly: append a speech to the scene at
 	// path /1/1 (child 1 = ACT, its child 1 = SCENE).

@@ -11,6 +11,7 @@
 package benchkit
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -126,12 +127,13 @@ type Metrics struct {
 	Series   string
 	PageSize int
 
-	SimMS      float64 // simulated disk time, the paper-comparable metric
-	WallMS     float64 // Go wall time (informational)
-	PhysReads  int64
-	PhysWrites int64
-	SpaceBytes int64 // segment size on disk (space figure)
-	Work       int64 // op-dependent checksum: nodes visited, matches, …
+	SimMS        float64 // simulated disk time, the paper-comparable metric
+	WallMS       float64 // Go wall time (informational)
+	LogicalReads int64   // buffer-manager page accesses (hits included)
+	PhysReads    int64
+	PhysWrites   int64
+	SpaceBytes   int64 // segment size on disk (space figure)
+	Work         int64 // op-dependent checksum: nodes visited, matches, …
 }
 
 // Series returns the paper's series label for a config.
@@ -305,15 +307,16 @@ func (e *Env) capture(op string, start time.Time, work int64) Metrics {
 	sim := e.sim.Stats()
 	pool := e.pool.Stats()
 	return Metrics{
-		Op:         op,
-		Series:     e.cfg.Series(),
-		PageSize:   e.cfg.PageSize,
-		SimMS:      float64(sim.Elapsed) / float64(time.Millisecond),
-		WallMS:     float64(time.Since(start)) / float64(time.Millisecond),
-		PhysReads:  pool.PhysReads,
-		PhysWrites: pool.PhysWrites,
-		SpaceBytes: e.store.Trees().Records().Segment().TotalBytes(),
-		Work:       work,
+		Op:           op,
+		Series:       e.cfg.Series(),
+		PageSize:     e.cfg.PageSize,
+		SimMS:        float64(sim.Elapsed) / float64(time.Millisecond),
+		WallMS:       float64(time.Since(start)) / float64(time.Millisecond),
+		LogicalReads: pool.LogicalReads,
+		PhysReads:    pool.PhysReads,
+		PhysWrites:   pool.PhysWrites,
+		SpaceBytes:   e.store.Trees().Records().Segment().TotalBytes(),
+		Work:         work,
 	}
 }
 
@@ -400,6 +403,44 @@ func (e *Env) RunQuery(op, query string, markup bool) (Metrics, error) {
 				}
 				work += int64(len(txt))
 			}
+		}
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		return Metrics{}, err
+	}
+	return e.capture(op, start, work), nil
+}
+
+// RunQueryFirstMatch evaluates a path query over every document
+// through a lazy cursor, consuming at most limit matches per document
+// (limit <= 0 consumes all) — the first-match / top-k access pattern
+// the cursor API exists for. Early termination shows as fewer logical
+// page reads (Metrics.LogicalReads) than RunQuery spends materializing
+// the same query, on the scan path (the tree walk stops) and on the
+// indexed path (unconsumed postings are never resolved to records).
+func (e *Env) RunQueryFirstMatch(op, query string, limit int) (Metrics, error) {
+	steps, err := docstore.ParseQuery(query)
+	if err != nil {
+		return Metrics{}, err
+	}
+	e.resetMeasurement()
+	start := time.Now()
+	var work int64
+	for _, name := range e.docs {
+		it, err := e.store.QueryIter(context.Background(), name, steps, docstore.IterOptions{Limit: limit})
+		if err != nil {
+			return Metrics{}, err
+		}
+		for it.Next() {
+			txt, err := it.Result().Text()
+			if err != nil {
+				it.Close()
+				return Metrics{}, err
+			}
+			work += int64(len(txt))
+		}
+		if err := it.Close(); err != nil {
+			return Metrics{}, err
 		}
 	}
 	if err := e.pool.FlushAll(); err != nil {

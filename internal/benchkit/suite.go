@@ -203,12 +203,12 @@ func (s *Suite) PrintAll(w io.Writer) {
 
 // WriteCSV emits all cells in long form for downstream plotting.
 func (s *Suite) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "figure,series,page_size,sim_ms,wall_ms,phys_reads,phys_writes,space_bytes,work"); err != nil {
+	if _, err := fmt.Fprintln(w, "figure,series,page_size,sim_ms,wall_ms,logical_reads,phys_reads,phys_writes,space_bytes,work"); err != nil {
 		return err
 	}
 	for _, m := range s.Results {
-		if _, err := fmt.Fprintf(w, "%s,%s,%d,%.3f,%.3f,%d,%d,%d,%d\n",
-			m.Op, m.Series, m.PageSize, m.SimMS, m.WallMS,
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%.3f,%.3f,%d,%d,%d,%d,%d\n",
+			m.Op, m.Series, m.PageSize, m.SimMS, m.WallMS, m.LogicalReads,
 			m.PhysReads, m.PhysWrites, m.SpaceBytes, m.Work); err != nil {
 			return err
 		}

@@ -17,25 +17,33 @@
 // operations on a document (Query, QueryCount, ExportXML, Stats) take
 // that document's read lock, so any number of them run in parallel —
 // including against a document another goroutine is mutating a sibling
-// of. Catalog-only reads (Documents, Lookup, Tree) take just the
+// of. A QueryIter cursor takes the same read lock and keeps it until
+// the cursor is closed or exhausted, so writers of that document wait
+// out open cursors (only). Catalog-only reads (Documents, Lookup, Tree) take just the
 // catalog lock: they serialize with catalog updates, not with document
 // content mutation. Mutations (ImportXML, ImportTree, ImportFlat,
-// Delete, Convert, ReindexDocument, RegisterTree) take a store-wide
-// writer mutex — one mutator at a time, because they share the segment
-// allocator and the catalog — plus the target document's write lock,
-// so they exclude only readers of the same document. Readers of other
-// documents never wait on a mutator; page-level integrity between a
-// mutator and concurrent readers of unrelated records on shared pages
-// is the buffer manager's frame latches' job.
+// Delete, Convert, ReindexDocument, RegisterTree) take the target
+// document's write lock and then a store-wide writer mutex — one
+// mutator at a time, because they share the segment allocator and the
+// catalog — so they exclude only readers of the same document, and a
+// mutator still waiting for its document (blocked behind an open
+// cursor) holds nothing and stalls no one. Readers of other documents
+// never wait on a mutator; page-level integrity between a mutator and
+// concurrent readers of unrelated records on shared pages is the
+// buffer manager's frame latches' job.
 //
-// Lock order: writer mutex → per-document lock → catalog lock →
+// Lock order: per-document lock → writer mutex → catalog lock →
 // package-internal locks (dict, caches, pool shards, frame latches).
+// The document lock outranks the writer mutex so that a mutator
+// waiting out a long-lived reader of one document (an open cursor)
+// never blocks mutators of other documents.
 // Code that mutates a tree directly through Tree's handle (the
 // Document edit API, the benchmark harness) must wrap the mutation in
 // Mutate, which takes the same locks the built-in mutators do.
 package docstore
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -74,6 +82,7 @@ var (
 	ErrNotFound  = errors.New("docstore: no such document")
 	ErrDuplicate = errors.New("docstore: document already exists")
 	ErrCorrupt   = errors.New("docstore: corrupt catalog")
+	ErrNotTree   = errors.New("docstore: not a tree-mode document")
 )
 
 // DocInfo describes one catalog entry.
@@ -148,16 +157,23 @@ func (s *Store) View(name string, fn func() error) error {
 	return fn()
 }
 
-// Mutate runs fn holding the writer mutex and the named document's
-// write lock — the locks every built-in mutator takes. Use it to wrap
+// Mutate runs fn holding the named document's write lock and the
+// writer mutex — the locks every built-in mutator takes. Use it to wrap
 // direct tree mutations (Document edits, harness-driven inserts),
 // including their PrepareMutation/FinishBulk bracketing.
+//
+// The document lock comes first: a mutator stuck waiting for a busy
+// document (readers — above all open cursors — hold document read
+// locks for extended windows) must not sit on the store-wide mutex,
+// or one slow cursor would stall mutations of every other document.
+// The order is safe because no code path acquires a document lock
+// while holding wmu, and each mutator locks exactly one document.
 func (s *Store) Mutate(name string, fn func() error) error {
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
 	l := s.lockFor(name)
 	l.Lock()
 	defer l.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	return fn()
 }
 
@@ -257,6 +273,17 @@ func (s *Store) buildIndex(name string, root records.RID) error {
 // manager directly, mutated via FinishBulk (which drops the index), or
 // imported before indexing was enabled.
 func (s *Store) ReindexDocument(name string) error {
+	return s.ReindexDocumentContext(context.Background(), name)
+}
+
+// ReindexDocumentContext is ReindexDocument with a cancellation point
+// before the (uninterruptible) rebuild starts: once the index build is
+// underway it runs to completion, so a cancelled context can never
+// leave a half-written index.
+func (s *Store) ReindexDocumentContext(cx context.Context, name string) error {
+	if err := ctxErr(cx); err != nil {
+		return err
+	}
 	return s.Mutate(name, func() error { return s.reindexLocked(name) })
 }
 
@@ -269,7 +296,7 @@ func (s *Store) reindexLocked(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if info.Mode != ModeTree {
-		return fmt.Errorf("docstore: %q is not a tree-mode document", name)
+		return fmt.Errorf("%w: %q", ErrNotTree, name)
 	}
 	return s.buildIndex(name, info.Root)
 }
@@ -391,13 +418,23 @@ func (s *Store) Tree(name string) (*core.Tree, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if info.Mode != ModeTree {
-		return nil, fmt.Errorf("docstore: %q is not a tree-mode document", name)
+		return nil, fmt.Errorf("%w: %q", ErrNotTree, name)
 	}
 	return s.trees.OpenTree(info.Root), nil
 }
 
 // Delete removes a document and its storage, dropping its path index.
 func (s *Store) Delete(name string) error {
+	return s.DeleteContext(context.Background(), name)
+}
+
+// DeleteContext is Delete with a cancellation point before the locks
+// are taken. A delete that has started runs to completion: stopping a
+// half-freed document midway would be strictly worse than finishing.
+func (s *Store) DeleteContext(cx context.Context, name string) error {
+	if err := ctxErr(cx); err != nil {
+		return err
+	}
 	return s.Mutate(name, func() error { return s.deleteLocked(name) })
 }
 
@@ -516,26 +553,39 @@ func (s *Store) nodeFromXML(n *xmlkit.Node) (*noderep.Node, error) {
 // Parsing happens before any lock is taken, so concurrent readers are
 // not stalled behind XML parsing.
 func (s *Store) ImportXML(name string, r io.Reader) (DocInfo, error) {
+	return s.ImportXMLContext(context.Background(), name, r)
+}
+
+// ImportXMLContext is ImportXML honoring a context: cancellation is
+// checked per inserted node, and a cancelled import tears the partial
+// tree back down before returning, leaving no trace in the store.
+func (s *Store) ImportXMLContext(cx context.Context, name string, r io.Reader) (DocInfo, error) {
 	doc, err := xmlkit.Parse(r, xmlkit.ParseOptions{})
 	if err != nil {
 		return DocInfo{}, err
 	}
-	return s.ImportTree(name, doc.Root)
+	return s.ImportTreeContext(cx, name, doc.Root)
 }
 
 // ImportTree stores a parsed XML tree in tree mode, inserting node by
 // node in pre-order.
 func (s *Store) ImportTree(name string, root *xmlkit.Node) (DocInfo, error) {
+	return s.ImportTreeContext(context.Background(), name, root)
+}
+
+// ImportTreeContext is ImportTree honoring a context (see
+// ImportXMLContext).
+func (s *Store) ImportTreeContext(cx context.Context, name string, root *xmlkit.Node) (DocInfo, error) {
 	var info DocInfo
 	err := s.Mutate(name, func() error {
 		var err error
-		info, err = s.importTreeLocked(name, root)
+		info, err = s.importTreeLocked(cx, name, root)
 		return err
 	})
 	return info, err
 }
 
-func (s *Store) importTreeLocked(name string, root *xmlkit.Node) (DocInfo, error) {
+func (s *Store) importTreeLocked(cx context.Context, name string, root *xmlkit.Node) (DocInfo, error) {
 	if _, ok := s.lookup(name); ok {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
@@ -550,32 +600,43 @@ func (s *Store) importTreeLocked(name string, root *xmlkit.Node) (DocInfo, error
 	if err != nil {
 		return DocInfo{}, err
 	}
-	// Root attributes first, then children, all in pre-order.
-	if err := s.insertXMLChildren(tree, core.Path{}, root); err != nil {
+	// On any failure past this point — a cancelled context included —
+	// the partially built tree is torn down (best effort) so a failed
+	// import does not strand unreferenced records in the segment.
+	fail := func(err error) (DocInfo, error) {
+		_ = tree.DeleteTree()
 		return DocInfo{}, err
+	}
+	// Root attributes first, then children, all in pre-order.
+	if err := s.insertXMLChildren(cx, tree, core.Path{}, root); err != nil {
+		return fail(err)
 	}
 	info := &DocInfo{Name: name, Mode: ModeTree, Root: tree.RootRID()}
 	// Index before registering: a failed build must not leave a
 	// registered-but-unindexed document behind a returned error.
 	if s.pindex != nil && s.indexOn {
 		if err := s.buildIndex(name, info.Root); err != nil {
-			return DocInfo{}, err
+			return fail(err)
 		}
 	}
 	if err := s.register(info); err != nil {
 		if s.pindex != nil && s.indexOn {
 			_ = s.pindex.Drop(name) // best-effort rollback
 		}
-		return DocInfo{}, err
+		return fail(err)
 	}
 	return *info, nil
 }
 
 // insertXMLChildren appends attributes and children of src under the
-// node at path, recursing in pre-order.
-func (s *Store) insertXMLChildren(tree *core.Tree, path core.Path, src *xmlkit.Node) error {
+// node at path, recursing in pre-order. The context is checked before
+// every inserted node — each insert touches pages.
+func (s *Store) insertXMLChildren(cx context.Context, tree *core.Tree, path core.Path, src *xmlkit.Node) error {
 	pos := 0
 	for _, a := range src.Attrs {
+		if err := ctxErr(cx); err != nil {
+			return err
+		}
 		alabel, err := s.labelFor(AttrPrefix + a.Name)
 		if err != nil {
 			return err
@@ -590,6 +651,9 @@ func (s *Store) insertXMLChildren(tree *core.Tree, path core.Path, src *xmlkit.N
 		pos++
 	}
 	for _, c := range src.Children {
+		if err := ctxErr(cx); err != nil {
+			return err
+		}
 		if c.IsText() {
 			if err := s.insertText(tree, path, pos, c.Text); err != nil {
 				return err
@@ -604,7 +668,7 @@ func (s *Store) insertXMLChildren(tree *core.Tree, path core.Path, src *xmlkit.N
 		if err := tree.InsertChild(path, pos, noderep.NewAggregate(label)); err != nil {
 			return err
 		}
-		if err := s.insertXMLChildren(tree, append(path.Clone(), pos), c); err != nil {
+		if err := s.insertXMLChildren(cx, tree, append(path.Clone(), pos), c); err != nil {
 			return err
 		}
 		pos++
@@ -663,13 +727,26 @@ func (s *Store) FinishBulk(name string, tree *core.Tree) error {
 // baseline). The text is validated by parsing first, before any lock
 // is taken.
 func (s *Store) ImportFlat(name string, r io.Reader) (DocInfo, error) {
+	return s.ImportFlatContext(context.Background(), name, r)
+}
+
+// ImportFlatContext is ImportFlat with cancellation points before the
+// reader is drained and before the blob is written; the write itself
+// is atomic from the catalog's point of view.
+func (s *Store) ImportFlatContext(cx context.Context, name string, r io.Reader) (DocInfo, error) {
 	// Racy duplicate pre-check so an existing name is rejected before
 	// the reader is drained; importFlatLocked re-checks authoritatively.
 	if _, ok := s.lookup(name); ok {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
+	if err := ctxErr(cx); err != nil {
+		return DocInfo{}, err
+	}
 	text, err := io.ReadAll(r)
 	if err != nil {
+		return DocInfo{}, err
+	}
+	if err := ctxErr(cx); err != nil {
 		return DocInfo{}, err
 	}
 	if _, err := xmlkit.ParseString(string(text), xmlkit.ParseOptions{}); err != nil {
@@ -701,13 +778,19 @@ func (s *Store) importFlatLocked(name string, text []byte) (DocInfo, error) {
 
 // ExportXML serializes a document back to XML markup.
 func (s *Store) ExportXML(name string, w io.Writer) error {
+	return s.ExportXMLContext(context.Background(), name, w)
+}
+
+// ExportXMLContext is ExportXML honoring a context, checked per record
+// while the stored tree is materialized.
+func (s *Store) ExportXMLContext(cx context.Context, name string, w io.Writer) error {
 	l := s.lockFor(name)
 	l.RLock()
 	defer l.RUnlock()
-	return s.exportXMLLocked(name, w)
+	return s.exportXMLLocked(cx, name, w)
 }
 
-func (s *Store) exportXMLLocked(name string, w io.Writer) error {
+func (s *Store) exportXMLLocked(cx context.Context, name string, w io.Writer) error {
 	info, ok := s.lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -726,7 +809,7 @@ func (s *Store) exportXMLLocked(name string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		xn, err := s.xmlFromRef(root)
+		xn, err := s.xmlFromRef(cx, root)
 		if err != nil {
 			return err
 		}
@@ -735,8 +818,9 @@ func (s *Store) exportXMLLocked(name string, w io.Writer) error {
 }
 
 // xmlFromRef materializes the logical subtree at ref as an XML tree,
-// folding "@name" aggregates back into attributes.
-func (s *Store) xmlFromRef(ref core.NodeRef) (*xmlkit.Node, error) {
+// folding "@name" aggregates back into attributes. The context is
+// checked before each record access.
+func (s *Store) xmlFromRef(cx context.Context, ref core.NodeRef) (*xmlkit.Node, error) {
 	if ref.IsLiteral() {
 		v, err := ref.Literal().StringValue()
 		if err != nil {
@@ -749,6 +833,9 @@ func (s *Store) xmlFromRef(ref core.NodeRef) (*xmlkit.Node, error) {
 		return nil, err
 	}
 	out := xmlkit.NewElement(name)
+	if err := ctxErr(cx); err != nil {
+		return nil, err
+	}
 	kids, err := s.trees.Children(ref)
 	if err != nil {
 		return nil, err
@@ -768,7 +855,7 @@ func (s *Store) xmlFromRef(ref core.NodeRef) (*xmlkit.Node, error) {
 				continue
 			}
 		}
-		child, err := s.xmlFromRef(k)
+		child, err := s.xmlFromRef(cx, k)
 		if err != nil {
 			return nil, err
 		}
@@ -801,10 +888,19 @@ func (s *Store) RegisterTree(name string, tree *core.Tree) (DocInfo, error) {
 // either the old representation or the new one, never the gap between
 // delete and re-import.
 func (s *Store) Convert(name string, to Mode) error {
-	return s.Mutate(name, func() error { return s.convertLocked(name, to) })
+	return s.ConvertContext(context.Background(), name, to)
 }
 
-func (s *Store) convertLocked(name string, to Mode) error {
+// ConvertContext is Convert honoring a context during the reversible
+// phase only: serializing the old representation checks cancellation
+// per record, and a final check runs before the old form is dropped.
+// Once replacement begins the conversion ignores the context — a
+// cancelled half-replaced document would be lost, not preserved.
+func (s *Store) ConvertContext(cx context.Context, name string, to Mode) error {
+	return s.Mutate(name, func() error { return s.convertLocked(cx, name, to) })
+}
+
+func (s *Store) convertLocked(cx context.Context, name string, to Mode) error {
 	info, ok := s.lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -813,7 +909,12 @@ func (s *Store) convertLocked(name string, to Mode) error {
 		return nil
 	}
 	var buf strings.Builder
-	if err := s.exportXMLLocked(name, &buf); err != nil {
+	if err := s.exportXMLLocked(cx, name, &buf); err != nil {
+		return err
+	}
+	// Last chance to back out: nothing has been modified yet. From here
+	// on the operation runs to completion on context.Background.
+	if err := ctxErr(cx); err != nil {
 		return err
 	}
 	if err := s.deleteLocked(name); err != nil {
@@ -827,7 +928,7 @@ func (s *Store) convertLocked(name string, to Mode) error {
 	if err != nil {
 		return err
 	}
-	_, err = s.importTreeLocked(name, doc.Root)
+	_, err = s.importTreeLocked(context.Background(), name, doc.Root)
 	return err
 }
 
@@ -856,7 +957,7 @@ func (s *Store) Stats(name string) (TreeStats, error) {
 		return TreeStats{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if info.Mode != ModeTree {
-		return TreeStats{}, fmt.Errorf("docstore: %q is not a tree-mode document", name)
+		return TreeStats{}, fmt.Errorf("%w: %q", ErrNotTree, name)
 	}
 	st := TreeStats{LabelCounts: make(map[string]int)}
 	tree := s.trees.OpenTree(info.Root)

@@ -1,0 +1,248 @@
+package docstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+	"sync/atomic"
+
+	"natix/internal/core"
+	"natix/internal/pathindex"
+	"natix/internal/xmlkit"
+)
+
+// IterOptions configure a lazy cursor.
+type IterOptions struct {
+	// Limit stops iteration after this many matches (0 = unlimited).
+	// Reaching the limit stops the producer and releases the document
+	// lock, exactly like exhausting the cursor.
+	Limit int
+}
+
+// Iter is a lazy cursor over query matches. It holds the queried
+// document's read lock from QueryIter until Close, exhaustion, or a
+// terminal error, so the matches it yields stay valid while it is open:
+// writers of the document block until the cursor is released. The
+// producer behind it is the same streaming evaluator the eager Query
+// uses, suspended between Next calls, so matches (and the record loads
+// backing them) are produced only as the consumer pulls them —
+// first-match latency is independent of result-set size.
+//
+// An Iter is owned by one goroutine: Next, Result, Err and Close must
+// not be called concurrently. Results obtained from it may be consumed
+// concurrently with iteration, but not concurrently with Close.
+// Always Close a cursor that is not iterated to exhaustion; an open
+// cursor blocks every writer of its document.
+type Iter struct {
+	store *Store
+	doc   string
+	cx    context.Context
+
+	lock   *sync.RWMutex
+	locked atomic.Bool // read by Result.view, possibly cross-goroutine
+
+	// relmu pins the document-lock release against concurrent match
+	// access: finish releases the document lock under relmu.Lock, and
+	// Result.view runs lock-elided accessors under relmu.RLock, so the
+	// lock can never be dropped mid-access by the iterating goroutine
+	// exhausting (or cancelling) the cursor on another one.
+	relmu sync.RWMutex
+
+	next func() (Result, error, bool)
+	stop func()
+
+	cur     Result
+	err     error
+	seen    int
+	limit   int
+	done    bool
+	indexed bool
+}
+
+// QueryIter opens a lazy cursor over the matches of steps against the
+// named document. The evaluation route (posting-list index, navigating
+// scan, or flat-mode parse) is fixed here; production starts on the
+// first Next. The context is re-checked on every Next and at page-fetch
+// granularity inside the producer, so cancelling it aborts the cursor
+// promptly with the context's error.
+func (s *Store) QueryIter(cx context.Context, name string, steps []Step, opts IterOptions) (*Iter, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
+	}
+	if err := ctxErr(cx); err != nil {
+		return nil, err
+	}
+	l := s.lockFor(name)
+	l.RLock()
+	info, ok := s.lookup(name)
+	if !ok {
+		l.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	it := &Iter{store: s, doc: name, cx: cx, lock: l, limit: opts.Limit}
+
+	var seq iter.Seq2[Result, error]
+	if info.Mode == ModeFlat {
+		seq = s.flatSeq(cx, it, info, steps)
+	} else {
+		idx, err := s.indexFor(info, steps)
+		if err != nil {
+			l.RUnlock()
+			return nil, err
+		}
+		if idx != nil {
+			s.indexedQueries.Add(1)
+			it.indexed = true
+			seq = s.indexedSeq(cx, it, idx, steps)
+		} else {
+			s.scanQueries.Add(1)
+			seq = s.scanSeq(cx, it, info, steps)
+		}
+	}
+	it.next, it.stop = iter.Pull2(seq)
+	it.locked.Store(true)
+	return it, nil
+}
+
+// Next advances to the next match, returning false when the cursor is
+// exhausted, the limit is reached, the context is cancelled, or an
+// error occurs (check Err). Once Next returns false the document lock
+// has been released; Close is then a no-op.
+func (it *Iter) Next() bool {
+	if it.done {
+		return false
+	}
+	if err := ctxErr(it.cx); err != nil {
+		it.finish(err)
+		return false
+	}
+	if it.limit > 0 && it.seen >= it.limit {
+		it.finish(nil)
+		return false
+	}
+	r, err, ok := it.next()
+	if !ok {
+		it.finish(nil)
+		return false
+	}
+	if err != nil {
+		it.finish(err)
+		return false
+	}
+	it.cur = r
+	it.seen++
+	return true
+}
+
+// Result returns the current match. Valid after a true Next.
+func (it *Iter) Result() Result { return it.cur }
+
+// Err returns the error that terminated iteration, if any. A cursor
+// stopped by Close, a limit, or exhaustion has a nil Err.
+func (it *Iter) Err() error { return it.err }
+
+// Indexed reports whether the cursor runs on the posting-list
+// evaluator (as opposed to the navigating scan or a flat-mode parse).
+func (it *Iter) Indexed() bool { return it.indexed }
+
+// Close stops the producer and releases the document lock. It is
+// idempotent, safe after exhaustion, and returns Err.
+func (it *Iter) Close() error {
+	it.finish(nil)
+	return it.err
+}
+
+// Abort terminates iteration with err — the API layer uses it when the
+// database is closed under an open cursor.
+func (it *Iter) Abort(err error) { it.finish(err) }
+
+// finish tears the cursor down exactly once: remember a terminal
+// error, stop the suspended producer, release the document lock. The
+// release waits out in-flight lock-elided match accesses (relmu).
+func (it *Iter) finish(err error) {
+	if it.done {
+		return
+	}
+	it.done = true
+	if err != nil {
+		it.err = err
+	}
+	it.stop()
+	it.relmu.Lock()
+	if it.locked.CompareAndSwap(true, false) {
+		it.lock.RUnlock()
+	}
+	it.relmu.Unlock()
+}
+
+// holdsLock reports whether the cursor still holds the document read
+// lock (Result.view elides re-locking while it does: a second RLock on
+// the goroutine that already holds one can deadlock behind a queued
+// writer).
+func (it *Iter) holdsLock() bool { return it.locked.Load() }
+
+// withLock runs fn under the cursor's document lock if it is still
+// held, returning false otherwise. relmu keeps the lock pinned for
+// fn's duration.
+func (it *Iter) withLock(fn func() error) (bool, error) {
+	it.relmu.RLock()
+	defer it.relmu.RUnlock()
+	if !it.locked.Load() {
+		return false, nil
+	}
+	return true, fn()
+}
+
+// scanSeq adapts the navigating evaluator to a pull sequence.
+func (s *Store) scanSeq(cx context.Context, it *Iter, info DocInfo, steps []Step) iter.Seq2[Result, error] {
+	return func(yield func(Result, error) bool) {
+		err := s.streamScan(cx, info, steps, func(ref core.NodeRef) error {
+			if !yield(Result{Mode: ModeTree, Doc: info.Name, Ref: ref, store: s, iter: it}, nil) {
+				return errStopIteration
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStopIteration) {
+			yield(Result{}, err)
+		}
+	}
+}
+
+// indexedSeq adapts the posting-list evaluator to a pull sequence,
+// resolving each posting to a node ref only when the consumer reaches
+// it.
+func (s *Store) indexedSeq(cx context.Context, it *Iter, idx *pathindex.Handle, steps []Step) iter.Seq2[Result, error] {
+	return func(yield func(Result, error) bool) {
+		err := s.streamIndexed(cx, idx, steps, func(p pathindex.Posting) error {
+			ref, err := s.resolvePosting(p)
+			if err != nil {
+				return err
+			}
+			if !yield(Result{Mode: ModeTree, Doc: it.doc, Ref: ref, store: s, iter: it}, nil) {
+				return errStopIteration
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStopIteration) {
+			yield(Result{}, err)
+		}
+	}
+}
+
+// flatSeq adapts the flat-mode evaluator to a pull sequence. The blob
+// read and parse happen lazily, on the first Next.
+func (s *Store) flatSeq(cx context.Context, it *Iter, info DocInfo, steps []Step) iter.Seq2[Result, error] {
+	return func(yield func(Result, error) bool) {
+		err := s.streamFlat(cx, info, steps, func(n *xmlkit.Node) error {
+			if !yield(Result{Mode: ModeFlat, Doc: info.Name, XML: n, store: s, iter: it}, nil) {
+				return errStopIteration
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStopIteration) {
+			yield(Result{}, err)
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package docstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"natix/internal/core"
+	"natix/internal/pathindex"
 	"natix/internal/xmlkit"
 )
 
@@ -15,6 +17,16 @@ import (
 // descendant steps (//A), name tests, and 1-based positional predicates
 // (A[3]). Query 1 is /PLAY/ACT[3]/SCENE[2]//SPEAKER, query 2 is
 // //SCENE/SPEECH[1], query 3 is /PLAY/ACT[1]/SCENE[1]/SPEECH[1].
+//
+// All three evaluators (navigating scan, posting-list index, flat-mode
+// parse) are written as streaming producers: matches are pushed to an
+// emit callback in document order, and the producer unwinds as soon as
+// the callback asks it to stop. Positional predicates terminate their
+// step's enumeration once the selected match is found, so a query like
+// //SPEECH[1] stops walking (or stops probing postings) at the first
+// speech rather than collecting every one. Materialized Query, counting
+// QueryCount and the lazy Iter cursor are all thin consumers of the
+// same producers, which is what makes their results identical.
 
 // Step is one location step.
 type Step struct {
@@ -69,15 +81,36 @@ func ParseQuery(q string) ([]Step, error) {
 	return steps, nil
 }
 
+// errStopIteration is returned by an emit callback to make the producer
+// unwind cleanly: the consumer wants no more matches. It never escapes
+// the package.
+var errStopIteration = errors.New("docstore: stop iteration")
+
+// errStepDone signals that a positional predicate selected its match
+// and the step should stop enumerating the current context node. It is
+// converted to a normal return inside the step evaluators.
+var errStepDone = errors.New("docstore: step done")
+
+// ctxErr reports a context's cancellation. The nil-Done fast path keeps
+// queries under context.Background free of any per-page overhead.
+func ctxErr(cx context.Context) error {
+	if cx == nil || cx.Done() == nil {
+		return nil
+	}
+	return cx.Err()
+}
+
 // Result is one query match. Exactly one of Ref (tree mode) or XML
-// (flat mode) is meaningful; Store.ResultText and Store.ResultXML work
-// on both. Results are consumed after Query returns (and releases the
-// document lock), so Text and Markup re-take the document's read lock
-// for the duration of each access — consuming matches stays safe while
-// other goroutines query or mutate. A mutation of the matched document
-// between Query and consumption still invalidates the refs themselves
-// (they address parsed records); hold off concurrent edits of a
-// document whose matches are still being read.
+// (flat mode) is meaningful. Results are usually consumed after the
+// query returns (and releases the document lock), so Text and Markup
+// re-take the document's read lock for the duration of each access —
+// consuming matches stays safe while other goroutines query or mutate.
+// Results produced by a live Iter skip the re-lock while the cursor
+// still holds the document lock (re-locking there could deadlock behind
+// a queued writer). A mutation of the matched document between query
+// and consumption still invalidates the refs themselves (they address
+// parsed records); hold off concurrent edits of a document whose
+// matches are still being read.
 type Result struct {
 	Mode Mode
 	Doc  string // catalog name of the queried document
@@ -85,6 +118,20 @@ type Result struct {
 	XML  *xmlkit.Node
 
 	store *Store
+	iter  *Iter // set on cursor-produced results, for lock elision
+}
+
+// view runs fn with the document readable: under the cursor's lock when
+// one is still held (pinned for fn's duration, so a concurrent
+// exhaustion cannot release it mid-access), otherwise under a freshly
+// taken read lock.
+func (r Result) view(fn func() error) error {
+	if r.iter != nil {
+		if done, err := r.iter.withLock(fn); done {
+			return err
+		}
+	}
+	return r.store.View(r.Doc, fn)
 }
 
 // Text returns the concatenated text content of the match.
@@ -93,7 +140,7 @@ func (r Result) Text() (string, error) {
 		return r.XML.TextContent(), nil
 	}
 	var out string
-	err := r.store.View(r.Doc, func() error {
+	err := r.view(func() error {
 		var err error
 		out, err = r.store.trees.TextContent(r.Ref)
 		return err
@@ -108,8 +155,8 @@ func (r Result) Markup() (string, error) {
 		return xmlkit.SerializeString(r.XML), nil
 	}
 	var out string
-	err := r.store.View(r.Doc, func() error {
-		xn, err := r.store.xmlFromRef(r.Ref)
+	err := r.view(func() error {
+		xn, err := r.store.xmlFromRef(context.Background(), r.Ref)
 		if err != nil {
 			return err
 		}
@@ -119,17 +166,34 @@ func (r Result) Markup() (string, error) {
 	return out, err
 }
 
-// Query evaluates a path expression against a document. For flat-mode
-// documents the whole stream is read and parsed first — exactly the
-// access cost the paper ascribes to flat storage ("Accessing the
-// documents' structure is only possible through parsing", §1). For
-// tree-mode documents the path index answers the query when one is
-// stored and every step is a plain name test; otherwise the evaluator
-// navigates the stored tree.
+// Query evaluates a path expression against a document, materializing
+// every match. It is QueryContext under context.Background.
 func (s *Store) Query(name, query string) ([]Result, error) {
+	return s.QueryContext(context.Background(), name, query)
+}
+
+// QueryContext evaluates a path expression against a document. For
+// flat-mode documents the whole stream is read and parsed first —
+// exactly the access cost the paper ascribes to flat storage
+// ("Accessing the documents' structure is only possible through
+// parsing", §1). For tree-mode documents the path index answers the
+// query when one is stored and every step is a plain name test;
+// otherwise the evaluator navigates the stored tree. The context is
+// checked at page-fetch granularity, so a cancelled query stops loading
+// records promptly.
+func (s *Store) QueryContext(cx context.Context, name, query string) ([]Result, error) {
 	steps, err := ParseQuery(query)
 	if err != nil {
 		return nil, err
+	}
+	return s.QuerySteps(cx, name, steps)
+}
+
+// QuerySteps is QueryContext over a pre-parsed expression (the prepared
+// query path: parse once, evaluate many times).
+func (s *Store) QuerySteps(cx context.Context, name string, steps []Step) ([]Result, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
 	}
 	l := s.lockFor(name)
 	l.RLock()
@@ -139,34 +203,63 @@ func (s *Store) Query(name, query string) ([]Result, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if info.Mode == ModeFlat {
-		matches, err := s.evalFlat(info, steps)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]Result, len(matches))
-		for i, m := range matches {
-			out[i] = Result{Mode: ModeFlat, Doc: name, XML: m, store: s}
-		}
-		return out, nil
+		var out []Result
+		err := s.streamFlat(cx, info, steps, func(n *xmlkit.Node) error {
+			out = append(out, Result{Mode: ModeFlat, Doc: name, XML: n, store: s})
+			return nil
+		})
+		return out, err
 	}
-	ctx, err := s.evalTree(info, steps)
+	idx, err := s.indexFor(info, steps)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Result, len(ctx))
-	for i, ref := range ctx {
-		out[i] = Result{Mode: ModeTree, Doc: name, Ref: ref, store: s}
+	if idx != nil {
+		s.indexedQueries.Add(1)
+		posts, err := s.collectIndexed(cx, idx, steps)
+		if err != nil {
+			return nil, err
+		}
+		refs, err := s.resolvePostings(posts)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, len(refs))
+		for i, ref := range refs {
+			out[i] = Result{Mode: ModeTree, Doc: name, Ref: ref, store: s}
+		}
+		return out, nil
 	}
-	return out, nil
+	s.scanQueries.Add(1)
+	var out []Result
+	err = s.streamScan(cx, info, steps, func(ref core.NodeRef) error {
+		out = append(out, Result{Mode: ModeTree, Doc: name, Ref: ref, store: s})
+		return nil
+	})
+	return out, err
 }
 
-// QueryCount returns the number of matches without materializing
-// results. On the indexed path the matches are counted directly from
-// the posting lists, never touching the matched records.
+// QueryCount returns the number of matches without materializing them.
+// It is QueryCountContext under context.Background.
 func (s *Store) QueryCount(name, query string) (int, error) {
+	return s.QueryCountContext(context.Background(), name, query)
+}
+
+// QueryCountContext counts matches without materializing results. On
+// the indexed path the matches are counted directly from the posting
+// lists, never touching the matched records.
+func (s *Store) QueryCountContext(cx context.Context, name, query string) (int, error) {
 	steps, err := ParseQuery(query)
 	if err != nil {
 		return 0, err
+	}
+	return s.QueryCountSteps(cx, name, steps)
+}
+
+// QueryCountSteps is QueryCountContext over a pre-parsed expression.
+func (s *Store) QueryCountSteps(cx context.Context, name string, steps []Step) (int, error) {
+	if len(steps) == 0 {
+		return 0, fmt.Errorf("%w: empty query", ErrBadQuery)
 	}
 	l := s.lockFor(name)
 	l.RLock()
@@ -175,9 +268,13 @@ func (s *Store) QueryCount(name, query string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	count := 0
 	if info.Mode == ModeFlat {
-		matches, err := s.evalFlat(info, steps)
-		return len(matches), err
+		err := s.streamFlat(cx, info, steps, func(*xmlkit.Node) error {
+			count++
+			return nil
+		})
+		return count, err
 	}
 	idx, err := s.indexFor(info, steps)
 	if err != nil {
@@ -185,106 +282,150 @@ func (s *Store) QueryCount(name, query string) (int, error) {
 	}
 	if idx != nil {
 		s.indexedQueries.Add(1)
-		posts, err := s.evalIndexed(idx, steps)
-		return len(posts), err
+		err := s.streamIndexed(cx, idx, steps, func(pathindex.Posting) error {
+			count++
+			return nil
+		})
+		return count, err
 	}
 	s.scanQueries.Add(1)
-	refs, err := s.evalScan(info, steps)
-	return len(refs), err
+	err = s.streamScan(cx, info, steps, func(core.NodeRef) error {
+		count++
+		return nil
+	})
+	return count, err
 }
 
-// evalFlat reads, parses and evaluates a flat-mode document.
-func (s *Store) evalFlat(info DocInfo, steps []Step) ([]*xmlkit.Node, error) {
+// streamFlat reads and parses a flat-mode document, then streams the
+// matches of the parsed tree.
+func (s *Store) streamFlat(cx context.Context, info DocInfo, steps []Step, emit func(*xmlkit.Node) error) error {
 	body, err := s.blobs.Read(info.Root)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	doc, err := xmlkit.ParseString(string(body), xmlkit.ParseOptions{})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return evalXML(doc.Root, steps), nil
+	err = xmlStep(cx, doc.Root, true, steps, emit)
+	if errors.Is(err, errStopIteration) {
+		return errStopIteration
+	}
+	return err
 }
 
-// evalTree evaluates steps over a tree-mode document, through the path
-// index when possible.
-func (s *Store) evalTree(info DocInfo, steps []Step) ([]core.NodeRef, error) {
-	idx, err := s.indexFor(info, steps)
-	if err != nil {
-		return nil, err
-	}
-	if idx != nil {
-		s.indexedQueries.Add(1)
-		posts, err := s.evalIndexed(idx, steps)
-		if err != nil {
-			return nil, err
-		}
-		return s.resolvePostings(posts)
-	}
-	s.scanQueries.Add(1)
-	return s.evalScan(info, steps)
-}
-
-// evalScan evaluates steps by navigating the stored tree (the fallback
-// when no index applies).
-func (s *Store) evalScan(info DocInfo, steps []Step) ([]core.NodeRef, error) {
+// streamScan evaluates steps by navigating the stored tree (the
+// fallback when no index applies), pushing matches to emit in document
+// order. emit may return errStopIteration to stop the walk early; the
+// context is checked before every record load.
+func (s *Store) streamScan(cx context.Context, info DocInfo, steps []Step, emit func(core.NodeRef) error) error {
 	tree := s.trees.OpenTree(info.Root)
 	root, err := tree.Root()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	// The first step must match the document root.
+	return s.scanStep(cx, root, true, steps, emit)
+}
+
+// scanStep evaluates the remaining steps against one context node. The
+// first step of a query is evaluated with isRoot set: its context is
+// the document root itself, which a name test (and a descendant step)
+// may match directly. A positional predicate counts matches as they
+// stream by, recurses into the selected one, and then abandons the rest
+// of the context's enumeration — the early-termination win over the old
+// collect-then-index evaluator.
+func (s *Store) scanStep(cx context.Context, ref core.NodeRef, isRoot bool, steps []Step, emit func(core.NodeRef) error) error {
 	if len(steps) == 0 {
-		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
+		return emit(ref)
 	}
-	first, rest := steps[0], steps[1:]
-	var ctx []core.NodeRef
-	if first.Descendant {
-		if err := s.collectDescendants(root, first.Name, &ctx); err != nil {
-			return nil, err
+	st := steps[0]
+	count := 0
+	sink := func(m core.NodeRef) error {
+		count++
+		if st.Pos == 0 {
+			return s.scanStep(cx, m, false, steps[1:], emit)
 		}
-		if ok, err := s.refMatches(root, first.Name); err != nil {
-			return nil, err
-		} else if ok {
-			ctx = append([]core.NodeRef{root}, ctx...)
+		if count < st.Pos {
+			return nil
 		}
-	} else {
-		if ok, err := s.refMatches(root, first.Name); err != nil {
-			return nil, err
-		} else if ok {
-			ctx = []core.NodeRef{root}
+		if err := s.scanStep(cx, m, false, steps[1:], emit); err != nil {
+			return err
 		}
+		return errStepDone
 	}
-	ctx = applyPos(ctx, first.Pos)
-	for _, st := range rest {
-		var next []core.NodeRef
-		for _, ref := range ctx {
-			var matches []core.NodeRef
-			if st.Descendant {
-				if err := s.collectDescendants(ref, st.Name, &matches); err != nil {
-					return nil, err
-				}
-			} else {
-				kids, err := s.trees.Children(ref)
-				if err != nil {
-					return nil, err
-				}
-				for _, k := range kids {
-					if ok, err := s.refMatches(k, st.Name); err != nil {
-						return nil, err
-					} else if ok {
-						matches = append(matches, k)
-					}
-				}
+	var err error
+	switch {
+	case st.Descendant:
+		if isRoot {
+			// The root itself is eligible: collectDescendants semantics
+			// put a matching root before its matching descendants.
+			var ok bool
+			if ok, err = s.refMatches(ref, st.Name); err == nil && ok {
+				err = sink(ref)
 			}
-			next = append(next, applyPos(matches, st.Pos)...)
 		}
-		ctx = next
-		if len(ctx) == 0 {
+		if err == nil {
+			err = s.walkDescendants(cx, ref, st.Name, sink)
+		}
+	case isRoot:
+		var ok bool
+		if ok, err = s.refMatches(ref, st.Name); err == nil && ok {
+			err = sink(ref)
+		}
+	default:
+		if err = ctxErr(cx); err != nil {
 			break
 		}
+		var kids []core.NodeRef
+		if kids, err = s.trees.Children(ref); err != nil {
+			break
+		}
+		for _, k := range kids {
+			var ok bool
+			if ok, err = s.refMatches(k, st.Name); err != nil {
+				break
+			}
+			if ok {
+				if err = sink(k); err != nil {
+					break
+				}
+			}
+		}
 	}
-	return ctx, nil
+	if errors.Is(err, errStepDone) {
+		return nil
+	}
+	return err
+}
+
+// walkDescendants streams all strict descendants of ref matching name,
+// in document order, into sink. The context is checked before every
+// Children call — i.e. before every record (and therefore page) fetch.
+func (s *Store) walkDescendants(cx context.Context, ref core.NodeRef, name string, sink func(core.NodeRef) error) error {
+	if err := ctxErr(cx); err != nil {
+		return err
+	}
+	kids, err := s.trees.Children(ref)
+	if err != nil {
+		return err
+	}
+	for _, k := range kids {
+		ok, err := s.refMatches(k, name)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if err := sink(k); err != nil {
+				return err
+			}
+		}
+		if !k.IsLiteral() {
+			if err := s.walkDescendants(cx, k, name, sink); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // refMatches tests a name step against a node.
@@ -306,79 +447,74 @@ func (s *Store) refMatches(ref core.NodeRef, name string) (bool, error) {
 	return ref.Label() == id, nil
 }
 
-// collectDescendants appends all strict descendants of ref matching name
-// in document order.
-func (s *Store) collectDescendants(ref core.NodeRef, name string, out *[]core.NodeRef) error {
-	kids, err := s.trees.Children(ref)
-	if err != nil {
-		return err
+// xmlStep is scanStep over a parsed XML tree (flat mode): same step
+// semantics, same order, no storage I/O. The context is still honored
+// so a cancelled flat query stops mid-tree.
+func xmlStep(cx context.Context, n *xmlkit.Node, isRoot bool, steps []Step, emit func(*xmlkit.Node) error) error {
+	if len(steps) == 0 {
+		return emit(n)
 	}
-	for _, k := range kids {
-		ok, err := s.refMatches(k, name)
-		if err != nil {
+	st := steps[0]
+	count := 0
+	sink := func(m *xmlkit.Node) error {
+		count++
+		if st.Pos == 0 {
+			return xmlStep(cx, m, false, steps[1:], emit)
+		}
+		if count < st.Pos {
+			return nil
+		}
+		if err := xmlStep(cx, m, false, steps[1:], emit); err != nil {
 			return err
 		}
-		if ok {
-			*out = append(*out, k)
+		return errStepDone
+	}
+	var err error
+	switch {
+	case st.Descendant:
+		if isRoot && xmlMatches(n, st.Name) {
+			err = sink(n)
 		}
-		if !k.IsLiteral() {
-			if err := s.collectDescendants(k, name, out); err != nil {
+		if err == nil {
+			err = walkXMLDescendants(cx, n, st.Name, sink)
+		}
+	case isRoot:
+		if xmlMatches(n, st.Name) {
+			err = sink(n)
+		}
+	default:
+		if err = ctxErr(cx); err != nil {
+			break
+		}
+		for _, c := range n.Children {
+			if xmlMatches(c, st.Name) {
+				if err = sink(c); err != nil {
+					break
+				}
+			}
+		}
+	}
+	if errors.Is(err, errStepDone) {
+		return nil
+	}
+	return err
+}
+
+func walkXMLDescendants(cx context.Context, n *xmlkit.Node, name string, sink func(*xmlkit.Node) error) error {
+	if err := ctxErr(cx); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if xmlMatches(c, name) {
+			if err := sink(c); err != nil {
 				return err
 			}
 		}
+		if err := walkXMLDescendants(cx, c, name, sink); err != nil {
+			return err
+		}
 	}
 	return nil
-}
-
-// applyPos applies a 1-based positional predicate to a match list
-// (pos == 0 selects all).
-func applyPos[T any](matches []T, pos int) []T {
-	if pos == 0 {
-		return matches
-	}
-	if pos <= len(matches) {
-		return matches[pos-1 : pos]
-	}
-	return nil
-}
-
-// evalXML evaluates steps against a parsed XML tree (flat mode).
-func evalXML(root *xmlkit.Node, steps []Step) []*xmlkit.Node {
-	if len(steps) == 0 {
-		return nil
-	}
-	first, rest := steps[0], steps[1:]
-	var ctx []*xmlkit.Node
-	if first.Descendant {
-		if xmlMatches(root, first.Name) {
-			ctx = append(ctx, root)
-		}
-		collectXMLDescendants(root, first.Name, &ctx)
-	} else if xmlMatches(root, first.Name) {
-		ctx = []*xmlkit.Node{root}
-	}
-	ctx = applyPos(ctx, first.Pos)
-	for _, st := range rest {
-		var next []*xmlkit.Node
-		for _, n := range ctx {
-			var matches []*xmlkit.Node
-			if st.Descendant {
-				collectXMLDescendants(n, st.Name, &matches)
-			} else {
-				for _, c := range n.Children {
-					if xmlMatches(c, st.Name) {
-						matches = append(matches, c)
-					}
-				}
-			}
-			next = append(next, applyPos(matches, st.Pos)...)
-		}
-		ctx = next
-		if len(ctx) == 0 {
-			break
-		}
-	}
-	return ctx
 }
 
 func xmlMatches(n *xmlkit.Node, name string) bool {
@@ -386,13 +522,4 @@ func xmlMatches(n *xmlkit.Node, name string) bool {
 		return name == "#text"
 	}
 	return name == "*" || n.Name == name
-}
-
-func collectXMLDescendants(n *xmlkit.Node, name string, out *[]*xmlkit.Node) {
-	for _, c := range n.Children {
-		if xmlMatches(c, name) {
-			*out = append(*out, c)
-		}
-		collectXMLDescendants(c, name, out)
-	}
 }

@@ -1,9 +1,11 @@
 package docstore
 
 import (
+	"context"
 	"errors"
 
 	"natix/internal/core"
+	"natix/internal/dict"
 	"natix/internal/pathindex"
 	"natix/internal/records"
 )
@@ -16,7 +18,14 @@ import (
 // context node's path by exactly one label. Only the final matches are
 // resolved to records; non-matching subtrees are never visited.
 //
-// The semantics mirror evalScan exactly — per-context match lists,
+// Like the scan, the evaluator is a streaming producer: postings are
+// pushed to an emit callback in document order and the recursion
+// unwinds as soon as the callback asks it to stop, so a cursor that is
+// closed (or a positional predicate that has been satisfied) stops
+// probing posting lists. Posting blobs load lazily, one label at a
+// time, on first probe.
+//
+// The semantics mirror the scan path exactly — per-context match lists,
 // positional predicates applied per context node (globally for the
 // first step), duplicates preserved for nested descendant contexts —
 // so the two paths return identical results.
@@ -46,73 +55,133 @@ func (s *Store) indexFor(info DocInfo, steps []Step) (*pathindex.Handle, error) 
 	return h, err
 }
 
-// evalIndexed evaluates steps over the posting lists, returning the
-// matches in the same order (with the same duplicates) as evalScan.
-// Step names are resolved through the label dictionary; a name that was
-// never interned cannot occur in any document and matches nothing.
-func (s *Store) evalIndexed(idx *pathindex.Handle, steps []Step) ([]pathindex.Posting, error) {
-	if len(steps) == 0 {
-		return nil, nil
-	}
-	first, rest := steps[0], steps[1:]
-	label, ok := s.dict.Lookup(first.Name)
-	var ctx []pathindex.Posting
-	if ok {
-		if first.Descendant {
-			// Every posting of the label, root included: postings are in
-			// document order, which is what collectDescendants produces
-			// (with the root, if it matches, first).
-			list, err := idx.Postings(label)
-			if err != nil {
-				return nil, err
-			}
-			ctx = list
-		} else if idx.RootLabel() == label {
-			if root, found, err := idx.Root(); err != nil {
-				return nil, err
-			} else if found {
-				ctx = []pathindex.Posting{root}
-			}
-		}
-	}
-	ctx = applyPos(ctx, first.Pos)
-	for _, st := range rest {
-		if len(ctx) == 0 {
-			break
-		}
-		label, ok := s.dict.Lookup(st.Name)
+// streamIndexed streams the query's matching postings, in the same
+// order (with the same duplicates) as the scan produces node refs. Step
+// names are resolved through the label dictionary up front; a name that
+// was never interned cannot occur in any document and matches nothing.
+// emit may return errStopIteration to stop the evaluation early; the
+// context is checked before every posting-blob load.
+func (s *Store) streamIndexed(cx context.Context, idx *pathindex.Handle, steps []Step, emit func(pathindex.Posting) error) error {
+	labels := make([]dict.LabelID, len(steps))
+	for i, st := range steps {
+		l, ok := s.dict.Lookup(st.Name)
 		if !ok {
-			return nil, nil
+			return nil
 		}
-		list, err := idx.Postings(label)
-		if err != nil {
-			return nil, err
+		labels[i] = l
+	}
+	err := s.indexedStep(cx, idx, pathindex.Posting{}, true, steps, labels, emit)
+	if errors.Is(err, errStopIteration) {
+		return errStopIteration
+	}
+	return err
+}
+
+// collectIndexed materializes the streamed postings (the eager Query
+// and batch-resolution path).
+func (s *Store) collectIndexed(cx context.Context, idx *pathindex.Handle, steps []Step) ([]pathindex.Posting, error) {
+	var posts []pathindex.Posting
+	err := s.streamIndexed(cx, idx, steps, func(p pathindex.Posting) error {
+		posts = append(posts, p)
+		return nil
+	})
+	return posts, err
+}
+
+// indexedStep evaluates the remaining steps against one context
+// posting, mirroring scanStep: the first step's context is the whole
+// document (descendant steps feed every posting of the label, a child
+// step can only match the root), later steps range over the context's
+// containment interval. A positional predicate recurses into the
+// selected posting and then abandons the context's enumeration.
+func (s *Store) indexedStep(cx context.Context, idx *pathindex.Handle, c pathindex.Posting, isRoot bool, steps []Step, labels []dict.LabelID, emit func(pathindex.Posting) error) error {
+	if len(steps) == 0 {
+		return emit(c)
+	}
+	st, label := steps[0], labels[0]
+	count := 0
+	sink := func(p pathindex.Posting) error {
+		count++
+		if st.Pos == 0 {
+			return s.indexedStep(cx, idx, p, false, steps[1:], labels[1:], emit)
 		}
-		var next []pathindex.Posting
-		for _, c := range ctx {
+		if count < st.Pos {
+			return nil
+		}
+		if err := s.indexedStep(cx, idx, p, false, steps[1:], labels[1:], emit); err != nil {
+			return err
+		}
+		return errStepDone
+	}
+	// Postings load a blob on first probe of the label — page fetches,
+	// so honor cancellation first.
+	if err := ctxErr(cx); err != nil {
+		return err
+	}
+	var err error
+	if isRoot {
+		if st.Descendant {
+			// Every posting of the label, root included: postings are in
+			// document order, which is what the scan produces (with the
+			// root, if it matches, first).
+			var list []pathindex.Posting
+			if list, err = idx.Postings(label); err == nil {
+				err = feedPostings(list, sink)
+			}
+		} else if idx.RootLabel() == label {
+			var root pathindex.Posting
+			var found bool
+			if root, found, err = idx.Root(); err == nil && found {
+				err = sink(root)
+			}
+		}
+	} else {
+		var list []pathindex.Posting
+		if list, err = idx.Postings(label); err == nil {
 			within := pathindex.Within(list, c)
-			var matches []pathindex.Posting
 			if st.Descendant {
-				matches = within
+				err = feedPostings(within, sink)
 			} else {
 				cDepth := idx.Path(c.Path).Depth
 				for _, p := range within {
 					pn := idx.Path(p.Path)
 					if pn.Depth == cDepth+1 && pn.Parent == c.Path {
-						matches = append(matches, p)
+						if err = sink(p); err != nil {
+							break
+						}
 					}
 				}
 			}
-			next = append(next, applyPos(matches, st.Pos)...)
 		}
-		ctx = next
 	}
-	return ctx, nil
+	if errors.Is(err, errStepDone) {
+		return nil
+	}
+	return err
+}
+
+// feedPostings pushes a posting slice through sink, stopping on error.
+func feedPostings(list []pathindex.Posting, sink func(pathindex.Posting) error) error {
+	for _, p := range list {
+		if err := sink(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolvePosting materializes one posting as a node ref — the cursor
+// path, where matches resolve one at a time as the consumer pulls them,
+// so the records of unconsumed matches are never loaded. Consecutive
+// matches in one record cost one record load each; the parsed-record
+// cache makes the repeats decode-free.
+func (s *Store) resolvePosting(p pathindex.Posting) (core.NodeRef, error) {
+	return s.trees.RefByFacadeIndex(p.RID, int(p.Local))
 }
 
 // resolvePostings materializes postings as node refs. Matches are
 // grouped by record so each matching record is loaded exactly once,
-// regardless of how many matches it holds.
+// regardless of how many matches it holds (the eager Query path).
 func (s *Store) resolvePostings(posts []pathindex.Posting) ([]core.NodeRef, error) {
 	if len(posts) == 0 {
 		return nil, nil

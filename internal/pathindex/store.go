@@ -41,8 +41,8 @@ type Store struct {
 	blobs *blobstore.Store
 	seg   *segment.Segment
 
-	mu        sync.RWMutex // guards entries and cache
-	catalogID records.RID  // touched only by the (serialized) writer
+	mu        sync.RWMutex           // guards entries and cache
+	catalogID records.RID            // touched only by the (serialized) writer
 	entries   map[string]records.RID // document name -> summary blob RID
 	cache     map[string]*Handle
 }

@@ -21,10 +21,24 @@
 //	if err != nil { ... }
 //	defer db.Close()
 //	err = db.ImportXML("othello", file)
-//	matches, err := db.Query("othello", "/PLAY/ACT[3]/SCENE[2]//SPEAKER")
-//	for _, m := range matches {
-//		text, _ := m.Text()
+//
+//	// Stream matches lazily: records load only as matches are pulled.
+//	cur, err := db.QueryIter(ctx, "othello", "/PLAY/ACT[3]/SCENE[2]//SPEAKER")
+//	if err != nil { ... }
+//	defer cur.Close()
+//	for cur.Next() {
+//		text, _ := cur.Match().Text()
 //	}
+//	if err := cur.Err(); err != nil { ... }
+//
+//	// Or materialize everything in one call.
+//	matches, err := db.Query("othello", "//SCENE/SPEECH[1]")
+//
+// Queries parse once and evaluate many times via DB.Prepare; every
+// operation has a Context-suffixed variant (and QueryIter takes a ctx
+// directly) whose cancellation is honored at page-fetch granularity, so
+// a "first 10 results" consumer pays for 10 matches, not the whole
+// result set, and a runaway scan dies with its context.
 //
 // # Path index
 //
@@ -53,6 +67,7 @@
 package natix
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -150,17 +165,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// ErrClosed is returned by operations on a closed DB.
-var ErrClosed = errors.New("natix: database is closed")
-
 // DB is an open repository. All methods are safe for concurrent use,
 // and the read path is built to scale with cores rather than serialize
 // (the paper's system is single-user; this implementation adds the
 // multi-user concurrency control):
 //
-//   - Read operations — Query, QueryCount, ExportXML, Documents,
-//     Stats — run concurrently with each other, on the same document
-//     or different ones.
+//   - Read operations — Query, QueryCount, QueryIter cursors,
+//     ExportXML, Documents, Stats — run concurrently with each other,
+//     on the same document or different ones. An open cursor holds its
+//     document's read lock until Close or exhaustion, so it blocks
+//     mutations of that document (only) for its lifetime.
 //   - Mutations — ImportXML, ImportXMLFlat, Delete, Convert,
 //     ReindexDocument, SetPolicy, Document edits — are serialized
 //     against each other by a store-wide writer lock and exclude
@@ -286,97 +300,126 @@ func Open(opts Options) (*DB, error) {
 	return &DB{opts: opts, dev: dev, sim: sim, pool: pool, store: store, matrix: matrix}, nil
 }
 
-// ReindexDocument rebuilds the path index of a tree-mode document. Use
-// it for documents imported before PathIndex was enabled. It fails
-// unless the store was opened with PathIndex.
-func (db *DB) ReindexDocument(name string) error {
+// view runs fn holding the lifecycle lock shared, failing fast with
+// ErrClosed on a closed DB — the common prologue of every operation.
+// Close takes the lock exclusively, so it waits for in-flight fns.
+func (db *DB) view(fn func() error) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
-	return db.store.ReindexDocument(name)
+	return fn()
+}
+
+// viewE is view for operations that return a value. It is a package
+// function rather than a method because Go methods cannot introduce
+// type parameters.
+func viewE[T any](db *DB, fn func() (T, error)) (T, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		var zero T
+		return zero, ErrClosed
+	}
+	return fn()
+}
+
+// ReindexDocument rebuilds the path index of a tree-mode document. Use
+// it for documents imported before PathIndex was enabled. It fails
+// unless the store was opened with PathIndex.
+func (db *DB) ReindexDocument(name string) error {
+	return db.ReindexDocumentContext(context.Background(), name)
+}
+
+// ReindexDocumentContext is ReindexDocument with a cancellation point
+// before the rebuild starts; the build itself runs to completion.
+func (db *DB) ReindexDocumentContext(ctx context.Context, name string) error {
+	return db.view(func() error { return db.store.ReindexDocumentContext(ctx, name) })
 }
 
 // SetPolicy records a split-matrix preference for child elements named
 // child under parents named parent. It affects subsequent insertions.
 func (db *DB) SetPolicy(parent, child string, p Policy) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	pl, err := db.store.InternLabel(parent)
-	if err != nil {
-		return err
-	}
-	cl, err := db.store.InternLabel(child)
-	if err != nil {
-		return err
-	}
-	db.matrix.Set(pl, cl, p)
-	return nil
+	return db.view(func() error {
+		pl, err := db.store.InternLabel(parent)
+		if err != nil {
+			return err
+		}
+		cl, err := db.store.InternLabel(child)
+		if err != nil {
+			return err
+		}
+		db.matrix.Set(pl, cl, p)
+		return nil
+	})
 }
 
 // SetTextPolicy records the preference for text nodes under parents
 // named parent.
 func (db *DB) SetTextPolicy(parent string, p Policy) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	pl, err := db.store.InternLabel(parent)
-	if err != nil {
-		return err
-	}
-	db.matrix.Set(pl, dict.Text, p)
-	return nil
+	return db.view(func() error {
+		pl, err := db.store.InternLabel(parent)
+		if err != nil {
+			return err
+		}
+		db.matrix.Set(pl, dict.Text, p)
+		return nil
+	})
 }
 
 // ImportXML parses and stores an XML document under the given name using
 // the native tree representation.
 func (db *DB) ImportXML(name string, r io.Reader) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	_, err := db.store.ImportXML(name, r)
-	return err
+	return db.ImportXMLContext(context.Background(), name, r)
+}
+
+// ImportXMLContext is ImportXML honoring a context, checked per
+// inserted node; a cancelled import tears its partial tree back down
+// and leaves the store unchanged.
+func (db *DB) ImportXMLContext(ctx context.Context, name string, r io.Reader) error {
+	return db.view(func() error {
+		_, err := db.store.ImportXMLContext(ctx, name, r)
+		return err
+	})
 }
 
 // ImportXMLFlat stores an XML document as a flat byte stream (the
 // baseline representation: fast whole-document access, no structural
 // access without re-parsing).
 func (db *DB) ImportXMLFlat(name string, r io.Reader) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	_, err := db.store.ImportFlat(name, r)
-	return err
+	return db.ImportXMLFlatContext(context.Background(), name, r)
+}
+
+// ImportXMLFlatContext is ImportXMLFlat honoring a context, checked
+// before the reader is drained and before the blob is written.
+func (db *DB) ImportXMLFlatContext(ctx context.Context, name string, r io.Reader) error {
+	return db.view(func() error {
+		_, err := db.store.ImportFlatContext(ctx, name, r)
+		return err
+	})
 }
 
 // ExportXML serializes the named document to w.
 func (db *DB) ExportXML(name string, w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	return db.store.ExportXML(name, w)
+	return db.ExportXMLContext(context.Background(), name, w)
+}
+
+// ExportXMLContext is ExportXML honoring a context, checked per record
+// while the stored tree is materialized.
+func (db *DB) ExportXMLContext(ctx context.Context, name string, w io.Writer) error {
+	return db.view(func() error { return db.store.ExportXMLContext(ctx, name, w) })
 }
 
 // Delete removes the named document.
 func (db *DB) Delete(name string) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	return db.store.Delete(name)
+	return db.DeleteContext(context.Background(), name)
+}
+
+// DeleteContext is Delete with a cancellation point before the locks
+// are taken; a delete that has started runs to completion.
+func (db *DB) DeleteContext(ctx context.Context, name string) error {
+	return db.view(func() error { return db.store.DeleteContext(ctx, name) })
 }
 
 // DocInfo describes a stored document.
@@ -387,26 +430,18 @@ type DocInfo struct {
 
 // Documents lists stored documents in name order.
 func (db *DB) Documents() ([]DocInfo, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, ErrClosed
-	}
-	var out []DocInfo
-	for _, d := range db.store.Documents() {
-		out = append(out, DocInfo{Name: d.Name, Flat: d.Mode == docstore.ModeFlat})
-	}
-	return out, nil
+	return viewE(db, func() ([]DocInfo, error) {
+		var out []DocInfo
+		for _, d := range db.store.Documents() {
+			out = append(out, DocInfo{Name: d.Name, Flat: d.Mode == docstore.ModeFlat})
+		}
+		return out, nil
+	})
 }
 
 // Flush writes all buffered pages to the underlying device.
 func (db *DB) Flush() error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	return db.pool.FlushAll()
+	return db.view(func() error { return db.pool.FlushAll() })
 }
 
 // Close flushes and releases the store. It takes the lifecycle lock
@@ -449,41 +484,35 @@ type Stats struct {
 
 // Stats returns a snapshot of storage counters.
 func (db *DB) Stats() (Stats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return Stats{}, ErrClosed
-	}
-	bs := db.pool.Stats()
-	ts := db.store.Trees().Stats()
-	is := db.store.IndexStats()
-	return Stats{
-		LogicalReads:    bs.LogicalReads,
-		BufferHits:      bs.Hits,
-		PhysReads:       bs.PhysReads,
-		PhysWrites:      bs.PhysWrites,
-		Splits:          ts.Splits,
-		RecordsCreated:  ts.RecordsCreated,
-		RecordsDeleted:  ts.RecordsDeleted,
-		ParentPatches:   ts.ParentPatches,
-		SpaceBytes:      db.store.Trees().Records().Segment().TotalBytes(),
-		PageSize:        db.opts.PageSize,
-		PathIndexBuilds: is.Builds,
-		IndexedQueries:  is.IndexedQueries,
-		ScanQueries:     is.ScanQueries,
-	}, nil
+	return viewE(db, func() (Stats, error) {
+		bs := db.pool.Stats()
+		ts := db.store.Trees().Stats()
+		is := db.store.IndexStats()
+		return Stats{
+			LogicalReads:    bs.LogicalReads,
+			BufferHits:      bs.Hits,
+			PhysReads:       bs.PhysReads,
+			PhysWrites:      bs.PhysWrites,
+			Splits:          ts.Splits,
+			RecordsCreated:  ts.RecordsCreated,
+			RecordsDeleted:  ts.RecordsDeleted,
+			ParentPatches:   ts.ParentPatches,
+			SpaceBytes:      db.store.Trees().Records().Segment().TotalBytes(),
+			PageSize:        db.opts.PageSize,
+			PathIndexBuilds: is.Builds,
+			IndexedQueries:  is.IndexedQueries,
+			ScanQueries:     is.ScanQueries,
+		}, nil
+	})
 }
 
 // SimStats returns the simulated-disk statistics. It fails unless the
 // store was opened with SimulateDisk.
 func (db *DB) SimStats() (pagedev.SimStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return pagedev.SimStats{}, ErrClosed
-	}
-	if db.sim == nil {
-		return pagedev.SimStats{}, errors.New("natix: store was opened without SimulateDisk")
-	}
-	return db.sim.Stats(), nil
+	return viewE(db, func() (pagedev.SimStats, error) {
+		if db.sim == nil {
+			return pagedev.SimStats{}, errors.New("natix: store was opened without SimulateDisk")
+		}
+		return db.sim.Stats(), nil
+	})
 }

@@ -1,10 +1,15 @@
 package natix
 
-import "natix/internal/docstore"
+import (
+	"context"
+
+	"natix/internal/docstore"
+)
 
 // Match is one result of a path query. Matches may be consumed after
 // Query returns, concurrently with other queries: Text and Markup take
-// the matched document's read lock per call. Mutating the matched
+// the matched document's read lock per call (matches pulled from a live
+// Cursor reuse the cursor's lock instead). Mutating the matched
 // document invalidates its outstanding matches, as documented on DB.
 type Match struct {
 	res docstore.Result
@@ -17,7 +22,8 @@ func (m Match) Text() (string, error) { return m.res.Text() }
 func (m Match) Markup() (string, error) { return m.res.Markup() }
 
 // Query evaluates a path expression against the named document and
-// returns the matches in document order.
+// returns the matches in document order. It is QueryContext under
+// context.Background.
 //
 // The query language is the fragment used in the paper's evaluation:
 // absolute child steps (/PLAY/ACT), descendant steps (//SPEAKER), name
@@ -28,46 +34,56 @@ func (m Match) Markup() (string, error) { return m.res.Markup() }
 //	//SCENE/SPEECH[1]                 (query 2)
 //	/PLAY/ACT[1]/SCENE[1]/SPEECH[1]   (query 3)
 func (db *DB) Query(name, query string) ([]Match, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, ErrClosed
-	}
-	res, err := db.store.Query(name, query)
+	return db.QueryContext(context.Background(), name, query)
+}
+
+// QueryContext is Query honoring a context: cancellation is checked at
+// page-fetch granularity inside the evaluators, so a runaway scan stops
+// promptly. For results consumed incrementally — first match, top-k,
+// pagination — prefer QueryIter, which does not materialize the result
+// set at all.
+func (db *DB) QueryContext(ctx context.Context, name, query string) ([]Match, error) {
+	p, err := db.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Match, len(res))
-	for i, r := range res {
-		out[i] = Match{res: r}
-	}
-	return out, nil
+	return p.Query(ctx, name)
 }
 
 // QueryCount returns the number of matches without materializing them.
-// On an indexed document (Options.PathIndex) the count comes straight
-// from the posting lists and never loads the matched records.
+// It is QueryCountContext under context.Background.
 func (db *DB) QueryCount(name, query string) (int, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return 0, ErrClosed
+	return db.QueryCountContext(context.Background(), name, query)
+}
+
+// QueryCountContext counts matches without materializing them. On an
+// indexed document (Options.PathIndex) the count comes straight from
+// the posting lists and never loads the matched records.
+func (db *DB) QueryCountContext(ctx context.Context, name, query string) (int, error) {
+	p, err := db.Prepare(query)
+	if err != nil {
+		return 0, err
 	}
-	return db.store.QueryCount(name, query)
+	return p.Count(ctx, name)
 }
 
 // Convert re-stores a document in the other representation: flat
 // (byte-stream) or native tree. Content is preserved; the document's
-// physical organization changes.
+// physical organization changes. It is ConvertContext under
+// context.Background.
 func (db *DB) Convert(name string, flat bool) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return ErrClosed
-	}
-	to := docstore.ModeTree
-	if flat {
-		to = docstore.ModeFlat
-	}
-	return db.store.Convert(name, to)
+	return db.ConvertContext(context.Background(), name, flat)
+}
+
+// ConvertContext is Convert honoring a context during the conversion's
+// reversible phase (serializing the old representation); once the old
+// form is dropped the rebuild runs to completion regardless.
+func (db *DB) ConvertContext(ctx context.Context, name string, flat bool) error {
+	return db.view(func() error {
+		to := docstore.ModeTree
+		if flat {
+			to = docstore.ModeFlat
+		}
+		return db.store.ConvertContext(ctx, name, to)
+	})
 }
