@@ -8,8 +8,10 @@
 //	natix-bench -plays 8 -buffer 442368   # reduced scale, scaled buffer
 //	natix-bench -experiment fig11         # print one figure
 //	natix-bench -experiment ablations     # parameter sweeps
+//	natix-bench -experiment import        # bulk vs incremental import
 //	natix-bench -flat                     # add the flat-stream series
 //	natix-bench -csv results.csv          # raw cells for plotting
+//	natix-bench -json BENCH_import.json   # machine-readable import cells
 //
 // The paper loads ≈8 MB of documents against a 2 MB buffer. When
 // scaling the corpus down with -plays, scale -buffer proportionally to
@@ -35,12 +37,18 @@ func main() {
 		buffer     = flag.Int("buffer", 2<<20, "buffer pool bytes (paper: 2MB)")
 		flat       = flag.Bool("flat", false, "include the flat-stream extension series")
 		csvPath    = flag.String("csv", "", "write raw cells to this CSV file")
+		jsonPath   = flag.String("json", "", "write import-experiment cells to this JSON file")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
 	spec := corpus.DefaultSpec()
 	spec.Plays = *plays
+
+	if *experiment == "import" {
+		runImport(spec, *buffer, *jsonPath, *quiet)
+		return
+	}
 
 	var pageSizes []int
 	if *pages != "" {
@@ -99,6 +107,31 @@ func main() {
 			fatalf("write csv: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "raw cells written to %s\n", *csvPath)
+	}
+}
+
+// runImport measures document loading through the streaming bulk path
+// and the incremental per-node path on the same generated plays,
+// printing a table and optionally writing the cells as JSON — the
+// BENCH_import.json baseline of the perf trajectory.
+func runImport(spec corpus.Spec, buffer int, jsonPath string, quiet bool) {
+	cells, err := benchkit.RunImportExperiment(spec, buffer, 8192)
+	if err != nil {
+		fatalf("import experiment: %v", err)
+	}
+	benchkit.PrintImportCells(os.Stdout, cells)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fatalf("create %s: %v", jsonPath, err)
+		}
+		defer f.Close()
+		if err := benchkit.WriteImportJSON(f, cells); err != nil {
+			fatalf("write json: %v", err)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "import cells written to %s\n", jsonPath)
+		}
 	}
 }
 

@@ -1,0 +1,191 @@
+package benchkit
+
+// Import benchmarks (the perf trajectory's first entry): the streaming
+// bulk path against the paper's per-node incremental procedure, on the
+// same generated documents.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"natix/internal/corpus"
+	"natix/internal/xmlkit"
+)
+
+// ImportMetrics extends Metrics with import-rate figures.
+type ImportMetrics struct {
+	Metrics
+	Docs             int
+	XMLBytes         int64
+	DocsPerSec       float64
+	MBPerSec         float64
+	RecordsCreated   int64
+	RecordsRewritten int64 // ≈0 on the bulk path, O(n) incrementally
+	PagesWritten     int64 // physical page writes, flush included
+}
+
+// RunImport imports n freshly generated plays — through the streaming
+// bulk path when bulk is true, through per-node incremental insertion
+// otherwise — and reports throughput. The imported documents are
+// deleted afterwards, so the env's standing corpus is untouched and the
+// measurement is repeatable.
+func (e *Env) RunImport(op string, n int, bulk bool) (ImportMetrics, error) {
+	// Generate and serialize outside the measured region.
+	type doc struct {
+		name string
+		xml  string
+		tree *xmlkit.Node
+	}
+	docs := make([]doc, n)
+	var bytes int64
+	for i := range docs {
+		play := corpus.GeneratePlay(e.spec, e.spec.Plays+i)
+		xml := xmlkit.SerializeString(play)
+		docs[i] = doc{name: fmt.Sprintf("import-%03d", i), xml: xml}
+		bytes += int64(len(xml))
+		if !bulk {
+			parsed, err := xmlkit.ParseString(xml, xmlkit.ParseOptions{})
+			if err != nil {
+				return ImportMetrics{}, err
+			}
+			docs[i].tree = parsed.Root
+		}
+	}
+
+	e.resetMeasurement()
+	statsBefore := e.store.Trees().Stats()
+	start := time.Now()
+	for _, d := range docs {
+		var err error
+		if bulk {
+			_, err = e.store.ImportXML(d.name, strings.NewReader(d.xml))
+		} else {
+			_, err = e.store.ImportTreeIncremental(d.name, d.tree)
+		}
+		if err != nil {
+			return ImportMetrics{}, fmt.Errorf("importing %s: %w", d.name, err)
+		}
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		return ImportMetrics{}, err
+	}
+	m := e.capture(op, start, bytes)
+	statsAfter := e.store.Trees().Stats()
+
+	out := ImportMetrics{
+		Metrics:          m,
+		Docs:             n,
+		XMLBytes:         bytes,
+		RecordsCreated:   statsAfter.RecordsCreated - statsBefore.RecordsCreated,
+		RecordsRewritten: statsAfter.RecordsRewritten - statsBefore.RecordsRewritten,
+		PagesWritten:     m.PhysWrites,
+	}
+	if secs := m.WallMS / 1000; secs > 0 {
+		out.DocsPerSec = float64(n) / secs
+		out.MBPerSec = float64(bytes) / (1 << 20) / secs
+	}
+
+	// Leave the env as found.
+	for _, d := range docs {
+		if err := e.store.Delete(d.name); err != nil {
+			return ImportMetrics{}, fmt.Errorf("cleaning up %s: %w", d.name, err)
+		}
+	}
+	return out, nil
+}
+
+// ImportCell is one row of the import experiment, JSON-ready.
+type ImportCell struct {
+	Path             string  `json:"path"` // "bulk" or "incremental"
+	Docs             int     `json:"docs"`
+	XMLBytes         int64   `json:"xml_bytes"`
+	WallMS           float64 `json:"wall_ms"`
+	SimMS            float64 `json:"sim_ms"`
+	DocsPerSec       float64 `json:"docs_per_sec"`
+	MBPerSec         float64 `json:"mb_per_sec"`
+	PagesWritten     int64   `json:"pages_written"`
+	RecordsCreated   int64   `json:"records_created"`
+	RecordsRewritten int64   `json:"records_rewritten"`
+}
+
+// RunImportExperiment measures both import paths over freshly generated
+// plays in a native-mode store.
+func RunImportExperiment(spec corpus.Spec, buffer, pageSize int) ([]ImportCell, error) {
+	// A small standing corpus keeps env construction fast; the imports
+	// under measurement are generated on top of it.
+	base := spec
+	base.Plays = 1
+	env, err := BuildEnv(base, Config{
+		PageSize: pageSize, BufferBytes: buffer,
+		Mode: ModeNative, Order: OrderAppend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := spec.Plays
+	if n < 1 {
+		n = 1
+	}
+	var cells []ImportCell
+	for _, bulk := range []bool{true, false} {
+		path := "incremental"
+		if bulk {
+			path = "bulk"
+		}
+		m, err := env.RunImport("import-"+path, n, bulk)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, ImportCell{
+			Path:             path,
+			Docs:             m.Docs,
+			XMLBytes:         m.XMLBytes,
+			WallMS:           m.WallMS,
+			SimMS:            m.SimMS,
+			DocsPerSec:       m.DocsPerSec,
+			MBPerSec:         m.MBPerSec,
+			PagesWritten:     m.PagesWritten,
+			RecordsCreated:   m.RecordsCreated,
+			RecordsRewritten: m.RecordsRewritten,
+		})
+	}
+	return cells, nil
+}
+
+// PrintImportCells renders the experiment as a table.
+func PrintImportCells(w io.Writer, cells []ImportCell) {
+	fmt.Fprintf(w, "Import throughput (bulk streaming load vs per-node incremental)\n")
+	fmt.Fprintf(w, "%-12s %6s %10s %10s %10s %10s %8s %10s %10s\n",
+		"path", "docs", "MB", "wall-ms", "docs/s", "MB/s", "pages", "records", "rewrites")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-12s %6d %10.2f %10.1f %10.1f %10.2f %8d %10d %10d\n",
+			c.Path, c.Docs, float64(c.XMLBytes)/(1<<20), c.WallMS,
+			c.DocsPerSec, c.MBPerSec, c.PagesWritten, c.RecordsCreated, c.RecordsRewritten)
+	}
+	if len(cells) == 2 && cells[1].WallMS > 0 && cells[0].WallMS > 0 {
+		fmt.Fprintf(w, "speedup: %.1fx\n", cells[1].WallMS/cells[0].WallMS)
+	}
+}
+
+// importReport is the BENCH_import.json schema.
+type importReport struct {
+	Benchmark string       `json:"benchmark"`
+	Unit      string       `json:"unit"`
+	Cells     []ImportCell `json:"cells"`
+	SpeedupX  float64      `json:"speedup_x,omitempty"`
+}
+
+// WriteImportJSON writes the experiment cells as the perf-trajectory
+// baseline file.
+func WriteImportJSON(w io.Writer, cells []ImportCell) error {
+	rep := importReport{Benchmark: "import", Unit: "wall_ms", Cells: cells}
+	if len(cells) == 2 && cells[0].WallMS > 0 {
+		rep.SpeedupX = cells[1].WallMS / cells[0].WallMS
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,68 @@
+package benchkit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunImportBothPaths(t *testing.T) {
+	env, err := BuildEnv(tinySpec(), Config{
+		PageSize: 2048, Mode: ModeNative, Order: OrderAppend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := env.RunImport("import-bulk", 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := env.RunImport("import-incremental", 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Docs != 2 || inc.Docs != 2 {
+		t.Fatalf("docs: bulk %d, incremental %d", bulk.Docs, inc.Docs)
+	}
+	if bulk.XMLBytes != inc.XMLBytes {
+		t.Fatalf("paths measured different inputs: %d vs %d bytes", bulk.XMLBytes, inc.XMLBytes)
+	}
+	if bulk.RecordsRewritten != 0 {
+		t.Fatalf("bulk path rewrote %d records", bulk.RecordsRewritten)
+	}
+	if inc.RecordsRewritten == 0 {
+		t.Fatal("incremental path reported zero rewrites — counter broken?")
+	}
+	if bulk.PagesWritten == 0 || bulk.RecordsCreated == 0 || bulk.MBPerSec <= 0 {
+		t.Fatalf("bulk metrics not populated: %+v", bulk)
+	}
+	// Cleanup happened: only the env's standing corpus remains.
+	if got := len(env.Store().Documents()); got != len(env.Docs()) {
+		t.Fatalf("RunImport left %d documents, want %d", got, len(env.Docs()))
+	}
+}
+
+func TestImportExperimentJSON(t *testing.T) {
+	spec := tinySpec()
+	cells, err := RunImportExperiment(spec, 1<<20, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[0].Path != "bulk" || cells[1].Path != "incremental" {
+		t.Fatalf("unexpected cells: %+v", cells)
+	}
+	var buf bytes.Buffer
+	if err := WriteImportJSON(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"benchmark": "import"`, `"records_rewritten"`, `"speedup_x"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, buf.String())
+		}
+	}
+	var tbl bytes.Buffer
+	PrintImportCells(&tbl, cells)
+	if !strings.Contains(tbl.String(), "speedup") {
+		t.Fatalf("table missing speedup line:\n%s", tbl.String())
+	}
+}

@@ -1,0 +1,412 @@
+package core
+
+// Bulk loading (the streaming fast path). The paper's tree growth
+// procedure (§3.2, figure 5) is an online algorithm: every insert
+// re-navigates from the root, and the record absorbing the node is
+// rewritten each time. That is the right tool for incremental updates
+// and exactly the wrong one for loading a whole document, where the
+// final shape is known as soon as each subtree closes.
+//
+// BulkBuilder assembles a document bottom-up in one pass instead. The
+// caller opens and closes elements in document order (the shape of a
+// streaming parse); the builder accumulates each open element's
+// children, and whenever the pending content of an element outgrows the
+// record budget it packs a maximal run of completed children into a
+// partition record — grouped under a scaffolding aggregate, single
+// subtrees standing alone, single proxies inlined, precisely the record
+// forms §3.2.2's special cases produce — and leaves a proxy behind. The
+// split matrix (§3.3) is honored at the same decision points as the
+// incremental path: PolicyStandalone children are emitted as standalone
+// records the moment they close, PolicyCluster children are kept with
+// their parent as long as possible and only flushed when even the
+// relaxed pass cannot reduce the record otherwise.
+//
+// Every physical record is encoded and stored exactly once, through a
+// records.BatchWriter that packs pages sequentially with one buffer-pool
+// pin per page. The only after-the-fact writes are the 8-byte standalone
+// parent pointers of partition records, which are unknowable bottom-up;
+// they are patched when the record holding the proxy is emitted —
+// usually while the child's page is still buffered in the writer, where
+// the patch is a memory copy.
+
+import (
+	"errors"
+	"fmt"
+
+	"natix/internal/noderep"
+	"natix/internal/records"
+)
+
+// BulkOptions tune a bulk build.
+type BulkOptions struct {
+	// FillFactor is the fraction of the net page capacity to pack into
+	// each record and each page (clamped to [0.25, 1]; 0 means 0.9).
+	// Values below 1 leave slack for later incremental updates.
+	FillFactor float64
+
+	// OnRecord, when set, is invoked once per emitted record, after its
+	// RID is assigned and before the next event is processed. The bulk
+	// path uses it to build the path index in the same pass. The
+	// callback must not retain or mutate the subtree.
+	OnRecord func(rid records.RID, root *noderep.Node) error
+}
+
+// ErrBulkState reports misuse of the builder's Open/Close protocol.
+var ErrBulkState = errors.New("core: bulk builder protocol violation")
+
+// BulkBuilder builds one document tree bottom-up. Not safe for
+// concurrent use; the caller holds the store's writer lock for the
+// whole build (it shares the segment allocator).
+type BulkBuilder struct {
+	s        *Store
+	w        *records.BatchWriter
+	onRecord func(records.RID, *noderep.Node) error
+	budget   int // target record size
+
+	stack []*bulkFrame
+
+	// parentOff maps an emitted record to the byte offset of its
+	// standalone parent RID, until the record holding its proxy is
+	// emitted and the pointer patched. Bounded by the records whose
+	// proxies still sit in open frames.
+	parentOff map[records.RID]int
+
+	rootRID records.RID
+	created int64 // records emitted by this builder
+	aborted bool
+}
+
+// bulkFrame is one open element: its aggregate node (whose child list
+// holds the pending, already-reduced children) plus incremental size
+// accounting.
+type bulkFrame struct {
+	node    *noderep.Node
+	sizes   []int            // content size per pending child
+	types   *noderep.TypeSet // types of node + all pending subtrees
+	content int              // Σ (EmbeddedHeaderSize + sizes[i])
+}
+
+// recordSize returns the record size if the frame were emitted now.
+func (f *bulkFrame) recordSize() int {
+	return noderep.RecordOverhead(f.types.Len()) + f.content
+}
+
+// NewBulkBuilder returns a builder over the store's record manager.
+func (s *Store) NewBulkBuilder(opts BulkOptions) *BulkBuilder {
+	fill := opts.FillFactor
+	if fill == 0 {
+		fill = 0.9
+	}
+	if fill < 0.25 {
+		fill = 0.25
+	}
+	if fill > 1 {
+		fill = 1
+	}
+	budget := int(fill * float64(s.maxRecordSize()))
+	if max := s.maxRecordSize() - 64; budget > max {
+		budget = max // room for the scaffold type entry and header drift
+	}
+	return &BulkBuilder{
+		s:         s,
+		w:         s.rm.NewBatchWriter(fill),
+		onRecord:  opts.OnRecord,
+		budget:    budget,
+		parentOff: make(map[records.RID]int),
+	}
+}
+
+// Open begins an element: n must be a childless facade aggregate. Its
+// children arrive through subsequent Open/Leaf calls until Close.
+func (b *BulkBuilder) Open(n *noderep.Node) error {
+	if n == nil || n.Kind != noderep.KindAggregate || n.Scaffold || len(n.Children) != 0 {
+		return fmt.Errorf("%w: Open requires an empty facade aggregate", ErrBulkState)
+	}
+	if !b.rootRID.IsNil() {
+		return fmt.Errorf("%w: document already closed", ErrBulkState)
+	}
+	types := noderep.NewTypeSet()
+	types.AddNode(n)
+	b.stack = append(b.stack, &bulkFrame{node: n, types: types})
+	return nil
+}
+
+// Leaf adds a literal child to the open element. The payload must fit a
+// record (callers chunk long text, as the incremental path does).
+func (b *BulkBuilder) Leaf(n *noderep.Node) error {
+	if n == nil || n.Kind != noderep.KindLiteral {
+		return fmt.Errorf("%w: Leaf requires a literal", ErrBulkState)
+	}
+	if len(b.stack) == 0 {
+		return fmt.Errorf("%w: Leaf outside any element", ErrBulkState)
+	}
+	if len(n.Payload) > b.s.maxRecordSize()-128 {
+		return fmt.Errorf("%w: %d-byte literal", ErrNodeTooLarge, len(n.Payload))
+	}
+	parent := b.stack[len(b.stack)-1]
+	if b.s.cfg.Matrix.Get(parent.node.Label, n.Label) == PolicyStandalone {
+		rid, err := b.emitRecord(n, records.NilRID)
+		if err != nil {
+			return err
+		}
+		return b.appendChild(parent, noderep.NewProxy(rid), records.RIDSize, nil)
+	}
+	return b.appendChild(parent, n, len(n.Payload), nil)
+}
+
+// Close ends the innermost open element, attaching its (reduced)
+// subtree to the parent frame — or emitting the root record when it is
+// the document root. It returns the closed node.
+func (b *BulkBuilder) Close() (*noderep.Node, error) {
+	if len(b.stack) == 0 {
+		return nil, fmt.Errorf("%w: Close without open element", ErrBulkState)
+	}
+	f := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	if len(b.stack) == 0 {
+		rid, err := b.emitRecord(f.node, records.NilRID)
+		if err != nil {
+			return nil, err
+		}
+		b.rootRID = rid
+		return f.node, nil
+	}
+	parent := b.stack[len(b.stack)-1]
+	if b.s.cfg.Matrix.Get(parent.node.Label, f.node.Label) == PolicyStandalone {
+		// "x is stored as a standalone node and a proxy is inserted into
+		// y" (§3.3).
+		rid, err := b.emitRecord(f.node, records.NilRID)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.appendChild(parent, noderep.NewProxy(rid), records.RIDSize, nil); err != nil {
+			return nil, err
+		}
+		return f.node, nil
+	}
+	if err := b.appendChild(parent, f.node, f.content, f.types); err != nil {
+		return nil, err
+	}
+	return f.node, nil
+}
+
+// Finish completes the build: materializes the last page and returns
+// the root record RID. All elements must be closed.
+func (b *BulkBuilder) Finish() (records.RID, error) {
+	if len(b.stack) != 0 {
+		return records.NilRID, fmt.Errorf("%w: %d elements still open", ErrBulkState, len(b.stack))
+	}
+	if b.rootRID.IsNil() {
+		return records.NilRID, fmt.Errorf("%w: no document built", ErrBulkState)
+	}
+	if err := b.w.Flush(); err != nil {
+		return records.NilRID, err
+	}
+	delete(b.parentOff, b.rootRID)
+	if len(b.parentOff) != 0 {
+		return records.NilRID, fmt.Errorf("core: bulk build left %d unreferenced records", len(b.parentOff))
+	}
+	return b.rootRID, nil
+}
+
+// Abort rolls the build back: buffered pages are dropped and every
+// record already stored is deleted, leaving the segment as it was.
+func (b *BulkBuilder) Abort() error {
+	if b.aborted {
+		return nil
+	}
+	b.aborted = true
+	b.stack = nil
+	b.s.stats.recordsDeleted.Add(b.created)
+	return b.w.Discard()
+}
+
+// BatchStats exposes the underlying batch writer's counters.
+func (b *BulkBuilder) BatchStats() records.BatchStats { return b.w.Stats() }
+
+// appendChild attaches a reduced child (facade subtree, literal or
+// proxy) to a frame and re-packs the frame if it overflowed. types, when
+// non-nil, is the child's precomputed type set (a closed frame's);
+// otherwise the child subtree is walked.
+func (b *BulkBuilder) appendChild(f *bulkFrame, n *noderep.Node, cs int, types *noderep.TypeSet) error {
+	f.node.AppendChild(n)
+	f.sizes = append(f.sizes, cs)
+	if types != nil {
+		f.types.Merge(types)
+	} else {
+		f.types.AddSubtree(n)
+	}
+	f.content += noderep.EmbeddedHeaderSize + cs
+	return b.reduce(f)
+}
+
+// reduce flushes pending children into partition records until the
+// frame fits the record budget again. The first pass honors the split
+// matrix's ∞ pins; if pinning prevents progress ("kept as long as
+// possible in the same record", §3.3), a relaxed pass ignores it —
+// mirroring separatorWithProgress on the incremental path.
+func (b *BulkBuilder) reduce(f *bulkFrame) error {
+	for f.recordSize() > b.budget {
+		progress, err := b.flushOnce(f, false)
+		if err != nil {
+			return err
+		}
+		if !progress {
+			progress, err = b.flushOnce(f, true)
+			if err != nil {
+				return err
+			}
+			if !progress {
+				// Nothing reducible (e.g. a single proxy child): the frame
+				// is as small as it can get; emission enforces the page
+				// bound.
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// flushOnce packs one maximal run of flushable children into a
+// partition record, replacing the run with a proxy. Returns whether the
+// frame shrank.
+func (b *BulkBuilder) flushOnce(f *bulkFrame, relax bool) (bool, error) {
+	kids := f.node.Children
+	pinned := func(c *noderep.Node) bool {
+		return !relax && b.s.cfg.Matrix.Get(f.node.Label, c.Label) == PolicyCluster
+	}
+	for start := 0; start < len(kids); start++ {
+		if pinned(kids[start]) {
+			continue
+		}
+		// Grow the run while it fits the record budget (the +1 type
+		// reserves the scaffolding aggregate entry).
+		runTypes := noderep.NewTypeSet()
+		runContent := 0
+		end := start
+		for end < len(kids) {
+			c := kids[end]
+			if pinned(c) {
+				break
+			}
+			runTypes.AddSubtree(c)
+			next := noderep.RecordOverhead(runTypes.Len()+1) + runContent + noderep.EmbeddedHeaderSize + f.sizes[end]
+			if end > start && next > b.budget {
+				// The run without c was already within budget (checked on
+				// the previous iteration); the polluted type set only
+				// shortens later runs, never corrupts this one.
+				break
+			}
+			runContent += noderep.EmbeddedHeaderSize + f.sizes[end]
+			end++
+		}
+		// Replacing the run with a proxy must shrink the frame: skip
+		// unproductive runs (a lone proxy, or tinier-than-a-proxy tails).
+		gain := runContent - (noderep.EmbeddedHeaderSize + records.RIDSize)
+		if gain <= 0 || (end-start == 1 && kids[start].Kind == noderep.KindProxy) {
+			continue
+		}
+		proxy, err := b.emitGroup(kids[start:end])
+		if err != nil {
+			return false, err
+		}
+		// Splice: children[start:end) -> proxy.
+		newKids := make([]*noderep.Node, 0, len(kids)-(end-start)+1)
+		newKids = append(newKids, kids[:start]...)
+		proxy.Parent = f.node
+		newKids = append(newKids, proxy)
+		newKids = append(newKids, kids[end:]...)
+		newSizes := make([]int, 0, len(newKids))
+		newSizes = append(newSizes, f.sizes[:start]...)
+		newSizes = append(newSizes, records.RIDSize)
+		newSizes = append(newSizes, f.sizes[end:]...)
+		f.node.Children = newKids
+		f.sizes = newSizes
+		f.types = noderep.NewTypeSet()
+		f.types.AddNode(f.node)
+		f.content = 0
+		for i, c := range f.node.Children {
+			f.types.AddSubtree(c)
+			f.content += noderep.EmbeddedHeaderSize + f.sizes[i]
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// emitGroup stores one run of sibling subtrees as a partition record
+// and returns the node representing it on the parent level, applying
+// §3.2.2's special cases: a run that is just one proxy is returned
+// as-is (no record), and a single subtree needs no scaffolding
+// aggregate.
+func (b *BulkBuilder) emitGroup(group []*noderep.Node) (*noderep.Node, error) {
+	if len(group) == 1 && group[0].Kind == noderep.KindProxy {
+		return group[0], nil
+	}
+	var root *noderep.Node
+	if len(group) == 1 {
+		root = group[0]
+		root.Parent = nil
+	} else {
+		root = noderep.NewScaffoldAggregate()
+		for _, g := range group {
+			root.AppendChild(g)
+		}
+	}
+	rid, err := b.emitRecord(root, records.NilRID)
+	if err != nil {
+		return nil, err
+	}
+	return noderep.NewProxy(rid), nil
+}
+
+// emitRecord encodes and stores one record through the batch writer —
+// its single write — then fixes the parent pointers of every record
+// whose proxy it contains.
+func (b *BulkBuilder) emitRecord(root *noderep.Node, parent records.RID) (records.RID, error) {
+	root.Parent = nil
+	rec := &noderep.Record{ParentRID: parent, Root: root}
+	body, err := noderep.Encode(rec)
+	if err != nil {
+		return records.NilRID, err
+	}
+	if len(body) > b.s.maxRecordSize() {
+		return records.NilRID, fmt.Errorf("core: bulk record of %d bytes exceeds capacity %d", len(body), b.s.maxRecordSize())
+	}
+	rid, err := b.w.Insert(body)
+	if err != nil {
+		return records.NilRID, err
+	}
+	b.s.stats.recordsCreated.Add(1)
+	b.created++
+	if b.onRecord != nil {
+		if err := b.onRecord(rid, root); err != nil {
+			return records.NilRID, err
+		}
+	}
+	var enc [records.RIDSize]byte
+	rid.Put(enc[:])
+	var firstErr error
+	root.Walk(func(n *noderep.Node) bool {
+		if n.Kind != noderep.KindProxy {
+			return true
+		}
+		off, ok := b.parentOff[n.Target]
+		if !ok {
+			firstErr = fmt.Errorf("core: bulk proxy to unknown record %s", n.Target)
+			return false
+		}
+		if err := b.w.Patch(n.Target, off, enc[:]); err != nil {
+			firstErr = err
+			return false
+		}
+		b.s.stats.parentPatches.Add(1)
+		delete(b.parentOff, n.Target)
+		return true
+	})
+	if firstErr != nil {
+		return records.NilRID, firstErr
+	}
+	b.parentOff[rid] = noderep.RecordParentRIDOffset(rec)
+	return rid, nil
+}

@@ -57,12 +57,13 @@ func (c Config) withDefaults(maxRec int) Config {
 
 // Stats counts storage-manager activity.
 type Stats struct {
-	Splits         int64 // record splits performed
-	RecordsCreated int64
-	RecordsDeleted int64
-	ParentPatches  int64 // standalone parent-RID fixups written
-	CacheHits      int64
-	CacheMisses    int64
+	Splits           int64 // record splits performed
+	RecordsCreated   int64
+	RecordsDeleted   int64
+	RecordsRewritten int64 // in-place record rewrites (per-insert updates)
+	ParentPatches    int64 // standalone parent-RID fixups written
+	CacheHits        int64
+	CacheMisses      int64
 }
 
 // Errors.
@@ -90,12 +91,13 @@ type Store struct {
 
 // storeStats is the internal atomic form of Stats.
 type storeStats struct {
-	splits         atomic.Int64
-	recordsCreated atomic.Int64
-	recordsDeleted atomic.Int64
-	parentPatches  atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
+	splits           atomic.Int64
+	recordsCreated   atomic.Int64
+	recordsDeleted   atomic.Int64
+	recordsRewritten atomic.Int64
+	parentPatches    atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
 }
 
 // New creates a tree storage manager over rm.
@@ -117,12 +119,13 @@ func (s *Store) Config() Config { return s.cfg }
 // Stats returns a snapshot of the manager's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Splits:         s.stats.splits.Load(),
-		RecordsCreated: s.stats.recordsCreated.Load(),
-		RecordsDeleted: s.stats.recordsDeleted.Load(),
-		ParentPatches:  s.stats.parentPatches.Load(),
-		CacheHits:      s.stats.cacheHits.Load(),
-		CacheMisses:    s.stats.cacheMisses.Load(),
+		Splits:           s.stats.splits.Load(),
+		RecordsCreated:   s.stats.recordsCreated.Load(),
+		RecordsDeleted:   s.stats.recordsDeleted.Load(),
+		RecordsRewritten: s.stats.recordsRewritten.Load(),
+		ParentPatches:    s.stats.parentPatches.Load(),
+		CacheHits:        s.stats.cacheHits.Load(),
+		CacheMisses:      s.stats.cacheMisses.Load(),
 	}
 }
 
@@ -131,6 +134,7 @@ func (s *Store) ResetStats() {
 	s.stats.splits.Store(0)
 	s.stats.recordsCreated.Store(0)
 	s.stats.recordsDeleted.Store(0)
+	s.stats.recordsRewritten.Store(0)
 	s.stats.parentPatches.Store(0)
 	s.stats.cacheHits.Store(0)
 	s.stats.cacheMisses.Store(0)
@@ -180,6 +184,7 @@ func (s *Store) writeRecord(rid records.RID, rec *noderep.Record) error {
 	if err != nil {
 		return err
 	}
+	s.stats.recordsRewritten.Add(1)
 	if err := s.rm.Update(rid, body); err != nil {
 		return err
 	}

@@ -1,0 +1,146 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestInternBatch(t *testing.T) {
+	rm, pool, _ := newEnv(t)
+	d, err := Create(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Intern("pre-existing"); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"alpha", "beta", "pre-existing", "alpha", "gamma"}
+	ids, err := d.InternBatch(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] != ids[3] {
+		t.Fatalf("duplicate name got distinct ids %d / %d", ids[0], ids[3])
+	}
+	pre, _ := d.Lookup("pre-existing")
+	if ids[2] != pre {
+		t.Fatalf("existing name re-assigned: %d != %d", ids[2], pre)
+	}
+	// Dense, in order.
+	if ids[1] != ids[0]+1 || ids[4] != ids[1]+1 {
+		t.Fatalf("ids not dense: %v", ids)
+	}
+	for i, n := range names {
+		got, err := d.Name(ids[i])
+		if err != nil || got != n {
+			t.Fatalf("Name(%d) = %q, %v; want %q", ids[i], got, err, n)
+		}
+	}
+	// Persistence: reopen from the same segment.
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		if id, ok := d2.Lookup(n); !ok || id != ids[i] {
+			t.Fatalf("after reopen, Lookup(%q) = %d, %v; want %d", n, id, ok, ids[i])
+		}
+	}
+}
+
+func TestBatchUncommittedInvisible(t *testing.T) {
+	rm, _, _ := newEnv(t)
+	d, err := Create(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.NewBatch()
+	id, err := b.Intern("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Lookup("ghost"); ok {
+		t.Fatal("uncommitted batch label visible through Lookup")
+	}
+	if _, err := d.Name(id); err == nil {
+		t.Fatal("uncommitted batch id resolvable through Name")
+	}
+	// Re-interning within the batch is stable.
+	id2, err := b.Intern("ghost")
+	if err != nil || id2 != id {
+		t.Fatalf("batch re-intern: %d, %v; want %d", id2, err, id)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Lookup("ghost"); !ok || got != id {
+		t.Fatalf("after commit, Lookup = %d, %v; want %d", got, ok, id)
+	}
+	// Committing twice is a no-op; the batch keeps working.
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	id3, err := b.Intern("ghost")
+	if err != nil || id3 != id {
+		t.Fatalf("post-commit intern of committed name: %d, %v", id3, err)
+	}
+}
+
+func TestBatchConflictFailsClosed(t *testing.T) {
+	rm, _, _ := newEnv(t)
+	d, err := Create(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.NewBatch()
+	if _, err := b.Intern("mine"); err != nil {
+		t.Fatal(err)
+	}
+	// A rogue writer grabs the id the batch handed out.
+	if _, err := d.Intern("thief"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err == nil {
+		t.Fatal("commit after conflicting intern succeeded")
+	}
+	if _, ok := d.Lookup("mine"); ok {
+		t.Fatal("failed commit published its labels")
+	}
+}
+
+func TestBatchCommitSingleSave(t *testing.T) {
+	rm, _, _ := newEnv(t)
+	d, err := Create(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interning k labels one by one rewrites the dictionary k times; a
+	// batch must do it once. Compare physical write traffic.
+	pool := rm.Segment().Pool()
+	many := func(prefix string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s-label-%04d", prefix, i)
+		}
+		return out
+	}
+	pool.ResetStats()
+	for _, n := range many("slow", 300) {
+		if _, err := d.Intern(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slowReads := pool.Stats().LogicalReads
+
+	pool.ResetStats()
+	if _, err := d.InternBatch(many("fast", 300)); err != nil {
+		t.Fatal(err)
+	}
+	fastReads := pool.Stats().LogicalReads
+	if fastReads*10 > slowReads {
+		t.Fatalf("batch intern not materially cheaper: %d vs %d logical page accesses", fastReads, slowReads)
+	}
+}

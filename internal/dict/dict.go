@@ -225,6 +225,120 @@ func (d *Dict) Intern(name string) (LabelID, error) {
 	return id, nil
 }
 
+// Batch collects label interns and persists them with a single save.
+// Intern alone re-encodes and rewrites the whole dictionary blob for
+// every new label — O(labels²) bytes over a load that discovers its
+// vocabulary as it parses. A batch assigns final ids immediately (so
+// callers can embed them in records they are writing) but defers the
+// encode/save/publish to one Commit.
+//
+// Ids handed out by an uncommitted batch are provisional: nothing is
+// persisted or published until Commit, so a failed load that used them
+// leaves no trace. Writers must be externally serialized against all
+// other Intern/Commit callers (the document store's writer mutex does
+// this); Commit fails, changing nothing, if the dictionary moved
+// underneath the batch in a way that invalidates a handed-out id.
+type Batch struct {
+	d     *Dict
+	base  *dictState
+	names []string // new labels, in id order
+	ids   map[string]LabelID
+}
+
+// NewBatch opens a batch against the current dictionary state.
+func (d *Dict) NewBatch() *Batch {
+	return &Batch{d: d, base: d.state.Load(), ids: make(map[string]LabelID)}
+}
+
+// Intern returns the id for name, assigning the next free id if the
+// label is new to both the dictionary and the batch.
+func (b *Batch) Intern(name string) (LabelID, error) {
+	if name == "" {
+		return Invalid, errors.New("dict: empty label")
+	}
+	if id, ok := b.base.byName[name]; ok {
+		return id, nil
+	}
+	if id, ok := b.ids[name]; ok {
+		return id, nil
+	}
+	next := len(b.base.names) + len(b.names)
+	if next > 0xFFFF {
+		return Invalid, fmt.Errorf("%w: 16-bit id space exhausted", ErrFull)
+	}
+	id := LabelID(next)
+	b.names = append(b.names, name)
+	b.ids[name] = id
+	return id, nil
+}
+
+// Len returns the number of labels the batch would add.
+func (b *Batch) Len() int { return len(b.names) }
+
+// Commit persists and publishes the batch's labels with one save. A
+// batch that added nothing is a no-op. After Commit the batch continues
+// to work against the updated state.
+func (b *Batch) Commit() error {
+	if len(b.names) == 0 {
+		return nil
+	}
+	d := b.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.state.Load()
+	// Re-derive every id under the current state: normally cur == base
+	// and ids match trivially, but if another writer interned between
+	// NewBatch and Commit (a serialization bug upstream) the handed-out
+	// ids may be stale — fail closed rather than persist a lie.
+	next := &dictState{
+		byName: make(map[string]LabelID, len(cur.byName)+len(b.names)),
+		names:  cur.names[:len(cur.names):len(cur.names)],
+	}
+	for n, i := range cur.byName {
+		next.byName[n] = i
+	}
+	for _, name := range b.names {
+		want := b.ids[name]
+		if id, ok := next.byName[name]; ok {
+			if id != want {
+				return fmt.Errorf("dict: concurrent intern invalidated batch id for %q", name)
+			}
+			continue
+		}
+		if LabelID(len(next.names)) != want {
+			return fmt.Errorf("dict: concurrent intern invalidated batch id for %q", name)
+		}
+		next.names = append(next.names, name)
+		next.byName[name] = want
+	}
+	if err := d.save(next); err != nil {
+		return err
+	}
+	d.state.Store(next)
+	b.base = next
+	b.names = nil
+	b.ids = make(map[string]LabelID)
+	return nil
+}
+
+// InternBatch interns several labels with a single dictionary save,
+// returning ids parallel to names.
+func (d *Dict) InternBatch(names []string) ([]LabelID, error) {
+	b := d.NewBatch()
+	out := make([]LabelID, len(names))
+	for i, n := range names {
+		id, err := b.Intern(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = id
+	}
+	if err := b.Commit(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Lookup returns the id for name without adding it.
 func (d *Dict) Lookup(name string) (LabelID, bool) {
 	id, ok := d.state.Load().byName[name]

@@ -1,0 +1,298 @@
+package docstore
+
+// The bulk import fast path. ImportXML used to materialize the whole
+// document as a DOM and replay it node by node through the paper's tree
+// growth procedure — O(n·depth) record navigations, every record
+// rewritten once per child placed in it, then a second full traversal
+// to build the path index. The bulk path does the whole import in one
+// pass: a streaming parse feeds the bottom-up record packer
+// (core.BulkBuilder), labels are interned through a dictionary batch
+// (one save per import instead of one per new label), and the path
+// summary and postings are accumulated while records are emitted
+// (pathindex.StreamBuilder), so the stored tree is never read back.
+// Each physical record is written exactly once.
+//
+// The incremental insertion path survives as ImportTreeIncremental: it
+// is what post-load mutations use (Document edits, InsertChild), the
+// paper's measured insertion workload, and the baseline the import
+// benchmarks compare against.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"natix/internal/core"
+	"natix/internal/dict"
+	"natix/internal/noderep"
+	"natix/internal/pathindex"
+	"natix/internal/records"
+	"natix/internal/xmlkit"
+)
+
+// DefaultBulkFill is the default bulk-load fill factor: records and
+// pages are packed to 90% of capacity, leaving slack for later
+// incremental updates to grow records in place.
+const DefaultBulkFill = 0.9
+
+// SetBulkFill configures the bulk-load fill factor (see
+// core.BulkOptions.FillFactor). Zero restores the default.
+func (s *Store) SetBulkFill(fill float64) { s.bulkFill = fill }
+
+// bulkLoader drives one bulk import: parse events go to the record
+// packer, labels to a dictionary batch, and (when indexing is on) every
+// node and emitted record to the path-index stream builder.
+type bulkLoader struct {
+	s         *Store
+	bb        *core.BulkBuilder
+	sb        *pathindex.StreamBuilder // nil when indexing is off
+	batch     *dict.Batch
+	open      []*noderep.Node // open-element stack
+	textLimit int
+	nodes     int64 // logical nodes loaded
+
+	// Text-token state: chunks of one character-data token (Cont events
+	// from the stream parser) are re-joined so literal boundaries come
+	// out exactly as the incremental path's insertText produces them —
+	// full textLimit chunks plus a remainder — regardless of how the
+	// parser split the token for memory. pendText stays under textLimit.
+	pendText string
+	runOpen  bool
+}
+
+func (s *Store) newBulkLoader() *bulkLoader {
+	l := &bulkLoader{
+		s:         s,
+		batch:     s.dict.NewBatch(),
+		textLimit: s.trees.Records().MaxRecordSize() / 2,
+	}
+	fill := s.bulkFill
+	if fill == 0 {
+		fill = DefaultBulkFill
+	}
+	var onRecord func(records.RID, *noderep.Node) error
+	if s.pindex != nil && s.indexOn {
+		l.sb = pathindex.NewStreamBuilder()
+		onRecord = l.sb.OnRecord
+	}
+	l.bb = s.trees.NewBulkBuilder(core.BulkOptions{FillFactor: fill, OnRecord: onRecord})
+	return l
+}
+
+// openElement starts an element, materializing its attributes as
+// "@name" aggregates first — the same shape the incremental path
+// builds.
+func (l *bulkLoader) openElement(name string, attrs []xmlkit.Attr) error {
+	if err := l.flushTextRun(); err != nil {
+		return err
+	}
+	if err := l.enterAggregate(name); err != nil {
+		return err
+	}
+	for _, a := range attrs {
+		if err := l.enterAggregate(AttrPrefix + a.Name); err != nil {
+			return err
+		}
+		if err := l.literal(a.Value); err != nil {
+			return err
+		}
+		if err := l.closeElement(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enterAggregate opens one facade aggregate (element or attribute).
+func (l *bulkLoader) enterAggregate(name string) error {
+	label, err := l.batch.Intern(name)
+	if err != nil {
+		return err
+	}
+	n := noderep.NewAggregate(label)
+	if l.sb != nil {
+		l.sb.Enter(n)
+	}
+	if err := l.bb.Open(n); err != nil {
+		return err
+	}
+	l.open = append(l.open, n)
+	l.nodes++
+	return nil
+}
+
+// closeElement ends the innermost element. The index exit must precede
+// the builder close: closing may emit the element's record, and the
+// index needs the element registered by then.
+func (l *bulkLoader) closeElement() error {
+	if err := l.flushTextRun(); err != nil {
+		return err
+	}
+	if len(l.open) == 0 {
+		return errors.New("docstore: bulk close without open element")
+	}
+	n := l.open[len(l.open)-1]
+	l.open = l.open[:len(l.open)-1]
+	if l.sb != nil {
+		if err := l.sb.Exit(n); err != nil {
+			return err
+		}
+	}
+	_, err := l.bb.Close()
+	return err
+}
+
+// literal adds one text literal (no chunking — attribute values).
+func (l *bulkLoader) literal(text string) error {
+	if l.sb != nil {
+		l.sb.Literal()
+	}
+	l.nodes++
+	return l.bb.Leaf(noderep.NewTextLiteral(text))
+}
+
+// text adds one chunk of character data. cont marks a continuation of
+// the token the previous chunk belonged to; a fresh token first seals
+// the pending one. Full textLimit chunks are emitted eagerly (memory
+// stays bounded), the tail at token end — so a token becomes exactly
+// the sibling literals insertText would produce, however the parser
+// split it (TextContent and export concatenate them back).
+func (l *bulkLoader) text(text string, cont bool) error {
+	if !cont {
+		if err := l.flushTextRun(); err != nil {
+			return err
+		}
+	}
+	l.runOpen = true
+	l.pendText += text
+	for len(l.pendText) > l.textLimit {
+		if err := l.literal(l.pendText[:l.textLimit]); err != nil {
+			return err
+		}
+		l.pendText = l.pendText[l.textLimit:]
+	}
+	return nil
+}
+
+// flushTextRun seals the pending character-data token, emitting its
+// final literal.
+func (l *bulkLoader) flushTextRun() error {
+	if !l.runOpen {
+		return nil
+	}
+	l.runOpen = false
+	tail := l.pendText
+	l.pendText = ""
+	return l.literal(tail)
+}
+
+// loadDOM replays an already parsed tree through the loader (ImportTree
+// and Convert hold a DOM; ImportXML streams and never builds one).
+func (l *bulkLoader) loadDOM(cx context.Context, n *xmlkit.Node) error {
+	if err := ctxErr(cx); err != nil {
+		return err
+	}
+	if n.IsText() {
+		return l.text(n.Text, false) // each DOM text node is one token
+	}
+	if err := l.openElement(n.Name, n.Attrs); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := l.loadDOM(cx, c); err != nil {
+			return err
+		}
+	}
+	return l.closeElement()
+}
+
+// abort rolls back everything the loader stored.
+func (l *bulkLoader) abort() { _ = l.bb.Abort() }
+
+// importStreamLocked runs a bulk import off a streaming parser.
+// Mutator context.
+func (s *Store) importStreamLocked(cx context.Context, name string, p *xmlkit.StreamParser) (DocInfo, error) {
+	if _, ok := s.lookup(name); ok {
+		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	l := s.newBulkLoader()
+	for {
+		ev, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err == nil {
+			err = ctxErr(cx)
+		}
+		if err == nil {
+			switch ev.Kind {
+			case xmlkit.EventStart:
+				err = l.openElement(ev.Name, ev.Attrs)
+			case xmlkit.EventEnd:
+				err = l.closeElement()
+			case xmlkit.EventText:
+				err = l.text(ev.Text, ev.Cont)
+			}
+		}
+		if err != nil {
+			l.abort()
+			return DocInfo{}, err
+		}
+	}
+	return s.finishBulkImport(name, l)
+}
+
+// importTreeLocked runs a bulk import over a parsed tree. Mutator
+// context.
+func (s *Store) importTreeLocked(cx context.Context, name string, root *xmlkit.Node) (DocInfo, error) {
+	if _, ok := s.lookup(name); ok {
+		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	if root.IsText() {
+		return DocInfo{}, errors.New("docstore: document root must be an element")
+	}
+	l := s.newBulkLoader()
+	if err := l.loadDOM(cx, root); err != nil {
+		l.abort()
+		return DocInfo{}, err
+	}
+	return s.finishBulkImport(name, l)
+}
+
+// finishBulkImport seals the build — flush the last page, persist the
+// dictionary batch, store the stream-built index — and registers the
+// document. Any failure rolls the whole import back.
+func (s *Store) finishBulkImport(name string, l *bulkLoader) (DocInfo, error) {
+	fail := func(err error) (DocInfo, error) {
+		l.abort()
+		return DocInfo{}, err
+	}
+	root, err := l.bb.Finish()
+	if err != nil {
+		return fail(err)
+	}
+	if err := l.batch.Commit(); err != nil {
+		return fail(err)
+	}
+	info := &DocInfo{Name: name, Mode: ModeTree, Root: root}
+	// Index before registering: a failed build must not leave a
+	// registered-but-unindexed document behind a returned error.
+	if l.sb != nil {
+		idx, err := l.sb.Finish()
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.pindex.Put(name, idx); err != nil {
+			return fail(err)
+		}
+		s.builds.Add(1)
+	}
+	if err := s.register(info); err != nil {
+		if l.sb != nil {
+			_ = s.pindex.Drop(name) // best-effort rollback
+		}
+		return fail(err)
+	}
+	return *info, nil
+}

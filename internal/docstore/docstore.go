@@ -115,6 +115,9 @@ type Store struct {
 	catalog   map[string]*DocInfo // entries are mutated only under cmu
 	catalogID records.RID         // catalog blob RID; touched only under wmu
 
+	// bulkFill is the bulk-load fill factor (0 = DefaultBulkFill).
+	bulkFill float64
+
 	// pindex, when attached, is the persistent path-index store. It is
 	// attached even in sessions that do not use the index so that
 	// Delete always drops a document's index — otherwise a session
@@ -547,28 +550,41 @@ func (s *Store) nodeFromXML(n *xmlkit.Node) (*noderep.Node, error) {
 	return agg, nil
 }
 
-// ImportXML parses an XML document and stores it in tree mode by
-// pre-order insertion (one storage-manager insert per logical node — the
-// paper's "bulkload" pattern, §4.3). It returns the document info.
-// Parsing happens before any lock is taken, so concurrent readers are
-// not stalled behind XML parsing.
+// ImportXML stores an XML document in tree mode through the streaming
+// bulk path: the reader is tokenized incrementally and subtrees are
+// packed bottom-up into maximal records, each written exactly once,
+// with the path index (when enabled) built in the same pass. It returns
+// the document info.
 func (s *Store) ImportXML(name string, r io.Reader) (DocInfo, error) {
 	return s.ImportXMLContext(context.Background(), name, r)
 }
 
 // ImportXMLContext is ImportXML honoring a context: cancellation is
-// checked per inserted node, and a cancelled import tears the partial
-// tree back down before returning, leaving no trace in the store.
+// checked per parse event, and a cancelled (or failed) import rolls
+// every stored record back before returning, leaving no trace in the
+// store.
+//
+// Parsing is interleaved with storage — the single pass is the point —
+// so the document lock AND the store-wide writer mutex are held while
+// the reader drains, and a read blocked inside the reader is not
+// interruptible by the context (cancellation takes effect at the next
+// parse event). A reader that stalls indefinitely therefore stalls all
+// other mutations for its duration. Feed imports from sources that
+// make progress (files, buffers); wrap network streams with read
+// deadlines or spool them to disk first.
 func (s *Store) ImportXMLContext(cx context.Context, name string, r io.Reader) (DocInfo, error) {
-	doc, err := xmlkit.Parse(r, xmlkit.ParseOptions{})
-	if err != nil {
-		return DocInfo{}, err
-	}
-	return s.ImportTreeContext(cx, name, doc.Root)
+	var info DocInfo
+	err := s.Mutate(name, func() error {
+		var err error
+		p := xmlkit.NewStreamParser(r, xmlkit.ParseOptions{})
+		info, err = s.importStreamLocked(cx, name, p)
+		return err
+	})
+	return info, err
 }
 
-// ImportTree stores a parsed XML tree in tree mode, inserting node by
-// node in pre-order.
+// ImportTree stores a parsed XML tree in tree mode through the bulk
+// path (see ImportXML; the tree is replayed as events).
 func (s *Store) ImportTree(name string, root *xmlkit.Node) (DocInfo, error) {
 	return s.ImportTreeContext(context.Background(), name, root)
 }
@@ -585,7 +601,23 @@ func (s *Store) ImportTreeContext(cx context.Context, name string, root *xmlkit.
 	return info, err
 }
 
-func (s *Store) importTreeLocked(cx context.Context, name string, root *xmlkit.Node) (DocInfo, error) {
+// ImportTreeIncremental stores a parsed XML tree by per-node pre-order
+// insertion through the paper's tree growth procedure (figure 5) — one
+// storage-manager insert per logical node, exactly what post-load
+// mutations do. The bulk path replaced it for imports; it remains the
+// reference implementation the equivalence tests and import benchmarks
+// compare against.
+func (s *Store) ImportTreeIncremental(name string, root *xmlkit.Node) (DocInfo, error) {
+	var info DocInfo
+	err := s.Mutate(name, func() error {
+		var err error
+		info, err = s.importTreeIncrementalLocked(context.Background(), name, root)
+		return err
+	})
+	return info, err
+}
+
+func (s *Store) importTreeIncrementalLocked(cx context.Context, name string, root *xmlkit.Node) (DocInfo, error) {
 	if _, ok := s.lookup(name); ok {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
@@ -655,10 +687,11 @@ func (s *Store) insertXMLChildren(cx context.Context, tree *core.Tree, path core
 			return err
 		}
 		if c.IsText() {
-			if err := s.insertText(tree, path, pos, c.Text); err != nil {
+			n, err := s.insertText(tree, path, pos, c.Text)
+			if err != nil {
 				return err
 			}
-			pos++
+			pos += n
 			continue
 		}
 		label, err := s.labelFor(c.Name)
@@ -677,25 +710,29 @@ func (s *Store) insertXMLChildren(cx context.Context, tree *core.Tree, path core
 }
 
 // insertText inserts one text node, chunking very long runs so no single
-// literal exceeds the storage manager's per-node limit.
-func (s *Store) insertText(tree *core.Tree, path core.Path, pos int, text string) error {
+// literal exceeds the storage manager's per-node limit. It returns the
+// number of sibling literals inserted, which the caller must advance its
+// position by — a chunked run occupies several child slots.
+func (s *Store) insertText(tree *core.Tree, path core.Path, pos int, text string) (int, error) {
 	limit := s.trees.Records().MaxRecordSize() / 2
 	if len(text) <= limit {
-		return tree.InsertChild(path, pos, noderep.NewTextLiteral(text))
+		return 1, tree.InsertChild(path, pos, noderep.NewTextLiteral(text))
 	}
 	// Chunk the run into sibling literals; TextContent concatenates them
 	// back on export.
+	inserted := 0
 	for i := 0; i < len(text); i += limit {
 		end := i + limit
 		if end > len(text) {
 			end = len(text)
 		}
 		if err := tree.InsertChild(path, pos, noderep.NewTextLiteral(text[i:end])); err != nil {
-			return err
+			return inserted, err
 		}
 		pos++
+		inserted++
 	}
-	return nil
+	return inserted, nil
 }
 
 // PrepareMutation drops the document's path index ahead of a tree

@@ -371,6 +371,50 @@ func EncodedSize(rec *Record) int {
 	return recHeaderSize + ttEntrySize*len(order) + StandaloneHeaderSize + rec.Root.ContentSize()
 }
 
+// RecordOverhead returns the fixed cost of a record with ttCount node
+// type table entries: record header, type table and standalone header.
+// Record size = RecordOverhead(types) + root content size. The bulk
+// builder uses it to account record sizes incrementally instead of
+// re-walking subtrees.
+func RecordOverhead(ttCount int) int {
+	return recHeaderSize + ttEntrySize*ttCount + StandaloneHeaderSize
+}
+
+// TypeSet incrementally tracks the distinct node types of a prospective
+// record, so its type-table size is known without re-walking already
+// accounted subtrees.
+type TypeSet struct {
+	m map[typeKey]struct{}
+}
+
+// NewTypeSet returns an empty type set.
+func NewTypeSet() *TypeSet {
+	return &TypeSet{m: make(map[typeKey]struct{}, 8)}
+}
+
+// AddNode records the type of n alone.
+func (ts *TypeSet) AddNode(n *Node) {
+	ts.m[nodeTypeKey(n)] = struct{}{}
+}
+
+// AddSubtree records the types of every node in the subtree under n.
+func (ts *TypeSet) AddSubtree(n *Node) {
+	n.Walk(func(x *Node) bool {
+		ts.m[nodeTypeKey(x)] = struct{}{}
+		return true
+	})
+}
+
+// Merge adds every type of other.
+func (ts *TypeSet) Merge(other *TypeSet) {
+	for k := range other.m {
+		ts.m[k] = struct{}{}
+	}
+}
+
+// Len returns the number of distinct types.
+func (ts *TypeSet) Len() int { return len(ts.m) }
+
 // Encode serializes the record.
 func Encode(rec *Record) ([]byte, error) {
 	if rec.Root == nil {

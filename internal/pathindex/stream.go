@@ -1,0 +1,138 @@
+package pathindex
+
+// Single-pass index construction. Build re-walks the stored tree after
+// an import — a second full traversal of everything the loader just
+// wrote. StreamBuilder instead rides along with the bulk loader: the
+// loader reports each logical node as it parses it (Enter/Literal/Exit,
+// which fixes pre-order sequence numbers, subtree sizes and summary
+// paths) and each emitted record as it is stored (OnRecord, which fixes
+// the physical half of every posting: record RID and facade index). The
+// stored tree is never read back.
+//
+// Per-node state lives only between a node's Enter and the emission of
+// the record that holds it — bounded by the loader's open frames, not
+// by the document.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"natix/internal/noderep"
+	"natix/internal/records"
+)
+
+// streamMeta is the logical half of one element's posting.
+type streamMeta struct {
+	seq  uint32
+	size uint32
+	path PathID
+}
+
+// StreamBuilder accumulates one document's index during a bulk load.
+// Drive it strictly in document order; it is not safe for concurrent
+// use.
+type StreamBuilder struct {
+	idx   *Index
+	seq   uint32
+	stack []PathID
+	meta  map[*noderep.Node]streamMeta
+	open  map[*noderep.Node]uint32 // seq of still-open elements
+}
+
+// NewStreamBuilder returns an empty builder.
+func NewStreamBuilder() *StreamBuilder {
+	return &StreamBuilder{
+		idx:  NewIndex(),
+		meta: make(map[*noderep.Node]streamMeta),
+		open: make(map[*noderep.Node]uint32),
+	}
+}
+
+// Enter records an element (or attribute aggregate) opening. n is the
+// physical node the loader built for it; it identifies the element
+// until the record holding it is emitted.
+func (b *StreamBuilder) Enter(n *noderep.Node) {
+	parent := NilPath
+	if len(b.stack) > 0 {
+		parent = b.stack[len(b.stack)-1]
+	} else {
+		b.idx.root = n.Label
+	}
+	path := b.idx.InternPath(parent, n.Label)
+	b.idx.paths[path].Count++
+	b.open[n] = b.seq
+	b.seq++
+	b.stack = append(b.stack, path)
+}
+
+// Literal records a text leaf: literals occupy a sequence number (so
+// subtree sizes define containment) but get no posting.
+func (b *StreamBuilder) Literal() {
+	b.seq++
+}
+
+// Exit records an element closing; its subtree size is now known.
+func (b *StreamBuilder) Exit(n *noderep.Node) error {
+	seq, ok := b.open[n]
+	if !ok {
+		return fmt.Errorf("pathindex: Exit of unentered node")
+	}
+	delete(b.open, n)
+	path := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	b.meta[n] = streamMeta{seq: seq, size: b.seq - seq - 1, path: path}
+	return nil
+}
+
+// OnRecord is the bulk builder's record sink: walking the emitted
+// record's facade enumeration (the same walk core.FacadeIndexer does)
+// yields each element's facade index, completing its posting. Consumed
+// metadata is released.
+func (b *StreamBuilder) OnRecord(rid records.RID, root *noderep.Node) error {
+	local := 0
+	var firstErr error
+	root.Walk(func(n *noderep.Node) bool {
+		facade := n.Kind == noderep.KindLiteral ||
+			(n.Kind == noderep.KindAggregate && !n.Scaffold)
+		if !facade {
+			return true
+		}
+		if n.Kind == noderep.KindAggregate {
+			m, ok := b.meta[n]
+			if !ok {
+				firstErr = fmt.Errorf("pathindex: record %s holds an unregistered element", rid)
+				return false
+			}
+			if local > math.MaxUint16 {
+				firstErr = fmt.Errorf("pathindex: facade index %d exceeds uint16 in record %s", local, rid)
+				return false
+			}
+			b.idx.postings[n.Label] = append(b.idx.postings[n.Label], Posting{
+				Seq: m.seq, Size: m.size, RID: rid, Local: uint16(local), Path: m.path,
+			})
+			delete(b.meta, n)
+		}
+		local++
+		return true
+	})
+	return firstErr
+}
+
+// Finish seals the index. Postings were appended in record-emission
+// order (bottom-up), so each label's list is re-sorted into document
+// order here.
+func (b *StreamBuilder) Finish() (*Index, error) {
+	if len(b.stack) != 0 || len(b.open) != 0 {
+		return nil, fmt.Errorf("pathindex: %d elements still open", len(b.open))
+	}
+	if len(b.meta) != 0 {
+		return nil, fmt.Errorf("pathindex: %d elements never reached a record", len(b.meta))
+	}
+	b.idx.nodes = b.seq
+	for label := range b.idx.postings {
+		list := b.idx.postings[label]
+		sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
+	}
+	return b.idx, nil
+}

@@ -1,0 +1,175 @@
+package records
+
+// BatchWriter is the bulk-load record sink: it packs record bodies onto
+// freshly allocated pages one page at a time, so buffer-pool traffic is
+// one pin/latch (plus one free-space-inventory update) per page instead
+// of one FindSpace + pin + update per record, and page numbers advance
+// sequentially so a loaded document sits contiguously on disk.
+//
+// Bodies are buffered in memory until their page is full and RIDs are
+// handed out eagerly: the writer owns the whole page, so slot numbers
+// are known in advance. That lets the bulk builder embed proxies to
+// child records before a single byte has reached the page — and lets
+// Patch fix a buffered record (a parent-RID backpointer) for free,
+// without touching the buffer pool at all.
+//
+// A BatchWriter must be driven by a single mutator (it shares the
+// segment allocator) and must be finished with Flush (or Discard).
+
+import (
+	"fmt"
+
+	"natix/internal/pagedev"
+	"natix/internal/pageformat"
+)
+
+// BatchStats counts batch-writer activity.
+type BatchStats struct {
+	Records int64 // record bodies written
+	Pages   int64 // pages materialized
+	Bytes   int64 // body bytes written
+}
+
+// BatchWriter packs records onto sequential pages. Create with
+// Manager.NewBatchWriter.
+type BatchWriter struct {
+	m      *Manager
+	budget int // cell+slot bytes to pack per page (fill factor applied)
+
+	page   pagedev.PageNo // page the buffered bodies belong to (0 = none)
+	bodies [][]byte       // buffered bodies, slot i = bodies[i]
+	used   int            // bytes the buffered bodies will occupy
+
+	written []RID // materialized records, kept for Discard
+	stats   BatchStats
+}
+
+// NewBatchWriter returns a batch writer that fills each page up to
+// fill × capacity (clamped to [0.25, 1]; 0 means 0.9). The slack left
+// by fill factors below 1 is registered in the free-space inventory, so
+// later incremental inserts into the loaded document can grow records
+// in place instead of splitting immediately.
+func (m *Manager) NewBatchWriter(fill float64) *BatchWriter {
+	if fill == 0 {
+		fill = 0.9
+	}
+	if fill < 0.25 {
+		fill = 0.25
+	}
+	if fill > 1 {
+		fill = 1
+	}
+	capacity := m.MaxRecordSize() + pageformat.SlotOverhead
+	return &BatchWriter{m: m, budget: int(fill * float64(capacity))}
+}
+
+// Insert buffers one record body and returns the RID it will occupy.
+// The writer takes ownership of data (Patch may modify it in place).
+func (w *BatchWriter) Insert(data []byte) (RID, error) {
+	if err := w.m.checkSize(len(data)); err != nil {
+		return NilRID, err
+	}
+	need := len(data) + pageformat.SlotOverhead
+	if w.page != 0 && w.used+need > w.budget && len(w.bodies) > 0 {
+		if err := w.materialize(); err != nil {
+			return NilRID, err
+		}
+	}
+	if w.page == 0 {
+		p, err := w.m.seg.AllocDataPage()
+		if err != nil {
+			return NilRID, err
+		}
+		w.page = p
+	}
+	rid := RID{Page: w.page, Slot: uint16(len(w.bodies))}
+	w.bodies = append(w.bodies, data)
+	w.used += need
+	return rid, nil
+}
+
+// Patch overwrites len(data) bytes of a record at the given offset. For
+// records still buffered in the writer it is a memory copy; for records
+// already materialized it falls through to Manager.Patch.
+func (w *BatchWriter) Patch(rid RID, off int, data []byte) error {
+	if rid.Page == w.page && int(rid.Slot) < len(w.bodies) {
+		body := w.bodies[rid.Slot]
+		if off < 0 || off+len(data) > len(body) {
+			return fmt.Errorf("%w: [%d,%d) of %d", ErrBadOffset, off, off+len(data), len(body))
+		}
+		copy(body[off:], data)
+		return nil
+	}
+	return w.m.Patch(rid, off, data)
+}
+
+// materialize writes the buffered bodies onto their page under a single
+// pin/latch and registers the page's remaining free space.
+func (w *BatchWriter) materialize() error {
+	if w.page == 0 || len(w.bodies) == 0 {
+		w.page = 0
+		return nil
+	}
+	f, err := w.m.seg.Pool().Get(w.page)
+	if err != nil {
+		return err
+	}
+	f.Latch()
+	sl, err := pageformat.AsSlotted(f.Data())
+	if err != nil {
+		f.Unlatch()
+		f.Release()
+		return err
+	}
+	for i, body := range w.bodies {
+		slot, ok := sl.Insert(body)
+		if !ok || slot != i {
+			f.Unlatch()
+			f.Release()
+			return fmt.Errorf("records: batch page %d: slot %d/%v, want %d (page not empty?)", w.page, slot, ok, i)
+		}
+	}
+	free := sl.FreeBytes()
+	f.MarkDirty()
+	f.Unlatch()
+	f.Release()
+	if err := w.m.seg.NotifyFree(w.page, free); err != nil {
+		return err
+	}
+	for i := range w.bodies {
+		w.written = append(w.written, RID{Page: w.page, Slot: uint16(i)})
+		w.stats.Bytes += int64(len(w.bodies[i]))
+	}
+	w.stats.Records += int64(len(w.bodies))
+	w.stats.Pages++
+	w.page = 0
+	w.bodies = w.bodies[:0]
+	w.used = 0
+	return nil
+}
+
+// Flush materializes any partially filled page. Call once when the bulk
+// load is complete; the writer can keep inserting afterwards (a new
+// page starts).
+func (w *BatchWriter) Flush() error { return w.materialize() }
+
+// Discard aborts the batch: buffered bodies are dropped (their page was
+// never written, and stays registered as empty in the inventory) and
+// every record this writer materialized is deleted. Used to roll back a
+// failed bulk load.
+func (w *BatchWriter) Discard() error {
+	w.page = 0
+	w.bodies = nil
+	w.used = 0
+	var firstErr error
+	for _, rid := range w.written {
+		if err := w.m.Delete(rid); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	w.written = nil
+	return firstErr
+}
+
+// Stats returns the writer's activity counters.
+func (w *BatchWriter) Stats() BatchStats { return w.stats }

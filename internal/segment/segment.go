@@ -403,6 +403,16 @@ func (s *Segment) allocPage() (pagedev.PageNo, error) {
 	}
 }
 
+// AllocDataPage grows the segment by one freshly formatted, empty data
+// page and returns its number. Callers that pack records sequentially
+// (the bulk loader's batch writer) use it to get pages whose slot
+// numbering they fully control; everyone else goes through FindSpace.
+// Like the rest of the allocation path it must be driven by a single
+// mutator at a time.
+func (s *Segment) AllocDataPage() (pagedev.PageNo, error) {
+	return s.allocPage()
+}
+
 // TotalBytes returns the total on-disk size of the segment in bytes —
 // the paper's Figure 14 space metric.
 func (s *Segment) TotalBytes() int64 {

@@ -1,0 +1,331 @@
+package xmlkit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// treeFromEvents rebuilds a DOM from streaming events, merging nothing.
+func treeFromEvents(src string, opts ParseOptions) (*Node, error) {
+	p := NewStreamParser(strings.NewReader(src), opts)
+	var stack []*Node
+	var root *Node
+	for {
+		ev, err := p.Next()
+		if err == io.EOF {
+			if root == nil {
+				return nil, errors.New("no root")
+			}
+			return root, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case EventStart:
+			n := &Node{Name: ev.Name, Attrs: ev.Attrs}
+			if len(stack) == 0 {
+				root = n
+			} else {
+				top := stack[len(stack)-1]
+				top.Children = append(top.Children, n)
+			}
+			stack = append(stack, n)
+		case EventEnd:
+			stack = stack[:len(stack)-1]
+		case EventText:
+			top := stack[len(stack)-1]
+			top.Children = append(top.Children, NewText(ev.Text))
+		}
+	}
+}
+
+// mergeText coalesces adjacent text children in place, recursively, so
+// trees built from split text runs compare equal to DOM-parsed ones.
+func mergeText(n *Node) {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.IsText() && len(out) > 0 && out[len(out)-1].IsText() {
+			out[len(out)-1].Text += c.Text
+			continue
+		}
+		mergeText(c)
+		out = append(out, c)
+	}
+	n.Children = out
+}
+
+// checkStreamEquiv parses src both ways and requires identical logical
+// trees (after text-run coalescing on both sides).
+func checkStreamEquiv(t *testing.T, src string, opts ParseOptions) {
+	t.Helper()
+	doc, err := ParseString(src, opts)
+	if err != nil {
+		t.Fatalf("DOM parse: %v", err)
+	}
+	got, err := treeFromEvents(src, opts)
+	if err != nil {
+		t.Fatalf("stream parse: %v", err)
+	}
+	mergeText(doc.Root)
+	mergeText(got)
+	if !Equal(doc.Root, got) {
+		t.Fatalf("stream tree differs from DOM tree\nDOM:    %s\nstream: %s",
+			SerializeString(doc.Root), SerializeString(got))
+	}
+}
+
+func TestStreamEquivalence(t *testing.T) {
+	cases := map[string]string{
+		"simple":     `<a><b>hi</b><c x="1" y="two"/></a>`,
+		"attrs":      `<r id="1" name="n&amp;m"><e a='sq'/><e a="&#65;"/></r>`,
+		"mixedText":  `<p>before<b>bold</b>after<i>it</i>tail</p>`,
+		"cdata":      `<a>x<![CDATA[<raw> & stuff]]>y</a>`,
+		"comments":   `<?xml version="1.0"?><!-- c --><a><!-- in -->t<?pi data?></a><!-- after -->`,
+		"doctype":    `<!DOCTYPE a [<!ELEMENT a (b)*>]><a><b/></a>`,
+		"entities":   `<a>&lt;&gt;&amp;&apos;&quot;&#x41;&#66;</a>`,
+		"whitespace": "<a>\n  <b> x </b>\n  <c/>\n</a>",
+		"deep":       strings.Repeat("<d>", 200) + "leaf" + strings.Repeat("</d>", 200),
+		"gtInAttr":   `<a x="1>2"><b y='a>b'/></a>`,
+		"emptyRoot":  `<a/>`,
+		"utf8":       `<räksmörgås läge="åäö">grüße</räksmörgås>`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			checkStreamEquiv(t, src, ParseOptions{})
+			checkStreamEquiv(t, src, ParseOptions{KeepWhitespace: true})
+		})
+	}
+}
+
+// TestStreamEquivalenceLarge drives the chunked refill paths: a document
+// bigger than several read chunks with tags likely to straddle chunk
+// boundaries.
+func TestStreamEquivalenceLarge(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < 4000; i++ {
+		fmt.Fprintf(&b, `<item id="%d" cls="odd&amp;even">value %d with some padding text</item>`, i, i)
+	}
+	b.WriteString("</root>")
+	checkStreamEquiv(t, b.String(), ParseOptions{})
+}
+
+// TestStreamLongTextSplit checks that a text run beyond the split limit
+// arrives as several events that concatenate to the original, with no
+// entity torn at a chunk edge.
+func TestStreamLongTextSplit(t *testing.T) {
+	long := strings.Repeat("abcdefgh ", 20<<10) // ~180 KB
+	// Sprinkle entities so splits risk landing inside one.
+	long = long[:textSplitLimit-3] + "&amp;" + long[textSplitLimit-3:] + "&#x41;"
+	src := "<a>" + long + "</a>"
+	p := NewStreamParser(strings.NewReader(src), ParseOptions{})
+	var got strings.Builder
+	events := 0
+	for {
+		ev, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == EventText {
+			events++
+			got.WriteString(ev.Text)
+		}
+	}
+	if events < 2 {
+		t.Fatalf("long run produced %d text events, want several", events)
+	}
+	want, err := DecodeEntities(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want {
+		t.Fatalf("reassembled text differs: got %d bytes, want %d", got.Len(), len(want))
+	}
+}
+
+// TestStreamWhitespaceRunSplit: a run whose first chunks are whitespace
+// but which is non-whitespace overall must be kept whole; a run that is
+// whitespace throughout must be dropped (default) even when it spans
+// chunks.
+func TestStreamWhitespaceRunSplit(t *testing.T) {
+	ws := strings.Repeat(" \n\t", textSplitLimit/2)
+	src := "<a>" + ws + "word</a>"
+	root, err := treeFromEvents(src, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergeText(root)
+	if len(root.Children) != 1 || root.Children[0].Text != ws+"word" {
+		t.Fatalf("leading-whitespace run not preserved whole")
+	}
+	src = "<a><b/>" + ws + "<c/></a>"
+	root, err = treeFromEvents(src, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("whitespace-only run not dropped: %d children", len(root.Children))
+	}
+}
+
+// TestStreamCDATATokens: CDATA sections are their own character-data
+// tokens — whitespace-only ones are dropped independently of adjacent
+// text, and token boundaries are visible through Cont.
+func TestStreamCDATATokens(t *testing.T) {
+	collect := func(src string) []Event {
+		p := NewStreamParser(strings.NewReader(src), ParseOptions{})
+		var evs []Event
+		for {
+			ev, err := p.Next()
+			if err == io.EOF {
+				return evs
+			}
+			if err != nil {
+				t.Fatalf("%q: %v", src, err)
+			}
+			if ev.Kind == EventText {
+				evs = append(evs, ev)
+			}
+		}
+	}
+	// Whitespace-only / empty CDATA between text: dropped, like the DOM
+	// parser drops the token.
+	for _, src := range []string{`<a>foo<![CDATA[  ]]>bar</a>`, `<a>foo<![CDATA[]]>bar</a>`} {
+		evs := collect(src)
+		if len(evs) != 2 || evs[0].Text != "foo" || evs[1].Text != "bar" {
+			t.Fatalf("%q: events %+v", src, evs)
+		}
+		if evs[0].Cont || evs[1].Cont {
+			t.Fatalf("%q: distinct tokens marked as continuations", src)
+		}
+	}
+	// Whitespace around a kept CDATA stays dropped.
+	evs := collect(`<a>  <![CDATA[x]]>  </a>`)
+	if len(evs) != 1 || evs[0].Text != "x" {
+		t.Fatalf("events %+v", evs)
+	}
+	// Adjacent text and CDATA are separate tokens (Cont=false each).
+	evs = collect(`<a>one<![CDATA[two]]>three</a>`)
+	if len(evs) != 3 || evs[0].Cont || evs[1].Cont || evs[2].Cont {
+		t.Fatalf("events %+v", evs)
+	}
+}
+
+// TestStreamGiantCDATASplit: an oversized CDATA section arrives as
+// several continuation chunks that reassemble exactly.
+func TestStreamGiantCDATASplit(t *testing.T) {
+	body := strings.Repeat("cdata payload ] ]> almost ", 10_000) // ~260 KB, terminator look-alikes
+	src := `<a><![CDATA[` + body + `]]></a>`
+	p := NewStreamParser(strings.NewReader(src), ParseOptions{})
+	var got strings.Builder
+	var texts int
+	for {
+		ev, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == EventText {
+			if texts > 0 && !ev.Cont {
+				t.Fatal("split CDATA chunk not marked Cont")
+			}
+			texts++
+			got.WriteString(ev.Text)
+		}
+	}
+	if texts < 2 {
+		t.Fatalf("giant CDATA produced %d text events, want several", texts)
+	}
+	if got.String() != body {
+		t.Fatalf("reassembled CDATA differs: %d vs %d bytes", got.Len(), len(body))
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	cases := map[string]string{
+		"mismatch":      `<a><b></a></b>`,
+		"unclosed":      `<a><b>`,
+		"multipleRoots": `<a/><b/>`,
+		"textOutside":   `junk<a/>`,
+		"trailingText":  `<a/>junk`,
+		"badEntity":     `<a>&nope;</a>`,
+		"unterminated":  `<a`,
+		"noRoot":        `<!-- only a comment -->`,
+		"badAttr":       `<a x=1/>`,
+		"strayEnd":      `</a>`,
+		"unterComment":  `<a><!-- nope</a>`,
+		"unterCDATA":    `<a><![CDATA[x</a>`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := NewStreamParser(strings.NewReader(src), ParseOptions{})
+			for {
+				_, err := p.Next()
+				if err == io.EOF {
+					t.Fatalf("stream accepted malformed %q", src)
+				}
+				if err != nil {
+					return // got the expected error
+				}
+			}
+		})
+	}
+}
+
+// TestStreamSmallReads feeds the parser through a reader that returns a
+// few bytes at a time, exercising refill at every token boundary.
+func TestStreamSmallReads(t *testing.T) {
+	src := `<a href="x>y"><b>text &amp; more</b><![CDATA[raw]]><c/></a>`
+	p := NewStreamParser(&drips{s: src, n: 3}, ParseOptions{})
+	var kinds []EventKind
+	for {
+		ev, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []EventKind{EventStart, EventStart, EventText, EventEnd, EventText, EventStart, EventEnd, EventEnd}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d: got %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+// drips returns at most n bytes per Read.
+type drips struct {
+	s string
+	n int
+}
+
+func (d *drips) Read(p []byte) (int, error) {
+	if len(d.s) == 0 {
+		return 0, io.EOF
+	}
+	n := d.n
+	if n > len(d.s) {
+		n = len(d.s)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, d.s[:n])
+	d.s = d.s[n:]
+	return n, nil
+}

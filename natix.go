@@ -137,6 +137,13 @@ type Options struct {
 	// flows through the buffer manager.
 	CacheRecords int
 
+	// BulkFillFactor is the fraction of page capacity the streaming
+	// bulk loader packs into each record and page, in (0, 1]. 0 means
+	// 0.9. Lower values spread a loaded document over more pages,
+	// leaving slack so later incremental updates grow records in place
+	// instead of splitting immediately.
+	BulkFillFactor float64
+
 	// SimulateDisk routes every physical page access through a cost
 	// model of the paper's IBM DCAS-34330W disk; SimStats reports the
 	// accumulated simulated time. Only valid with in-memory stores.
@@ -287,6 +294,7 @@ func Open(opts Options) (*DB, error) {
 	// drop stale indexes even in sessions that do not use them; the
 	// PathIndex option additionally builds indexes on import and routes
 	// queries through them.
+	store.SetBulkFill(opts.BulkFillFactor)
 	px, err := pathindex.Open(rm)
 	if err != nil {
 		dev.Close()
@@ -368,15 +376,19 @@ func (db *DB) SetTextPolicy(parent string, p Policy) error {
 	})
 }
 
-// ImportXML parses and stores an XML document under the given name using
-// the native tree representation.
+// ImportXML stores an XML document under the given name using the
+// native tree representation. The import is a streaming single pass:
+// the reader is tokenized incrementally (memory bounded by tree depth,
+// not document size), subtrees are packed bottom-up into maximal
+// page-sized records each written exactly once, and the path index
+// (when enabled) is built in the same pass.
 func (db *DB) ImportXML(name string, r io.Reader) error {
 	return db.ImportXMLContext(context.Background(), name, r)
 }
 
-// ImportXMLContext is ImportXML honoring a context, checked per
-// inserted node; a cancelled import tears its partial tree back down
-// and leaves the store unchanged.
+// ImportXMLContext is ImportXML honoring a context, checked per parse
+// event; a cancelled import rolls its partial tree back and leaves the
+// store unchanged.
 func (db *DB) ImportXMLContext(ctx context.Context, name string, r io.Reader) error {
 	return db.view(func() error {
 		_, err := db.store.ImportXMLContext(ctx, name, r)
@@ -469,10 +481,11 @@ type Stats struct {
 	PhysReads    int64
 	PhysWrites   int64
 	// Tree storage manager.
-	Splits         int64
-	RecordsCreated int64
-	RecordsDeleted int64
-	ParentPatches  int64
+	Splits           int64
+	RecordsCreated   int64
+	RecordsDeleted   int64
+	RecordsRewritten int64 // in-place record rewrites (zero on the bulk path)
+	ParentPatches    int64
 	// Space.
 	SpaceBytes int64
 	PageSize   int
@@ -493,10 +506,11 @@ func (db *DB) Stats() (Stats, error) {
 			BufferHits:      bs.Hits,
 			PhysReads:       bs.PhysReads,
 			PhysWrites:      bs.PhysWrites,
-			Splits:          ts.Splits,
-			RecordsCreated:  ts.RecordsCreated,
-			RecordsDeleted:  ts.RecordsDeleted,
-			ParentPatches:   ts.ParentPatches,
+			Splits:           ts.Splits,
+			RecordsCreated:   ts.RecordsCreated,
+			RecordsDeleted:   ts.RecordsDeleted,
+			RecordsRewritten: ts.RecordsRewritten,
+			ParentPatches:    ts.ParentPatches,
 			SpaceBytes:      db.store.Trees().Records().Segment().TotalBytes(),
 			PageSize:        db.opts.PageSize,
 			PathIndexBuilds: is.Builds,
