@@ -1,0 +1,88 @@
+// Durability benchmarks: what the write-ahead log costs on the import
+// path, file-backed. BenchmarkImportWAL/off is the baseline;
+// /on pays one group-commit sync per import plus the log writes;
+// /nosync pays only the log writes. b.SetBytes reports MB/s over the
+// XML text. The benchkit counterpart (natix-bench -experiment wal)
+// measures the same matrix at paper scale and emits BENCH_wal.json.
+package natix
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"natix/internal/corpus"
+	"natix/internal/xmlkit"
+)
+
+func BenchmarkImportWAL(b *testing.B) {
+	xml := xmlkit.SerializeString(corpus.GeneratePlay(corpus.DefaultSpec(), 0))
+	configs := []struct {
+		name        string
+		wal, noSync bool
+	}{
+		{"off", false, false},
+		{"on", true, false},
+		{"nosync", true, true},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			dir := b.TempDir()
+			db, err := Open(Options{
+				Path:   filepath.Join(dir, "bench.natix"),
+				WAL:    cfg.wal,
+				NoSync: cfg.noSync,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			b.SetBytes(int64(len(xml)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("doc-%d", i)
+				if err := db.ImportXML(name, strings.NewReader(xml)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if st, err := db.Stats(); err == nil && cfg.wal {
+				b.ReportMetric(float64(st.WALBytes)/float64(b.N), "logB/op")
+				b.ReportMetric(float64(st.WALSyncs)/float64(b.N), "syncs/op")
+			}
+		})
+	}
+}
+
+// BenchmarkQueryWAL shows the read path is untouched by logging: the
+// same indexed query against WAL-on and WAL-off stores.
+func BenchmarkQueryWAL(b *testing.B) {
+	xml := xmlkit.SerializeString(corpus.GeneratePlay(corpus.DefaultSpec(), 0))
+	for _, useWAL := range []bool{false, true} {
+		name := "off"
+		if useWAL {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			db, err := Open(Options{
+				Path:      filepath.Join(b.TempDir(), "bench.natix"),
+				WAL:       useWAL,
+				PathIndex: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if err := db.ImportXML("play", strings.NewReader(xml)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryCount("play", "//SPEAKER"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@
 //	natix-bench -experiment fig11         # print one figure
 //	natix-bench -experiment ablations     # parameter sweeps
 //	natix-bench -experiment import        # bulk vs incremental import
+//	natix-bench -experiment wal           # durability cost: WAL off/on/NoSync
 //	natix-bench -flat                     # add the flat-stream series
 //	natix-bench -csv results.csv          # raw cells for plotting
 //	natix-bench -json BENCH_import.json   # machine-readable import cells
@@ -47,6 +48,10 @@ func main() {
 
 	if *experiment == "import" {
 		runImport(spec, *buffer, *jsonPath, *quiet)
+		return
+	}
+	if *experiment == "wal" {
+		runWAL(spec, *buffer, *jsonPath, *quiet)
 		return
 	}
 
@@ -131,6 +136,35 @@ func runImport(spec corpus.Spec, buffer int, jsonPath string, quiet bool) {
 		}
 		if !quiet {
 			fmt.Fprintf(os.Stderr, "import cells written to %s\n", jsonPath)
+		}
+	}
+}
+
+// runWAL measures the durability cost: the same file-backed import +
+// query workload with the write-ahead log off, on, and on with NoSync
+// — the BENCH_wal.json baseline.
+func runWAL(spec corpus.Spec, buffer int, jsonPath string, quiet bool) {
+	dir, err := os.MkdirTemp("", "natix-wal-bench")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(dir)
+	cells, err := benchkit.RunWALExperiment(spec, buffer, 8192, dir)
+	if err != nil {
+		fatalf("wal experiment: %v", err)
+	}
+	benchkit.PrintWALCells(os.Stdout, cells)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fatalf("create %s: %v", jsonPath, err)
+		}
+		defer f.Close()
+		if err := benchkit.WriteWALJSON(f, cells); err != nil {
+			fatalf("write json: %v", err)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "wal cells written to %s\n", jsonPath)
 		}
 	}
 }

@@ -40,6 +40,8 @@ func main() {
 		workers  = flag.Int("workers", 4, "goroutines for the batch command")
 		limit    = flag.Int("limit", 0, "stop each query after N matches (0 = all)")
 		timeout  = flag.Duration("timeout", 0, "per-query timeout, e.g. 500ms (0 = none)")
+		useWAL   = flag.Bool("wal", false, "write-ahead logging: atomic, crash-durable mutations")
+		noSync   = flag.Bool("nosync", false, "with -wal: skip the per-commit fsync")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -49,7 +51,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := natix.Open(natix.Options{Path: *dbPath, PageSize: *pageSize, BufferBytes: *buffer, PathIndex: *pathIdx})
+	db, err := natix.Open(natix.Options{Path: *dbPath, PageSize: *pageSize, BufferBytes: *buffer, PathIndex: *pathIdx, WAL: *useWAL, NoSync: *noSync})
 	if err != nil {
 		fatalf("open %s: %v", *dbPath, err)
 	}

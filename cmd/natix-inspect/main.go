@@ -10,6 +10,7 @@
 //	natix-inspect -db plays.natix -doc othello    # record tree of a doc
 //	natix-inspect -db plays.natix -check          # verify invariants
 //	natix-inspect -db plays.natix -pathindex      # path summaries + postings
+//	natix-inspect -db plays.natix -wal            # dump the write-ahead log
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
+	"natix/internal/wal"
 )
 
 func main() {
@@ -37,8 +39,14 @@ func main() {
 		doc      = flag.String("doc", "", "dump the record tree of this document")
 		check    = flag.Bool("check", false, "verify invariants of every document")
 		pathIdx  = flag.Bool("pathindex", false, "dump path summaries and postings sizes")
+		walDump  = flag.Bool("wal", false, "dump the write-ahead log (<db>-wal) and exit")
 	)
 	flag.Parse()
+
+	if *walDump {
+		dumpWAL(*dbPath + "-wal")
+		return
+	}
 
 	dev, err := pagedev.OpenFile(*dbPath, *pageSize)
 	if err != nil {
@@ -249,6 +257,79 @@ func checkAll(store *docstore.Store) {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// dumpWAL prints every record in the write-ahead log: LSN, type, and
+// the type-specific payload (operation kind, page, changed ranges),
+// plus the checkpoint chain. Torn tails are reported, not fatal — this
+// is the debugging view of a crashed store.
+func dumpWAL(path string) {
+	st, err := os.Stat(path)
+	if err != nil {
+		fatalf("no write-ahead log at %s: %v", path, err)
+	}
+	storage, err := wal.OpenFileStorage(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer storage.Close()
+
+	var (
+		records     int
+		checkpoints []wal.LSN
+		ops         int
+		openKind    string
+		openLSN     wal.LSN
+	)
+	pageSize, end, err := wal.Scan(storage, func(r wal.Record) error {
+		records++
+		fmt.Printf("%10d  %-12s", r.LSN, wal.TypeName(r.Type))
+		switch r.Type {
+		case wal.RecBegin:
+			fmt.Printf(" op=%d pre-pages=%d kind=%q", r.OpID, r.PreNumPages, r.Kind)
+			ops++
+			openKind, openLSN = r.Kind, r.LSN
+		case wal.RecCommit, wal.RecAbort:
+			fmt.Printf(" op=%d", r.OpID)
+			openKind = ""
+		case wal.RecUpdate:
+			fmt.Printf(" page=%d ranges=%d bytes=%d", r.Page, len(r.Ranges), rangeBytes(r.Ranges))
+		case wal.RecFirstUpdate:
+			fmt.Printf(" page=%d before-image=%dB ranges=%d bytes=%d",
+				r.Page, len(r.BeforeImage), len(r.Ranges), rangeBytes(r.Ranges))
+		case wal.RecImage:
+			fmt.Printf(" page=%d image=%dB", r.Page, len(r.Image))
+		case wal.RecCheckpoint:
+			fmt.Printf(" pages=%d", r.NumPages)
+			checkpoints = append(checkpoints, r.LSN)
+		case wal.RecShrink:
+			fmt.Printf(" pages=%d", r.NumPages)
+		}
+		fmt.Println()
+		return nil
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("\nlog: %d bytes on disk, %d records, %d operations, end LSN %d (page size %d)\n",
+		st.Size(), records, ops, end, pageSize)
+	switch len(checkpoints) {
+	case 0:
+		fmt.Println("checkpoint chain: none (log truncates at each checkpoint; records above await the next one)")
+	default:
+		fmt.Printf("checkpoint chain: %d in log, last at LSN %d\n", len(checkpoints), checkpoints[len(checkpoints)-1])
+	}
+	if openKind != "" {
+		fmt.Printf("UNFINISHED operation %q (begin LSN %d): recovery will undo it on next open\n", openKind, openLSN)
+	}
+}
+
+func rangeBytes(ranges []wal.Range) int {
+	n := 0
+	for _, r := range ranges {
+		n += len(r.Before)
+	}
+	return n
 }
 
 func fatalf(format string, args ...any) {

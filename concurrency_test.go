@@ -80,13 +80,24 @@ func serialBaseline(t *testing.T, db *DB, name string) baseline {
 // and deletes scratch documents, asserting reader results stay
 // byte-identical to the serial baselines throughout.
 func TestConcurrentReadersWithChurn(t *testing.T) {
+	testConcurrentReadersWithChurn(t, Options{PathIndex: true})
+}
+
+// TestConcurrentReadersWithChurnWAL is the same stress with the write-
+// ahead log on: every churn mutation runs as a logged operation while
+// readers pound the stable documents.
+func TestConcurrentReadersWithChurnWAL(t *testing.T) {
+	testConcurrentReadersWithChurn(t, Options{PathIndex: true, WAL: true})
+}
+
+func testConcurrentReadersWithChurn(t *testing.T, opts Options) {
 	const (
 		stableDocs = 3
 		readers    = 4
 		iterations = 12
 		churnLoops = 20
 	)
-	db, err := Open(Options{PathIndex: true})
+	db, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +206,17 @@ func TestConcurrentReadersWithChurn(t *testing.T) {
 // or observe the edits, and the edited document must come out exactly
 // as a serial edit sequence leaves it.
 func TestConcurrentDocumentEditsAndReads(t *testing.T) {
-	db, err := Open(Options{PathIndex: true})
+	testConcurrentDocumentEditsAndReads(t, Options{PathIndex: true})
+}
+
+// TestConcurrentDocumentEditsAndReadsWAL repeats the edit-vs-read
+// stress with logged operations.
+func TestConcurrentDocumentEditsAndReadsWAL(t *testing.T) {
+	testConcurrentDocumentEditsAndReads(t, Options{PathIndex: true, WAL: true})
+}
+
+func testConcurrentDocumentEditsAndReads(t *testing.T, opts Options) {
+	db, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package natix
 import (
 	"errors"
 
+	"natix/internal/buffer"
 	"natix/internal/docstore"
 )
 
@@ -19,3 +20,12 @@ var ErrDocNotFound = docstore.ErrNotFound
 // prepare time; the one-shot query entry points return it before taking
 // any lock. Test with errors.Is(err, natix.ErrBadQuery).
 var ErrBadQuery = docstore.ErrBadQuery
+
+// ErrCorrupted reports a page that failed its checksum when read from
+// the device — a torn write or external damage. Every page carries a
+// CRC-32C refreshed on write-back and verified on fetch, so corruption
+// surfaces as this typed error instead of decoded garbage. Stores with
+// a write-ahead log repair torn pages during Open's restart recovery;
+// seeing ErrCorrupted at runtime means damage outside the log's reach.
+// Test with errors.Is(err, natix.ErrCorrupted).
+var ErrCorrupted = buffer.ErrCorrupted

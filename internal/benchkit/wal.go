@@ -1,0 +1,286 @@
+package benchkit
+
+// The WAL-overhead experiment: the same import + query workload run
+// against file-backed stores with the write-ahead log off, on, and on
+// with NoSync, measuring what durability costs. Group commit (one log
+// sync per operation, records batched into large sequential writes)
+// is what keeps the logged import within the acceptance envelope of
+// 2× the unlogged one.
+//
+// Unlike the paper-figure experiments, which drive internal packages
+// over simulated disks, this one exercises the public natix API over
+// real files: durability claims are only meaningful against a real
+// file system.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"natix/internal/buffer"
+	"natix/internal/core"
+	"natix/internal/corpus"
+	"natix/internal/dict"
+	"natix/internal/docstore"
+	"natix/internal/pagedev"
+	"natix/internal/pathindex"
+	"natix/internal/records"
+	"natix/internal/segment"
+	"natix/internal/wal"
+	"natix/internal/xmlkit"
+)
+
+// WALCell is one row of the WAL experiment, JSON-ready.
+type WALCell struct {
+	Config         string  `json:"config"` // "off", "wal", "wal-nosync"
+	Docs           int     `json:"docs"`
+	XMLBytes       int64   `json:"xml_bytes"`
+	ImportWallMS   float64 `json:"import_wall_ms"`
+	ImportMBPerSec float64 `json:"import_mb_per_sec"`
+	QueryWallMS    float64 `json:"query_wall_ms"`
+	Matches        int     `json:"matches"`
+	PagesWritten   int64   `json:"pages_written"`
+	LogRecords     int64   `json:"log_records"`
+	LogBytes       int64   `json:"log_bytes"`
+	LogSyncs       int64   `json:"log_syncs"`
+}
+
+// walConfig describes one store configuration under test.
+type walConfig struct {
+	name        string
+	wal, noSync bool
+}
+
+// walStore is a file-backed store stack assembled from the internal
+// packages, mirroring what natix.Open wires up (benchkit cannot import
+// the root package: the root package's benchmarks import benchkit).
+type walStore struct {
+	dev   pagedev.Device
+	walSt wal.Storage
+	w     *wal.Writer
+	pool  *buffer.Pool
+	store *docstore.Store
+}
+
+func openWALStore(path string, pageSize, bufBytes int, cfg walConfig) (*walStore, error) {
+	dev, err := pagedev.OpenFile(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &walStore{dev: dev}
+	fail := func(err error) (*walStore, error) {
+		s.release()
+		return nil, err
+	}
+	if cfg.wal {
+		st, err := wal.OpenFileStorage(path + "-wal")
+		if err != nil {
+			return fail(err)
+		}
+		s.walSt = st
+		s.w, err = wal.OpenWriter(st, wal.Options{PageSize: pageSize, NoSync: cfg.noSync})
+		if err != nil {
+			return fail(err)
+		}
+	}
+	s.pool, err = buffer.NewSized(dev, bufBytes)
+	if err != nil {
+		return fail(err)
+	}
+	if s.w != nil {
+		s.pool.AttachWAL(s.w)
+		if _, err := s.w.Begin("create", uint64(dev.NumPages())); err != nil {
+			return fail(err)
+		}
+	}
+	seg, err := segment.Create(s.pool)
+	if err != nil {
+		return fail(err)
+	}
+	rm := records.New(seg)
+	d, err := dict.Create(rm)
+	if err != nil {
+		return fail(err)
+	}
+	trees := core.New(rm, core.Config{Matrix: core.NewSplitMatrix(core.PolicyOther)})
+	s.store, err = docstore.Create(trees, d)
+	if err != nil {
+		return fail(err)
+	}
+	px, err := pathindex.Open(rm)
+	if err != nil {
+		return fail(err)
+	}
+	s.store.EnablePathIndex(px)
+	if s.w != nil {
+		if err := s.w.Commit(); err != nil {
+			return fail(err)
+		}
+		s.store.AttachWAL(s.w)
+	}
+	return s, nil
+}
+
+func (s *walStore) close() error {
+	err := s.store.Checkpoint()
+	s.release()
+	return err
+}
+
+func (s *walStore) release() {
+	if s.walSt != nil {
+		s.walSt.Close()
+	}
+	s.dev.Close()
+}
+
+func walConfigs() []walConfig {
+	return []walConfig{
+		{"off", false, false},
+		{"wal", true, false},
+		{"wal-nosync", true, true},
+	}
+}
+
+// RunWALExperiment imports spec.Plays generated plays into a fresh
+// file-backed store under dir for each configuration, then sweeps a
+// query over every document, and reports wall times plus log traffic.
+func RunWALExperiment(spec corpus.Spec, buffer, pageSize int, dir string) ([]WALCell, error) {
+	n := spec.Plays
+	if n < 1 {
+		n = 1
+	}
+	type doc struct {
+		name string
+		xml  string
+	}
+	docs := make([]doc, n)
+	var xmlBytes int64
+	for i := range docs {
+		play := corpus.GeneratePlay(spec, i)
+		xml := xmlkit.SerializeString(play)
+		docs[i] = doc{name: fmt.Sprintf("play-%03d", i), xml: xml}
+		xmlBytes += int64(len(xml))
+	}
+
+	var cells []WALCell
+	for _, cfg := range walConfigs() {
+		path := filepath.Join(dir, "wal-exp-"+cfg.name+".natix")
+		os.Remove(path)
+		os.Remove(path + "-wal")
+		s, err := openWALStore(path, pageSize, buffer, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("open %s: %w", cfg.name, err)
+		}
+
+		start := time.Now()
+		for _, d := range docs {
+			if _, err := s.store.ImportXML(d.name, strings.NewReader(d.xml)); err != nil {
+				s.release()
+				return nil, fmt.Errorf("%s: import %s: %w", cfg.name, d.name, err)
+			}
+		}
+		importMS := float64(time.Since(start).Microseconds()) / 1000
+
+		start = time.Now()
+		matches := 0
+		for _, d := range docs {
+			c, err := s.store.QueryCount(d.name, "//SPEAKER")
+			if err != nil {
+				s.release()
+				return nil, fmt.Errorf("%s: query %s: %w", cfg.name, d.name, err)
+			}
+			matches += c
+		}
+		queryMS := float64(time.Since(start).Microseconds()) / 1000
+
+		pages := s.pool.Stats().PhysWrites
+		var ws wal.Stats
+		if s.w != nil {
+			ws = s.w.Stats()
+		}
+		if err := s.close(); err != nil {
+			return nil, fmt.Errorf("close %s: %w", cfg.name, err)
+		}
+		cell := WALCell{
+			Config:       cfg.name,
+			Docs:         n,
+			XMLBytes:     xmlBytes,
+			ImportWallMS: importMS,
+			QueryWallMS:  queryMS,
+			Matches:      matches,
+			PagesWritten: pages,
+			LogRecords:   ws.Appends,
+			LogBytes:     ws.Bytes,
+			LogSyncs:     ws.Syncs,
+		}
+		if importMS > 0 {
+			cell.ImportMBPerSec = float64(xmlBytes) / (1 << 20) / (importMS / 1000)
+		}
+		cells = append(cells, cell)
+		os.Remove(path)
+		os.Remove(path + "-wal")
+	}
+	return cells, nil
+}
+
+// walOverhead returns wall(config)/wall(off), or 0.
+func walOverhead(cells []WALCell, config string) float64 {
+	var off, c float64
+	for _, cell := range cells {
+		switch cell.Config {
+		case "off":
+			off = cell.ImportWallMS
+		case config:
+			c = cell.ImportWallMS
+		}
+	}
+	if off <= 0 {
+		return 0
+	}
+	return c / off
+}
+
+// PrintWALCells renders the experiment as a table.
+func PrintWALCells(w io.Writer, cells []WALCell) {
+	fmt.Fprintf(w, "Durability cost (file-backed import + query sweep; WAL off vs on vs NoSync)\n")
+	fmt.Fprintf(w, "%-11s %5s %9s %11s %9s %11s %8s %10s %10s %6s\n",
+		"config", "docs", "MB", "import-ms", "MB/s", "query-ms", "pages", "log-recs", "log-MB", "syncs")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-11s %5d %9.2f %11.1f %9.2f %11.1f %8d %10d %10.2f %6d\n",
+			c.Config, c.Docs, float64(c.XMLBytes)/(1<<20), c.ImportWallMS,
+			c.ImportMBPerSec, c.QueryWallMS, c.PagesWritten, c.LogRecords,
+			float64(c.LogBytes)/(1<<20), c.LogSyncs)
+	}
+	if x := walOverhead(cells, "wal"); x > 0 {
+		fmt.Fprintf(w, "WAL import overhead: %.2fx (NoSync: %.2fx)\n", x, walOverhead(cells, "wal-nosync"))
+	}
+}
+
+// walReport is the BENCH_wal.json schema.
+type walReport struct {
+	Benchmark       string    `json:"benchmark"`
+	Unit            string    `json:"unit"`
+	Cells           []WALCell `json:"cells"`
+	WALOverheadX    float64   `json:"wal_overhead_x,omitempty"`
+	NoSyncOverheadX float64   `json:"nosync_overhead_x,omitempty"`
+}
+
+// WriteWALJSON writes the experiment cells as the durability baseline
+// file (BENCH_wal.json).
+func WriteWALJSON(w io.Writer, cells []WALCell) error {
+	rep := walReport{
+		Benchmark:       "wal",
+		Unit:            "import_wall_ms",
+		Cells:           cells,
+		WALOverheadX:    walOverhead(cells, "wal"),
+		NoSyncOverheadX: walOverhead(cells, "wal-nosync"),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -24,6 +24,22 @@
 // latching keeps its bytes consistent. The two are separate so many
 // readers of one page can proceed in parallel while a writer of an
 // unrelated page mutates its own frames.
+//
+// # Write-ahead logging
+//
+// With a log attached (AttachWAL), the pool enforces the WAL rule: a
+// dirty frame is never written back — by eviction, FlushAll or Clear —
+// until the log is durable through the frame's page LSN. Mutators
+// bracket page changes with BeginUpdate/EndUpdate: BeginUpdate
+// snapshots the page, EndUpdate diffs the snapshot against the mutated
+// image and appends the changed byte ranges (with before and after
+// bytes) to the log, stamping the record's LSN into the page header.
+// The first change to a page after a checkpoint logs the full
+// before-image alongside the ranges, so restart recovery can rebuild
+// the page even if a later write-back tears it. Freshly allocated
+// pages log a single full after-image instead (LogImage, used by the
+// bulk loader's one-write-per-page path, and by EndUpdate for frames
+// obtained with GetNew).
 package buffer
 
 import (
@@ -35,6 +51,7 @@ import (
 
 	"natix/internal/pagedev"
 	"natix/internal/pageformat"
+	"natix/internal/wal"
 )
 
 // Errors returned by the pool.
@@ -77,6 +94,14 @@ type Pool struct {
 	size     atomic.Int64 // frames resident (never exceeds capacity)
 	verify   atomic.Bool
 
+	// wal, when attached, receives a record for every page mutation
+	// and gates write-back (the WAL rule). walEpoch increments at each
+	// checkpoint; a frame whose logEpoch lags logs a full before-image
+	// on its next update. snapPool recycles BeginUpdate snapshots.
+	wal      *wal.Writer
+	walEpoch atomic.Uint64
+	snapPool sync.Pool
+
 	// evictMu serializes clock sweeps; handShard is the shard the next
 	// sweep starts at, persisting the clock position across evictions.
 	evictMu   sync.Mutex
@@ -102,6 +127,16 @@ type Frame struct {
 	dirty   atomic.Bool
 	latch   sync.RWMutex
 	ringIdx int // position in its shard's ring; under shard.mu
+
+	// pageLSN is the LSN of the last log record covering this page;
+	// write-back waits for the log to be durable through it. fresh
+	// marks a page allocated via GetNew whose first logged change must
+	// be a full image; logEpoch is the checkpoint epoch of the last
+	// log record (fresh and logEpoch are touched only under the
+	// exclusive latch).
+	pageLSN  atomic.Uint64
+	fresh    bool
+	logEpoch uint64
 }
 
 // New creates a pool of numFrames frames over dev.
@@ -129,6 +164,26 @@ func NewSized(dev pagedev.Device, bufBytes int) (*Pool, error) {
 
 // SetVerifyChecksums toggles checksum verification on physical reads.
 func (p *Pool) SetVerifyChecksums(v bool) { p.verify.Store(v) }
+
+// AttachWAL connects a write-ahead log. Must be called before any
+// mutation traffic; from then on every EndUpdate/LogImage appends a
+// log record and write-back enforces the WAL rule.
+func (p *Pool) AttachWAL(w *wal.Writer) {
+	p.wal = w
+	// Epochs start at 1: frames begin at logEpoch 0, so every page's
+	// first logged change — including pages loaded from disk before
+	// any checkpoint — carries its full before-image.
+	p.walEpoch.Store(1)
+	p.snapPool.New = func() any { return make([]byte, p.dev.PageSize()) }
+}
+
+// WAL returns the attached log writer (nil when logging is off).
+func (p *Pool) WAL() *wal.Writer { return p.wal }
+
+// AdvanceWALEpoch starts a new checkpoint epoch: the next logged
+// change to any frame carries a full before-image. Called by the
+// checkpoint after all dirty pages are durable.
+func (p *Pool) AdvanceWALEpoch() { p.walEpoch.Add(1) }
 
 // Capacity returns the number of frames in the pool.
 func (p *Pool) Capacity() int { return p.capacity }
@@ -217,7 +272,7 @@ func (p *Pool) get(pn pagedev.PageNo, read bool) (*Frame, error) {
 		p.hits.Add(1)
 		return f, nil
 	}
-	f := &Frame{pool: p, page: pn, data: make([]byte, p.dev.PageSize())}
+	f := &Frame{pool: p, page: pn, data: make([]byte, p.dev.PageSize()), fresh: !read}
 	f.pins.Store(1)
 	if read {
 		if err := p.dev.Read(pn, f.data); err != nil {
@@ -328,8 +383,16 @@ func (p *Pool) sweepShard(sh *shard) (bool, error) {
 // writeBack flushes one frame's bytes to the device. The caller must
 // guarantee exclusive access to the frame data (shard lock with zero
 // pins, or the frame's exclusive latch): refreshing the checksum
-// mutates the page image.
+// mutates the page image. With a log attached, the write waits for the
+// log to be durable through the frame's page LSN — the WAL rule.
 func (p *Pool) writeBack(f *Frame) error {
+	if p.wal != nil {
+		if lsn := f.pageLSN.Load(); lsn > 0 {
+			if err := p.wal.FlushTo(wal.LSN(lsn)); err != nil {
+				return err
+			}
+		}
+	}
 	if pageformat.TypeOf(f.data) != pageformat.TypeInvalid {
 		pageformat.UpdateChecksum(f.data)
 	}
@@ -348,6 +411,13 @@ func (p *Pool) writeBack(f *Frame) error {
 // frame is written under its exclusive latch, so a flush concurrent
 // with page mutations sees page-atomic states.
 func (p *Pool) FlushAll() error {
+	// One log sync up front satisfies the WAL rule for every frame
+	// below, instead of per-frame syncs in page order.
+	if p.wal != nil {
+		if err := p.wal.Sync(); err != nil {
+			return err
+		}
+	}
 	dirty := p.pinDirty()
 	err := p.flushPinned(dirty)
 	if err != nil {
@@ -410,6 +480,11 @@ func (p *Pool) unlockAll() {
 // ErrPinned if any frame is still pinned. The paper clears the buffer at
 // the start of each measured operation.
 func (p *Pool) Clear() error {
+	if p.wal != nil {
+		if err := p.wal.Sync(); err != nil {
+			return err
+		}
+	}
 	p.lockAll()
 	defer p.unlockAll()
 	var dirty []*Frame
@@ -481,4 +556,189 @@ func (f *Frame) Release() {
 	if f.pins.Add(-1) < 0 {
 		panic(ErrReleased)
 	}
+}
+
+// Update is the token BeginUpdate hands out and EndUpdate consumes. It
+// carries the pre-mutation snapshot the log diff runs against.
+type Update struct {
+	snap []byte
+}
+
+// BeginUpdate prepares a logged mutation of the frame's page. The
+// caller must hold the exclusive latch, mutate Data(), and finish with
+// EndUpdate — which logs the change and marks the frame dirty (the
+// MarkDirty call disappears into it). Without an attached log the pair
+// degenerates to a plain MarkDirty.
+func (f *Frame) BeginUpdate() Update {
+	p := f.pool
+	if p.wal == nil || f.fresh {
+		// Fresh pages log a full image in EndUpdate: no snapshot needed.
+		return Update{}
+	}
+	snap := p.snapPool.Get().([]byte)
+	copy(snap, f.data)
+	return Update{snap: snap}
+}
+
+// EndUpdate closes a BeginUpdate bracket: it diffs the page against
+// the snapshot, appends the matching log record (full image for fresh
+// pages, before-image + ranges on the first post-checkpoint change,
+// plain ranges otherwise), stamps the record's LSN into the page
+// header, and marks the frame dirty. A mutation that turned out to be
+// a no-op logs nothing and leaves the frame clean.
+func (f *Frame) EndUpdate(u Update) error {
+	p := f.pool
+	if p.wal == nil {
+		f.MarkDirty()
+		return nil
+	}
+	if f.fresh {
+		return f.logImage()
+	}
+	defer p.snapPool.Put(u.snap)
+	ranges := diffRanges(u.snap, f.data)
+	if len(ranges) == 0 {
+		return nil
+	}
+	epoch := p.walEpoch.Load()
+	var (
+		lsn wal.LSN
+		err error
+	)
+	if f.logEpoch != epoch {
+		lsn, err = p.wal.AppendFirstUpdate(f.page, u.snap, ranges)
+	} else {
+		lsn, err = p.wal.AppendUpdate(f.page, ranges)
+	}
+	if err != nil {
+		return err
+	}
+	f.stampLocked(lsn, epoch)
+	return nil
+}
+
+// CancelUpdate abandons a BeginUpdate bracket without logging, for
+// callers whose mutation turned out not to happen (e.g. an insert the
+// page refused). The page must be byte-identical to the snapshot.
+func (f *Frame) CancelUpdate(u Update) {
+	if u.snap != nil {
+		f.pool.snapPool.Put(u.snap)
+	}
+}
+
+// LogImage logs the frame's full current contents as a fresh-page
+// image record and marks it dirty. Only valid for pages the running
+// operation allocated (restart undo deallocates them): the bulk
+// loader's batch writer uses it to log each packed page exactly once.
+func (f *Frame) LogImage() error {
+	if f.pool.wal == nil {
+		f.MarkDirty()
+		return nil
+	}
+	return f.logImage()
+}
+
+func (f *Frame) logImage() error {
+	p := f.pool
+	lsn, err := p.wal.AppendImage(f.page, f.data)
+	if err != nil {
+		return err
+	}
+	f.stampLocked(lsn, p.walEpoch.Load())
+	return nil
+}
+
+// stampLocked records a logged change: page-header LSN, frame LSN,
+// epoch, dirty. Caller holds the exclusive latch.
+func (f *Frame) stampLocked(lsn wal.LSN, epoch uint64) {
+	f.fresh = false
+	f.logEpoch = epoch
+	pageformat.SetPageLSN(f.data, uint64(lsn))
+	f.pageLSN.Store(uint64(lsn))
+	f.MarkDirty()
+}
+
+// diff tuning: runs of differing bytes closer than mergeGap coalesce
+// into one range (each range costs 4 directory bytes plus double its
+// length); more than maxRanges runs collapse into a single span.
+const (
+	mergeGap  = 16
+	maxRanges = 64
+)
+
+// diffRanges computes the changed byte spans between two page images.
+// The returned ranges alias both slices; they must be consumed (the
+// log serializes them) before either buffer is reused.
+func diffRanges(old, new []byte) []wal.Range {
+	var out []wal.Range
+	n := len(old)
+	for i := 0; i < n; {
+		if old[i] == new[i] {
+			i++
+			continue
+		}
+		start := i
+		end := i + 1
+		for j := i + 1; j < n && j-end < mergeGap; j++ {
+			if old[j] != new[j] {
+				end = j + 1
+			}
+		}
+		out = append(out, wal.Range{Off: start, Before: old[start:end], After: new[start:end]})
+		i = end + mergeGap
+		if i > n {
+			i = n
+		}
+	}
+	if len(out) > maxRanges {
+		lo := out[0].Off
+		hi := out[len(out)-1].Off + len(out[len(out)-1].Before)
+		out = []wal.Range{{Off: lo, Before: old[lo:hi], After: new[lo:hi]}}
+	}
+	return out
+}
+
+// ShrinkTo deallocates every page at or above n: resident frames are
+// dropped (they must be unpinned), a shrink record is logged, and the
+// device is truncated. Operation rollback calls it to return the
+// device to its pre-operation size. All shard locks are held across
+// the check-then-drop so a pinned frame fails the call before any
+// frame (with possibly newer dirty bytes) has been discarded.
+func (p *Pool) ShrinkTo(n pagedev.PageNo) error {
+	p.lockAll()
+	for i := range p.shards {
+		for pn, f := range p.shards[i].frames {
+			if pn < n {
+				continue
+			}
+			if c := f.pins.Load(); c > 0 {
+				p.unlockAll()
+				return fmt.Errorf("%w: page %d (%d pins)", ErrPinned, pn, c)
+			}
+		}
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		for pn, f := range sh.frames {
+			if pn < n {
+				continue
+			}
+			delete(sh.frames, pn)
+			last := len(sh.ring) - 1
+			sh.ring[f.ringIdx] = sh.ring[last]
+			sh.ring[f.ringIdx].ringIdx = f.ringIdx
+			sh.ring = sh.ring[:last]
+			if sh.hand > last {
+				sh.hand = 0
+			}
+			p.size.Add(-1)
+		}
+	}
+	p.unlockAll()
+	if p.wal != nil {
+		if _, err := p.wal.AppendShrink(uint64(n)); err != nil {
+			return err
+		}
+	}
+	return p.dev.Shrink(n)
 }

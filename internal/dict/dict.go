@@ -119,6 +119,34 @@ func Open(rm *records.Manager) (*Dict, error) {
 	return d, nil
 }
 
+// Reload discards the in-memory snapshot and re-reads the dictionary
+// from the segment. The document store calls it after a log-driven
+// rollback restored pages under the in-memory state. Mutator context.
+func (d *Dict) Reload() error {
+	raw, err := d.seg.RootRID(segment.RootDict)
+	if err != nil {
+		return err
+	}
+	if raw == 0 {
+		return errors.New("dict: no dictionary in segment")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var enc [records.RIDSize]byte
+	binary.LittleEndian.PutUint64(enc[:], raw)
+	d.blobID = records.DecodeRID(enc[:])
+	body, err := d.blobs.Read(d.blobID)
+	if err != nil {
+		return fmt.Errorf("dict: reload: %w", err)
+	}
+	st, err := decode(body)
+	if err != nil {
+		return err
+	}
+	d.state.Store(st)
+	return nil
+}
+
 // registerRoot stores the current blob id in the segment header.
 func (d *Dict) registerRoot() error {
 	var enc [records.RIDSize]byte

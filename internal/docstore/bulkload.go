@@ -207,8 +207,16 @@ func (l *bulkLoader) loadDOM(cx context.Context, n *xmlkit.Node) error {
 	return l.closeElement()
 }
 
-// abort rolls back everything the loader stored.
-func (l *bulkLoader) abort() { _ = l.bb.Abort() }
+// abort rolls back everything the loader stored — the pre-WAL
+// best-effort path: it deletes the records the builder materialized.
+// With a log attached it is a no-op; Mutate's log-driven rollback
+// restores every touched page wholesale instead (see wal.go).
+func (s *Store) abortBulk(l *bulkLoader) {
+	if s.walW != nil {
+		return
+	}
+	_ = l.bb.Abort()
+}
 
 // importStreamLocked runs a bulk import off a streaming parser.
 // Mutator context.
@@ -236,7 +244,7 @@ func (s *Store) importStreamLocked(cx context.Context, name string, p *xmlkit.St
 			}
 		}
 		if err != nil {
-			l.abort()
+			s.abortBulk(l)
 			return DocInfo{}, err
 		}
 	}
@@ -254,7 +262,7 @@ func (s *Store) importTreeLocked(cx context.Context, name string, root *xmlkit.N
 	}
 	l := s.newBulkLoader()
 	if err := l.loadDOM(cx, root); err != nil {
-		l.abort()
+		s.abortBulk(l)
 		return DocInfo{}, err
 	}
 	return s.finishBulkImport(name, l)
@@ -265,7 +273,7 @@ func (s *Store) importTreeLocked(cx context.Context, name string, root *xmlkit.N
 // document. Any failure rolls the whole import back.
 func (s *Store) finishBulkImport(name string, l *bulkLoader) (DocInfo, error) {
 	fail := func(err error) (DocInfo, error) {
-		l.abort()
+		s.abortBulk(l)
 		return DocInfo{}, err
 	}
 	root, err := l.bb.Finish()
@@ -289,8 +297,8 @@ func (s *Store) finishBulkImport(name string, l *bulkLoader) (DocInfo, error) {
 		s.builds.Add(1)
 	}
 	if err := s.register(info); err != nil {
-		if l.sb != nil {
-			_ = s.pindex.Drop(name) // best-effort rollback
+		if l.sb != nil && s.walW == nil {
+			_ = s.pindex.Drop(name) // best-effort rollback (log-driven otherwise)
 		}
 		return fail(err)
 	}

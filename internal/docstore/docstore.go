@@ -60,6 +60,7 @@ import (
 	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
+	"natix/internal/wal"
 	"natix/internal/xmlkit"
 )
 
@@ -118,6 +119,11 @@ type Store struct {
 	// bulkFill is the bulk-load fill factor (0 = DefaultBulkFill).
 	bulkFill float64
 
+	// walW, when attached, is the write-ahead log: Mutate and
+	// InternLabel bracket their work with begin/commit records and roll
+	// failures back from the log (see wal.go).
+	walW *wal.Writer
+
 	// pindex, when attached, is the persistent path-index store. It is
 	// attached even in sessions that do not use the index so that
 	// Delete always drops a document's index — otherwise a session
@@ -171,13 +177,17 @@ func (s *Store) View(name string, fn func() error) error {
 // or one slow cursor would stall mutations of every other document.
 // The order is safe because no code path acquires a document lock
 // while holding wmu, and each mutator locks exactly one document.
+//
+// With a write-ahead log attached, fn runs as one logged operation:
+// its page effects become durable atomically at commit, and an error
+// (or a crash) rolls every one of them back — see wal.go.
 func (s *Store) Mutate(name string, fn func() error) error {
 	l := s.lockFor(name)
 	l.Lock()
 	defer l.Unlock()
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	return fn()
+	return s.runOp("mutate:"+name, fn)
 }
 
 // Create initializes a document manager over a fresh segment: the label
@@ -516,7 +526,13 @@ func (s *Store) InternLabel(name string) (dict.LabelID, error) {
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	return s.dict.Intern(name)
+	var id dict.LabelID
+	err := s.runOp("intern:"+name, func() error {
+		var err error
+		id, err = s.dict.Intern(name)
+		return err
+	})
+	return id, err
 }
 
 // nodeFromXML converts one parsed XML node into a facade subtree:
@@ -634,9 +650,13 @@ func (s *Store) importTreeIncrementalLocked(cx context.Context, name string, roo
 	}
 	// On any failure past this point — a cancelled context included —
 	// the partially built tree is torn down (best effort) so a failed
-	// import does not strand unreferenced records in the segment.
+	// import does not strand unreferenced records in the segment. With
+	// a write-ahead log the teardown is unnecessary: Mutate rolls the
+	// whole operation back from the log.
 	fail := func(err error) (DocInfo, error) {
-		_ = tree.DeleteTree()
+		if s.walW == nil {
+			_ = tree.DeleteTree()
+		}
 		return DocInfo{}, err
 	}
 	// Root attributes first, then children, all in pre-order.
@@ -652,8 +672,8 @@ func (s *Store) importTreeIncrementalLocked(cx context.Context, name string, roo
 		}
 	}
 	if err := s.register(info); err != nil {
-		if s.pindex != nil && s.indexOn {
-			_ = s.pindex.Drop(name) // best-effort rollback
+		if s.pindex != nil && s.indexOn && s.walW == nil {
+			_ = s.pindex.Drop(name) // best-effort rollback (log-driven otherwise)
 		}
 		return fail(err)
 	}

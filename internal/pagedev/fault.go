@@ -1,0 +1,162 @@
+package pagedev
+
+// Fault injection for crash-recovery testing. A CrashClock is a shared
+// budget of write operations: every write against a faulted component
+// (page device writes here, log writes via the wal test harness) ticks
+// the clock, and when the budget is exhausted the "machine" crashes —
+// every subsequent operation on every component sharing the clock fails
+// with ErrInjected. A recovery test walks the budget from 1 upward, so
+// an operation is interrupted at every write it ever issues.
+//
+// The tick that exhausts the budget can optionally be a torn write: the
+// first half of the page reaches the device, the rest does not — the
+// failure mode page checksums and the log's full-page-image records
+// exist to survive.
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is returned by every operation after an injected crash.
+var ErrInjected = errors.New("pagedev: injected crash")
+
+// CrashClock is a shared write budget. The zero value never crashes
+// until SetBudget arms it.
+type CrashClock struct {
+	mu      sync.Mutex
+	armed   bool
+	budget  int64 // write ticks remaining before the crash
+	crashed bool
+	torn    bool // the crashing write is half-applied
+}
+
+// SetBudget arms the clock: the n-th write from now crashes. When torn
+// is set, the crashing write half-applies before failing. n <= 0
+// crashes on the next write.
+func (c *CrashClock) SetBudget(n int64, torn bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed = true
+	c.budget = n
+	c.crashed = false
+	c.torn = torn
+}
+
+// Disarm stops injecting: subsequent operations pass through.
+func (c *CrashClock) Disarm() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed = false
+	c.crashed = false
+}
+
+// Crashed reports whether the budget has been exhausted.
+func (c *CrashClock) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Tick consumes one write tick. It reports how the write must behave:
+// proceed (false, false), fail without touching the device
+// (crash=true), or half-apply then fail (crash=true, torn=true).
+func (c *CrashClock) Tick() (crash, torn bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.armed {
+		return false, false
+	}
+	if c.crashed {
+		return true, false
+	}
+	c.budget--
+	if c.budget <= 0 {
+		c.crashed = true
+		return true, c.torn
+	}
+	return false, false
+}
+
+// Check reports whether the clock has crashed (for non-write operations,
+// which fail after the crash but never consume budget).
+func (c *CrashClock) Check() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.armed && c.crashed
+}
+
+// Fault wraps a Device with a CrashClock: writes tick the clock, and
+// once it crashes every operation fails with ErrInjected. Reads and
+// metadata operations do not consume budget but fail after the crash,
+// matching a process that is simply gone.
+type Fault struct {
+	inner Device
+	clock *CrashClock
+}
+
+// NewFault wraps dev with fault injection driven by clock.
+func NewFault(dev Device, clock *CrashClock) *Fault {
+	return &Fault{inner: dev, clock: clock}
+}
+
+// PageSize implements Device.
+func (f *Fault) PageSize() int { return f.inner.PageSize() }
+
+// NumPages implements Device.
+func (f *Fault) NumPages() PageNo { return f.inner.NumPages() }
+
+// Read implements Device.
+func (f *Fault) Read(p PageNo, buf []byte) error {
+	if f.clock.Check() {
+		return ErrInjected
+	}
+	return f.inner.Read(p, buf)
+}
+
+// Write implements Device. It consumes one clock tick; the crashing
+// tick either drops the write or, in torn mode, applies only the first
+// half of the page.
+func (f *Fault) Write(p PageNo, buf []byte) error {
+	crash, torn := f.clock.Tick()
+	if !crash {
+		return f.inner.Write(p, buf)
+	}
+	if torn {
+		half := make([]byte, len(buf))
+		if err := f.inner.Read(p, half); err == nil {
+			copy(half[:len(buf)/2], buf[:len(buf)/2])
+			_ = f.inner.Write(p, half)
+		}
+	}
+	return ErrInjected
+}
+
+// Grow implements Device.
+func (f *Fault) Grow(n PageNo) error {
+	if f.clock.Check() {
+		return ErrInjected
+	}
+	return f.inner.Grow(n)
+}
+
+// Shrink implements Device.
+func (f *Fault) Shrink(n PageNo) error {
+	if f.clock.Check() {
+		return ErrInjected
+	}
+	return f.inner.Shrink(n)
+}
+
+// Sync implements Device. Syncs fail after the crash but do not consume
+// budget: the interesting crash points are the writes themselves.
+func (f *Fault) Sync() error {
+	if f.clock.Check() {
+		return ErrInjected
+	}
+	return f.inner.Sync()
+}
+
+// Close implements Device. The underlying device stays open: the test
+// harness reads the surviving bytes out of it after the "crash".
+func (f *Fault) Close() error { return nil }

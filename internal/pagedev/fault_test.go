@@ -1,0 +1,99 @@
+package pagedev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFaultCrashAfterBudget(t *testing.T) {
+	mem, _ := NewMem(512)
+	var clock CrashClock
+	dev := NewFault(mem, &clock)
+	if err := dev.Grow(4); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	for i := range buf {
+		buf[i] = 0xAB
+	}
+	clock.SetBudget(2, false)
+	if err := dev.Write(0, buf); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if err := dev.Write(1, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write should crash, got %v", err)
+	}
+	// Everything fails after the crash.
+	if err := dev.Write(2, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := dev.Read(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	if err := dev.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	// The crashing write never reached the device.
+	got := make([]byte, 512)
+	if err := mem.Read(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("crashed write reached the device")
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	mem, _ := NewMem(512)
+	var clock CrashClock
+	dev := NewFault(mem, &clock)
+	if err := dev.Grow(1); err != nil {
+		t.Fatal(err)
+	}
+	old := make([]byte, 512)
+	for i := range old {
+		old[i] = 0x11
+	}
+	if err := mem.Write(0, old); err != nil {
+		t.Fatal(err)
+	}
+	clock.SetBudget(1, true)
+	buf := make([]byte, 512)
+	for i := range buf {
+		buf[i] = 0x22
+	}
+	if err := dev.Write(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write should report crash, got %v", err)
+	}
+	got := make([]byte, 512)
+	if err := mem.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:256], buf[:256]) {
+		t.Fatal("torn write: first half should be new bytes")
+	}
+	if !bytes.Equal(got[256:], old[256:]) {
+		t.Fatal("torn write: second half should be old bytes")
+	}
+}
+
+func TestShrink(t *testing.T) {
+	mem, _ := NewMem(512)
+	if err := mem.Grow(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Shrink(3); err != nil {
+		t.Fatal(err)
+	}
+	if n := mem.NumPages(); n != 3 {
+		t.Fatalf("NumPages = %d after shrink, want 3", n)
+	}
+	// Shrink past the end is a no-op.
+	if err := mem.Shrink(10); err != nil {
+		t.Fatal(err)
+	}
+	if n := mem.NumPages(); n != 3 {
+		t.Fatalf("NumPages = %d, want 3", n)
+	}
+}

@@ -65,6 +65,10 @@ type Device interface {
 	Write(p PageNo, buf []byte) error
 	// Grow ensures the device holds at least n pages.
 	Grow(n PageNo) error
+	// Shrink truncates the device to at most n pages, discarding the
+	// tail. Restart recovery and operation rollback use it to deallocate
+	// pages an aborted operation grew the device by.
+	Shrink(n PageNo) error
 	// Sync flushes device buffers to stable storage where applicable.
 	Sync() error
 	// Close releases the device. Further operations fail with ErrClosed.
@@ -152,6 +156,19 @@ func (m *Mem) Grow(n PageNo) error {
 	}
 	for PageNo(len(m.pages)) < n {
 		m.pages = append(m.pages, nil) // lazily materialized on first write
+	}
+	return nil
+}
+
+// Shrink implements Device.
+func (m *Mem) Shrink(n PageNo) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if PageNo(len(m.pages)) > n {
+		m.pages = m.pages[:n]
 	}
 	return nil
 }
@@ -264,6 +281,23 @@ func (d *File) Grow(n PageNo) error {
 	}
 	if err := d.f.Truncate(int64(n) * int64(d.pageSize)); err != nil {
 		return fmt.Errorf("pagedev: grow to %d pages: %w", n, err)
+	}
+	d.numPages = n
+	return nil
+}
+
+// Shrink implements Device.
+func (d *File) Shrink(n PageNo) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if n >= d.numPages {
+		return nil
+	}
+	if err := d.f.Truncate(int64(n) * int64(d.pageSize)); err != nil {
+		return fmt.Errorf("pagedev: shrink to %d pages: %w", n, err)
 	}
 	d.numPages = n
 	return nil

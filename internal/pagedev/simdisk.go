@@ -185,6 +185,10 @@ func (s *SimDisk) Write(p PageNo, buf []byte) error {
 // the new pages are accessed.
 func (s *SimDisk) Grow(n PageNo) error { return s.inner.Grow(n) }
 
+// Shrink implements Device. Like Grow it is free: truncation is a
+// metadata operation.
+func (s *SimDisk) Shrink(n PageNo) error { return s.inner.Shrink(n) }
+
 // Sync implements Device.
 func (s *SimDisk) Sync() error { return s.inner.Sync() }
 

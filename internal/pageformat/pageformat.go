@@ -1,7 +1,10 @@
 // Package pageformat defines the on-disk layout of NATIX pages.
 //
-// Every page starts with a common 8-byte header (magic, page type, flags,
-// CRC-32 checksum). Three page types exist:
+// Every page starts with a common 16-byte header (magic, page type,
+// flags, CRC-32 checksum, and the page LSN — the log sequence number of
+// the last write-ahead-log record applied to the page, which the buffer
+// manager uses to enforce the WAL rule and restart recovery uses to
+// recognize already-applied records). Three page types exist:
 //
 //   - Header: page 0 of a segment, holding segment metadata.
 //   - FSI: free-space-inventory pages, maintained by package segment.
@@ -42,19 +45,20 @@ const (
 	offType     = 2
 	offFlags    = 3
 	offChecksum = 4
+	offLSN      = 8
 
 	// CommonHeaderSize is the size of the header shared by all page types.
-	CommonHeaderSize = 8
+	CommonHeaderSize = 16
 )
 
 // Layout constants for the slotted page header (follows the common header).
 const (
-	offSlotCount = 8
-	offCellEnd   = 10
-	offFrag      = 12
-	offReserved  = 14
+	offSlotCount = 16
+	offCellEnd   = 18
+	offFrag      = 20
+	offReserved  = 22
 
-	slottedHeaderSize = 16
+	slottedHeaderSize = 24
 	slotSize          = 4
 
 	// SlotOverhead is the directory cost of one cell, exported so callers
@@ -85,6 +89,22 @@ func InitCommon(b []byte, t PageType) {
 	b[offType] = byte(t)
 	b[offFlags] = 0
 	binary.LittleEndian.PutUint32(b[offChecksum:], 0)
+	binary.LittleEndian.PutUint64(b[offLSN:], 0)
+}
+
+// PageLSN returns the LSN of the last log record applied to the page,
+// or 0 for pages written before logging (or never written).
+func PageLSN(b []byte) uint64 {
+	if len(b) < CommonHeaderSize {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[offLSN:])
+}
+
+// SetPageLSN stamps the page LSN. Called by the buffer manager when a
+// logged update completes and by recovery when it applies log records.
+func SetPageLSN(b []byte, lsn uint64) {
+	binary.LittleEndian.PutUint64(b[offLSN:], lsn)
 }
 
 // TypeOf returns the page type recorded in b's common header, or

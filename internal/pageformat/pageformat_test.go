@@ -23,7 +23,7 @@ func TestFormatAndAttach(t *testing.T) {
 	if s.SlotCount() != 0 || s.LiveCells() != 0 {
 		t.Fatalf("fresh page has %d slots, %d live", s.SlotCount(), s.LiveCells())
 	}
-	if got, want := s.FreeBytes(), 2048-16; got != want {
+	if got, want := s.FreeBytes(), 2048-24; got != want {
 		t.Fatalf("FreeBytes = %d, want %d", got, want)
 	}
 }
@@ -93,7 +93,7 @@ func TestInsertUntilFullThenDelete(t *testing.T) {
 	if s.SlotCount() != 0 {
 		t.Fatalf("trailing dead slots not trimmed: SlotCount = %d", s.SlotCount())
 	}
-	if got, want := s.FreeBytes(), 1024-16; got != want {
+	if got, want := s.FreeBytes(), 1024-24; got != want {
 		t.Fatalf("FreeBytes after full delete = %d, want %d", got, want)
 	}
 }

@@ -81,6 +81,33 @@ func Open(rm *records.Manager) (*Store, error) {
 	return s, nil
 }
 
+// Reload discards the in-memory catalog and handle cache and re-reads
+// the catalog from the segment. The document store calls it after a
+// log-driven rollback restored pages under the in-memory state.
+// Mutator context (the rollback holds the store-wide writer lock).
+func (s *Store) Reload() error {
+	raw, err := s.seg.RootRID(segment.RootPathIndex)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[string]records.RID)
+	s.cache = make(map[string]*Handle)
+	s.catalogID = records.RID{}
+	if raw == 0 {
+		return nil
+	}
+	var enc [records.RIDSize]byte
+	binary.LittleEndian.PutUint64(enc[:], raw)
+	s.catalogID = records.DecodeRID(enc[:])
+	body, err := s.blobs.Read(s.catalogID)
+	if err != nil {
+		return fmt.Errorf("pathindex: reload catalog: %w", err)
+	}
+	return s.decodeCatalog(body)
+}
+
 func (s *Store) encodeCatalog() []byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

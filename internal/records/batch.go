@@ -130,9 +130,15 @@ func (w *BatchWriter) materialize() error {
 		}
 	}
 	free := sl.FreeBytes()
-	f.MarkDirty()
+	// One page-image log record covers the whole packed page (the page
+	// was freshly allocated by this writer), preserving the bulk path's
+	// one-write-per-page property on the log as well.
+	err = f.LogImage()
 	f.Unlatch()
 	f.Release()
+	if err != nil {
+		return err
+	}
 	if err := w.m.seg.NotifyFree(w.page, free); err != nil {
 		return err
 	}

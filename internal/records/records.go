@@ -143,13 +143,19 @@ func (m *Manager) Insert(data []byte, near pagedev.PageNo) (RID, error) {
 			f.Release()
 			return NilRID, err
 		}
+		u := f.BeginUpdate()
 		slot, ok := sl.Insert(data)
 		free := sl.FreeBytes()
 		if ok {
-			f.MarkDirty()
+			err = f.EndUpdate(u)
+		} else {
+			f.CancelUpdate(u)
 		}
 		f.Unlatch()
 		f.Release()
+		if err != nil {
+			return NilRID, err
+		}
 		if err := m.seg.NotifyFree(p, free); err != nil {
 			return NilRID, err
 		}
@@ -293,13 +299,18 @@ func (m *Manager) Update(rid RID, data []byte) error {
 		f.Release()
 		return err
 	}
+	u := f.BeginUpdate()
 	if sl.Update(int(loc.Slot), data) {
 		free := sl.FreeBytes()
-		f.MarkDirty()
+		err := f.EndUpdate(u)
 		f.Unlatch()
 		f.Release()
+		if err != nil {
+			return err
+		}
 		return m.seg.NotifyFree(loc.Page, free)
 	}
+	f.CancelUpdate(u)
 	f.Unlatch()
 	f.Release()
 
@@ -328,22 +339,30 @@ func (m *Manager) Update(rid RID, data []byte) error {
 		f.Release()
 		return err
 	}
+	u = f.BeginUpdate()
 	var stub [RIDSize]byte
 	newLoc.Put(stub[:])
 	if !sl.Update(int(rid.Slot), stub[:]) {
+		f.CancelUpdate(u)
 		f.Unlatch()
 		f.Release()
 		return fmt.Errorf("records: cannot install forwarding stub at %s", rid)
 	}
 	if err := sl.SetFlag(int(rid.Slot), true); err != nil {
+		// The stub bytes are already in place: log them even on this
+		// (unreachable) path so the log never lags the page.
+		_ = f.EndUpdate(u)
 		f.Unlatch()
 		f.Release()
 		return err
 	}
 	free := sl.FreeBytes()
-	f.MarkDirty()
+	err = f.EndUpdate(u)
 	f.Unlatch()
 	f.Release()
+	if err != nil {
+		return err
+	}
 	return m.seg.NotifyFree(rid.Page, free)
 }
 
@@ -379,9 +398,9 @@ func (m *Manager) patchStub(home, newLoc RID) error {
 	if len(cell) != RIDSize {
 		return fmt.Errorf("%w: stub at %s has %d bytes", ErrCorrupt, home, len(cell))
 	}
+	u := f.BeginUpdate()
 	newLoc.Put(cell)
-	f.MarkDirty()
-	return nil
+	return f.EndUpdate(u)
 }
 
 // deleteCell removes one physical cell and updates the inventory.
@@ -397,15 +416,20 @@ func (m *Manager) deleteCell(loc RID) error {
 		f.Release()
 		return err
 	}
+	u := f.BeginUpdate()
 	if err := sl.Delete(int(loc.Slot)); err != nil {
+		f.CancelUpdate(u)
 		f.Unlatch()
 		f.Release()
 		return err
 	}
 	free := sl.FreeBytes()
-	f.MarkDirty()
+	err = f.EndUpdate(u)
 	f.Unlatch()
 	f.Release()
+	if err != nil {
+		return err
+	}
 	return m.seg.NotifyFree(loc.Page, free)
 }
 
@@ -450,9 +474,9 @@ func (m *Manager) Patch(rid RID, off int, data []byte) error {
 	if off < 0 || off+len(data) > len(cell) {
 		return fmt.Errorf("%w: [%d,%d) of %d", ErrBadOffset, off, off+len(data), len(cell))
 	}
+	u := f.BeginUpdate()
 	copy(cell[off:], data)
-	f.MarkDirty()
-	return nil
+	return f.EndUpdate(u)
 }
 
 // PageFreeBytes returns the exact free byte count of a data page. The

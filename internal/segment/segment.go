@@ -34,13 +34,15 @@ const (
 	NumRoots      = 4
 )
 
-// Header page layout (after the 8-byte common header).
+// Header page layout (after the 16-byte common header).
 const (
-	offVersion  = 8
-	offPageSize = 12
-	offRoots    = 16
+	offVersion  = 16
+	offPageSize = 20
+	offRoots    = 24
 
-	formatVersion = 1
+	// formatVersion 2: the common page header grew an LSN field for
+	// write-ahead logging (version 1 had an 8-byte common header).
+	formatVersion = 2
 )
 
 // maxScanGroups bounds how many free-space-inventory groups FindSpace
@@ -129,6 +131,7 @@ func Create(pool *buffer.Pool) (*Segment, error) {
 	defer f.Release()
 	f.Latch()
 	defer f.Unlatch()
+	u := f.BeginUpdate()
 	b := f.Data()
 	pageformat.InitCommon(b, pageformat.TypeHeader)
 	binary.LittleEndian.PutUint32(b[offVersion:], formatVersion)
@@ -136,7 +139,9 @@ func Create(pool *buffer.Pool) (*Segment, error) {
 	for i := 0; i < NumRoots; i++ {
 		binary.LittleEndian.PutUint64(b[offRoots+8*i:], 0)
 	}
-	f.MarkDirty()
+	if err := f.EndUpdate(u); err != nil {
+		return nil, err
+	}
 	return &Segment{pool: pool, pageSize: dev.PageSize(), fsiCap: fsiCapacity(dev.PageSize())}, nil
 }
 
@@ -203,9 +208,9 @@ func (s *Segment) SetRootRID(slot rootSlot, v uint64) error {
 	defer f.Release()
 	f.Latch()
 	defer f.Unlatch()
+	u := f.BeginUpdate()
 	binary.LittleEndian.PutUint64(f.Data()[offRoots+8*slot:], v)
-	f.MarkDirty()
-	return nil
+	return f.EndUpdate(u)
 }
 
 // IsFSIPage reports whether p is a free-space-inventory page.
@@ -249,11 +254,12 @@ func (s *Segment) NotifyFree(p pagedev.PageNo, freeBytes int) error {
 	defer f.Unlatch()
 	enc := encodeFree(freeBytes, s.pageSize)
 	b := f.Data()
-	if b[pageformat.CommonHeaderSize+entry] != enc {
-		b[pageformat.CommonHeaderSize+entry] = enc
-		f.MarkDirty()
+	if b[pageformat.CommonHeaderSize+entry] == enc {
+		return nil
 	}
-	return nil
+	u := f.BeginUpdate()
+	b[pageformat.CommonHeaderSize+entry] = enc
+	return f.EndUpdate(u)
 }
 
 // FreeHint returns the inventory's lower bound on free bytes for page p.
@@ -380,10 +386,14 @@ func (s *Segment) allocPage() (pagedev.PageNo, error) {
 				return 0, err
 			}
 			f.Latch()
+			u := f.BeginUpdate()
 			pageformat.InitCommon(f.Data(), pageformat.TypeFSI)
-			f.MarkDirty()
+			err = f.EndUpdate(u)
 			f.Unlatch()
 			f.Release()
+			if err != nil {
+				return 0, err
+			}
 			continue // the page after the FSI page is the data page
 		}
 		f, err := s.pool.GetNew(p)
@@ -391,6 +401,13 @@ func (s *Segment) allocPage() (pagedev.PageNo, error) {
 			return 0, err
 		}
 		f.Latch()
+		// Formatting a fresh data page is deliberately not logged: the
+		// page's first real content (a record insert, or the batch
+		// writer's packed image) logs a full image that covers the
+		// formatting, so bulk-loaded pages cost one log record, not
+		// two. If a crash intervenes, the page is unreferenced and
+		// recovery's undo truncates it away with the rest of the
+		// operation's allocations.
 		sl := pageformat.FormatSlotted(f.Data())
 		free := sl.FreeBytes()
 		f.MarkDirty()

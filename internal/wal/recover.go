@@ -1,0 +1,309 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"natix/internal/pagedev"
+	"natix/internal/pageformat"
+)
+
+// Result describes what restart recovery did.
+type Result struct {
+	// Recovered is true when the log held records — the store was not
+	// cleanly closed and redo/undo ran.
+	Recovered bool
+	// RedoneOps counts finished operations replayed.
+	RedoneOps int
+	// UndoneOps counts unfinished tail operations rolled back.
+	UndoneOps int
+	// PagesWritten counts device pages recovery rewrote.
+	PagesWritten int
+	// Reset is true when the log header was unreadable and the log was
+	// discarded (only possible before any record was durable).
+	Reset bool
+}
+
+// ErrUnrecoverable reports a log/device state recovery cannot repair —
+// a torn page with no full image in the log to rebuild it from. It
+// cannot arise from crashes under the WAL rule (first post-checkpoint
+// updates log full before-images); it means the store file was damaged
+// by something other than a crash.
+var ErrUnrecoverable = errors.New("wal: unrecoverable: torn page without logged image")
+
+// recPage is one page being reconstructed during recovery.
+type recPage struct {
+	buf    []byte
+	dirty  bool
+	torn   bool // device copy failed its checksum
+	imaged bool // a full image/before-image has been applied
+	dead   bool // freshly allocated by an undone operation
+	lsn    LSN  // last record applied
+}
+
+// Recover replays the log in st against dev: redo for every finished
+// operation since the last checkpoint, undo for the unfinished tail
+// operation if the crash interrupted one. On return the device contains
+// exactly the committed operations, durably, and the log is reset. An
+// empty log returns a zero Result. Recovery is idempotent: if it is
+// itself interrupted, the next run starts from the same log and
+// reaches the same state.
+func Recover(dev pagedev.Device, st Storage) (Result, error) {
+	size, err := st.Size()
+	if err != nil {
+		return Result{}, err
+	}
+	if size == 0 {
+		return Result{}, nil
+	}
+
+	var recs []Record
+	pageSize, _, err := Scan(st, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if errors.Is(err, ErrBadHeader) {
+		// The header is synced before the first record is appended, so
+		// an unreadable header means no durable record ever depended on
+		// this log. Discard it.
+		if terr := st.Truncate(0); terr != nil {
+			return Result{}, terr
+		}
+		return Result{Reset: true}, nil
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if pageSize != dev.PageSize() {
+		return Result{}, fmt.Errorf("%w: log page size %d, device %d", ErrBadHeader, pageSize, dev.PageSize())
+	}
+
+	if len(recs) == 0 {
+		// Header-only log: the store was cleanly closed.
+		return Result{}, nil
+	}
+
+	// Start after the last checkpoint: everything before it is durable
+	// in the device already.
+	start := 0
+	for i, r := range recs {
+		if r.Type == RecCheckpoint {
+			start = i + 1
+		}
+	}
+	recs = recs[start:]
+
+	res := Result{Recovered: true}
+	if len(recs) == 0 {
+		return res, resetLog(st, pageSize)
+	}
+
+	// Analysis: which operations finished?
+	closed := make(map[uint64]bool)
+	for _, r := range recs {
+		switch r.Type {
+		case RecCommit, RecAbort:
+			closed[r.OpID] = true
+		}
+	}
+
+	pages := make(map[pagedev.PageNo]*recPage)
+	virtual := uint64(dev.NumPages()) // device size being reconstructed
+	load := func(p pagedev.PageNo) *recPage {
+		if pg, ok := pages[p]; ok {
+			return pg
+		}
+		pg := &recPage{buf: make([]byte, pageSize)}
+		if uint64(p) < uint64(dev.NumPages()) {
+			if err := dev.Read(p, pg.buf); err != nil {
+				pg.torn = true
+			} else if err := pageformat.VerifyChecksum(pg.buf); err != nil {
+				pg.torn = true
+			}
+		}
+		pages[p] = pg
+		return pg
+	}
+	grow := func(p pagedev.PageNo) {
+		if uint64(p)+1 > virtual {
+			virtual = uint64(p) + 1
+		}
+	}
+	applyRanges := func(pg *recPage, r Record, redo bool) error {
+		// A record's ranges are disjoint, so application order within
+		// the record is irrelevant.
+		for _, rg := range r.Ranges {
+			if rg.Off < 0 || rg.Off+len(rg.After) > pageSize {
+				return fmt.Errorf("%w: range [%d,%d) on %d-byte page", ErrBadRecord, rg.Off, rg.Off+len(rg.After), pageSize)
+			}
+			if redo {
+				copy(pg.buf[rg.Off:], rg.After)
+			} else {
+				copy(pg.buf[rg.Off:], rg.Before)
+			}
+		}
+		pg.dirty = true
+		pg.lsn = r.LSN
+		return nil
+	}
+
+	// Op membership per record: page records carry no op id; the
+	// nearest preceding begin owns them.
+	owner := make([]uint64, len(recs))
+	currentOwner := uint64(0)
+	for i, r := range recs {
+		if r.Type == RecBegin {
+			currentOwner = r.OpID
+		}
+		owner[i] = currentOwner
+		if r.Type == RecCommit || r.Type == RecAbort {
+			currentOwner = 0
+		}
+	}
+	// Records before any begin were subject to the WAL rule like all
+	// others; replay them as finished.
+	finished := func(i int) bool { return owner[i] == 0 || closed[owner[i]] }
+
+	// Redo: replay records of finished operations in log order.
+	// (Records of aborted operations replay too: their compensating
+	// updates follow their originals in the log, so the net effect is
+	// the rollback the mutator performed before appending the abort.)
+	for i, r := range recs {
+		switch r.Type {
+		case RecBegin:
+			if closed[r.OpID] {
+				res.RedoneOps++
+			}
+			continue
+		case RecCommit, RecAbort, RecCheckpoint:
+			continue
+		}
+		if !finished(i) {
+			continue // unfinished: handled by undo below
+		}
+		switch r.Type {
+		case RecImage:
+			grow(r.Page)
+			pg := load(r.Page)
+			copy(pg.buf, r.Image)
+			pg.dirty, pg.imaged, pg.torn, pg.dead, pg.lsn = true, true, false, false, r.LSN
+		case RecFirstUpdate:
+			grow(r.Page)
+			pg := load(r.Page)
+			copy(pg.buf, r.BeforeImage)
+			pg.imaged, pg.torn = true, false
+			if err := applyRanges(pg, r, true); err != nil {
+				return res, err
+			}
+		case RecUpdate:
+			grow(r.Page)
+			pg := load(r.Page)
+			if err := applyRanges(pg, r, true); err != nil {
+				return res, err
+			}
+		case RecShrink:
+			if r.NumPages < virtual {
+				virtual = r.NumPages
+			}
+			for p, pg := range pages {
+				if uint64(p) >= r.NumPages {
+					pg.dead, pg.dirty = true, false
+				}
+			}
+		}
+	}
+
+	// Undo: walk the unfinished tail operation's records backwards,
+	// restoring before-images; pages it freshly allocated die with the
+	// device truncation back to the operation's pre-image size.
+	undone := make(map[uint64]bool)
+	undoShrink := virtual
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		op := r.OpID
+		switch r.Type {
+		case RecBegin:
+			if !closed[op] {
+				undone[op] = true
+				if r.PreNumPages < undoShrink {
+					undoShrink = r.PreNumPages
+				}
+			}
+			continue
+		case RecCommit, RecAbort, RecCheckpoint, RecShrink:
+			continue
+		}
+		if finished(i) {
+			continue // already redone
+		}
+		switch r.Type {
+		case RecImage:
+			pg := load(r.Page)
+			pg.dead, pg.dirty = true, false
+		case RecFirstUpdate:
+			pg := load(r.Page)
+			copy(pg.buf, r.BeforeImage)
+			pg.dirty, pg.imaged, pg.torn, pg.lsn = true, true, false, r.LSN
+		case RecUpdate:
+			pg := load(r.Page)
+			if err := applyRanges(pg, r, false); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.UndoneOps = len(undone)
+	if undoShrink < virtual {
+		virtual = undoShrink
+	}
+
+	// Write the reconstructed pages, checksummed and LSN-stamped.
+	if pagedev.PageNo(virtual) > dev.NumPages() {
+		if err := dev.Grow(pagedev.PageNo(virtual)); err != nil {
+			return res, err
+		}
+	}
+	for p, pg := range pages {
+		if pg.dead || !pg.dirty || uint64(p) >= virtual {
+			continue
+		}
+		if pg.torn && !pg.imaged {
+			return res, fmt.Errorf("%w: page %d", ErrUnrecoverable, p)
+		}
+		if pageformat.TypeOf(pg.buf) != pageformat.TypeInvalid {
+			pageformat.SetPageLSN(pg.buf, uint64(pg.lsn))
+			pageformat.UpdateChecksum(pg.buf)
+		}
+		if err := dev.Write(p, pg.buf); err != nil {
+			return res, err
+		}
+		res.PagesWritten++
+	}
+	if dev.NumPages() > pagedev.PageNo(virtual) {
+		if err := dev.Shrink(pagedev.PageNo(virtual)); err != nil {
+			return res, err
+		}
+	}
+	if err := dev.Sync(); err != nil {
+		return res, err
+	}
+	return res, resetLog(st, pageSize)
+}
+
+// resetLog truncates the log to an empty state whose base LSN continues
+// after everything scanned, keeping LSNs monotonic for the store's life.
+func resetLog(st Storage, pageSize int) error {
+	_, end, err := Scan(st, func(Record) error { return nil })
+	if err != nil {
+		return err
+	}
+	if end == 0 {
+		end = 1
+	}
+	if err := st.Truncate(headerSize); err != nil {
+		return err
+	}
+	if _, err := st.WriteAt(encodeHeader(header{base: end, pageSize: pageSize}), 0); err != nil {
+		return err
+	}
+	return st.Sync()
+}

@@ -1,0 +1,297 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"natix/internal/pagedev"
+	"natix/internal/pageformat"
+)
+
+const testPage = 512
+
+// fill returns a checksummed plain page whose body repeats b.
+func fill(b byte) []byte {
+	p := make([]byte, testPage)
+	pageformat.InitCommon(p, pageformat.TypePlain)
+	for i := pageformat.CommonHeaderSize; i < testPage; i++ {
+		p[i] = b
+	}
+	pageformat.UpdateChecksum(p)
+	return p
+}
+
+func newDev(t *testing.T, pages ...[]byte) *pagedev.Mem {
+	t.Helper()
+	dev, err := pagedev.NewMem(testPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Grow(pagedev.PageNo(len(pages))); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pages {
+		if err := dev.Write(pagedev.PageNo(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dev
+}
+
+func readPage(t *testing.T, dev pagedev.Device, p pagedev.PageNo) []byte {
+	t.Helper()
+	buf := make([]byte, testPage)
+	if err := dev.Read(p, buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// body compares page contents ignoring the LSN and checksum header
+// fields, which recovery restamps.
+func sameBody(a, b []byte) bool {
+	return bytes.Equal(a[:4], b[:4]) &&
+		bytes.Equal(a[pageformat.CommonHeaderSize:], b[pageformat.CommonHeaderSize:])
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	dev := newDev(t, fill(1))
+	res, err := Recover(dev, NewMemStorage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered {
+		t.Fatal("empty log should not trigger recovery")
+	}
+}
+
+func TestRecoverRedoCommitted(t *testing.T) {
+	// The device never saw the committed operation's writes: pages are
+	// stale. Redo must reconstruct them from the log.
+	p0 := fill(1)
+	dev := newDev(t, p0)
+	st := NewMemStorage()
+	w, _ := OpenWriter(st, Options{PageSize: testPage})
+
+	w.Begin("op", 1)
+	// First update of existing page 0: before-image + range.
+	after := append([]byte(nil), p0...)
+	after[100] = 0xEE
+	w.AppendFirstUpdate(0, p0, []Range{{Off: 100, Before: []byte{1}, After: []byte{0xEE}}})
+	// Fresh page 1 via image.
+	img := fill(7)
+	w.AppendImage(1, img)
+	w.Commit()
+
+	res, err := Recover(dev, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered || res.RedoneOps != 1 || res.UndoneOps != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if dev.NumPages() != 2 {
+		t.Fatalf("device has %d pages, want 2 (grown by redo)", dev.NumPages())
+	}
+	if got := readPage(t, dev, 0); !sameBody(got, after) {
+		t.Fatal("page 0 not redone")
+	}
+	if got := readPage(t, dev, 1); !sameBody(got, img) {
+		t.Fatal("page 1 image not redone")
+	}
+	// Pages recovery writes carry fresh checksums.
+	if err := pageformat.VerifyChecksum(readPage(t, dev, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The log is reset afterwards.
+	if n, _ := st.Size(); n != headerSize {
+		t.Fatalf("log not reset: %d bytes", n)
+	}
+	// Recovery of the reset log is a no-op.
+	res2, err := Recover(dev, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Recovered {
+		t.Fatal("second recovery should be a no-op")
+	}
+}
+
+func TestRecoverUndoUnfinished(t *testing.T) {
+	// The unfinished operation's writes DID reach the device (the WAL
+	// rule allows write-back once records are durable). Undo must
+	// restore the before state and truncate the fresh page away.
+	p0 := fill(1)
+	mutated := append([]byte(nil), p0...)
+	mutated[200] = 0xAA
+	pageformat.UpdateChecksum(mutated)
+	dev := newDev(t, mutated, fill(9)) // page 1 freshly allocated by the op
+
+	st := NewMemStorage()
+	w, _ := OpenWriter(st, Options{PageSize: testPage})
+	w.Begin("import", 1) // device had 1 page before the op
+	w.AppendFirstUpdate(0, p0, []Range{{Off: 200, Before: []byte{1}, After: []byte{0xAA}}})
+	w.AppendImage(1, readPage(t, dev, 1))
+	w.Sync() // durable, but no commit: crash here
+
+	res, err := Recover(dev, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UndoneOps != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if got := readPage(t, dev, 0); !sameBody(got, p0) {
+		t.Fatal("page 0 not restored to before-image")
+	}
+	if dev.NumPages() != 1 {
+		t.Fatalf("device has %d pages, want 1 (fresh page deallocated)", dev.NumPages())
+	}
+}
+
+func TestRecoverTornPageRebuiltFromImage(t *testing.T) {
+	// A committed op first-updated page 0, and the page write itself
+	// tore (garbage on disk, bad checksum). The first-update's
+	// before-image is the redo base.
+	p0 := fill(3)
+	torn := append([]byte(nil), p0...)
+	copy(torn[testPage/2:], bytes.Repeat([]byte{0xFF}, testPage/2)) // tear: stale checksum
+	dev := newDev(t, torn)
+
+	st := NewMemStorage()
+	w, _ := OpenWriter(st, Options{PageSize: testPage})
+	w.Begin("op", 1)
+	w.AppendFirstUpdate(0, p0, []Range{{Off: 50, Before: []byte{3}, After: []byte{0x77}}})
+	w.Commit()
+
+	if _, err := Recover(dev, st); err != nil {
+		t.Fatal(err)
+	}
+	got := readPage(t, dev, 0)
+	if err := pageformat.VerifyChecksum(got); err != nil {
+		t.Fatalf("recovered page fails checksum: %v", err)
+	}
+	want := append([]byte(nil), p0...)
+	want[50] = 0x77
+	if !sameBody(got, want) {
+		t.Fatal("torn page not rebuilt from before-image + ranges")
+	}
+}
+
+func TestRecoverTornTailDiscarded(t *testing.T) {
+	// Crash mid-append: the commit record is torn off. The operation
+	// must be undone even though some of its records are readable.
+	p0 := fill(5)
+	dev := newDev(t, p0)
+	st := NewMemStorage()
+	w, _ := OpenWriter(st, Options{PageSize: testPage})
+	w.Begin("op", 1)
+	w.AppendFirstUpdate(0, p0, []Range{{Off: 60, Before: []byte{5}, After: []byte{0x42}}})
+	w.Commit()
+	full := st.Snapshot()
+
+	// Remove the last 4 bytes: the commit frame is now invalid.
+	tornSt := NewMemStorageFrom(full[:len(full)-4])
+	res, err := Recover(dev, tornSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UndoneOps != 1 || res.RedoneOps != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if got := readPage(t, dev, 0); !sameBody(got, p0) {
+		t.Fatal("op with torn commit must be undone")
+	}
+}
+
+func TestRecoverStartsAtLastCheckpointRecord(t *testing.T) {
+	// A checkpoint record without truncation (crash between the two):
+	// records before it must be ignored.
+	dev := newDev(t, fill(1))
+	st := NewMemStorage()
+	w, _ := OpenWriter(st, Options{PageSize: testPage})
+	w.Begin("old", 1)
+	w.AppendUpdate(0, []Range{{Off: 70, Before: []byte{1}, After: []byte{0x99}}})
+	w.Commit()
+	// Append a checkpoint record manually (Checkpoint would truncate).
+	w.mu.Lock()
+	w.appendLocked(&Record{Type: RecCheckpoint, NumPages: 1})
+	w.syncLocked()
+	w.mu.Unlock()
+
+	res, err := Recover(dev, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RedoneOps != 0 {
+		t.Fatalf("ops before the checkpoint were replayed: %+v", res)
+	}
+	if got := readPage(t, dev, 0); !sameBody(got, fill(1)) {
+		t.Fatal("pre-checkpoint records must not be replayed")
+	}
+}
+
+func TestRecoverAbortedOpReplaysToNetZero(t *testing.T) {
+	// A runtime-rolled-back op: original update, compensating update,
+	// abort. Redo replays both; the page ends at its original state.
+	p0 := fill(2)
+	dev := newDev(t, p0)
+	st := NewMemStorage()
+	w, _ := OpenWriter(st, Options{PageSize: testPage})
+	w.Begin("op", 1)
+	w.AppendFirstUpdate(0, p0, []Range{{Off: 80, Before: []byte{2}, After: []byte{0x55}}})
+	w.AppendUpdate(0, []Range{{Off: 80, Before: []byte{0x55}, After: []byte{2}}}) // compensation
+	w.Abort()
+
+	if _, err := Recover(dev, st); err != nil {
+		t.Fatal(err)
+	}
+	if got := readPage(t, dev, 0); !sameBody(got, p0) {
+		t.Fatal("aborted op must net to zero")
+	}
+}
+
+func TestRecoverShrinkRecord(t *testing.T) {
+	// Aborted op grew the device, rolled back with a shrink record,
+	// then a later committed op reused the page number. Redo must end
+	// with the committed op's page, not the aborted op's.
+	p0 := fill(1)
+	dev := newDev(t, p0)
+	st := NewMemStorage()
+	w, _ := OpenWriter(st, Options{PageSize: testPage})
+
+	w.Begin("aborted", 1)
+	w.AppendImage(1, fill(0xAB))
+	w.AppendShrink(1)
+	w.Abort()
+
+	w.Begin("committed", 1)
+	img := fill(0xCD)
+	w.AppendImage(1, img)
+	w.Commit()
+
+	if _, err := Recover(dev, st); err != nil {
+		t.Fatal(err)
+	}
+	if dev.NumPages() != 2 {
+		t.Fatalf("device has %d pages, want 2", dev.NumPages())
+	}
+	if got := readPage(t, dev, 1); !sameBody(got, img) {
+		t.Fatal("page 1 must hold the committed image")
+	}
+}
+
+func TestRecoverInvalidHeaderResets(t *testing.T) {
+	dev := newDev(t, fill(1))
+	st := NewMemStorageFrom([]byte("garbage that is long enough to look at"))
+	res, err := Recover(dev, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reset {
+		t.Fatalf("result %+v, want Reset", res)
+	}
+	if n, _ := st.Size(); n != 0 {
+		t.Fatalf("log not discarded: %d bytes", n)
+	}
+}

@@ -1,0 +1,412 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"natix/internal/pagedev"
+)
+
+// Options configure a log writer.
+type Options struct {
+	// PageSize is the database page size, recorded in the log header.
+	PageSize int
+	// NoSync skips the durability barrier on commit: records are still
+	// written to the log file, but the operating system decides when
+	// they reach the platter. Trades crash durability of the last few
+	// operations for speed; the file can never become corrupt.
+	NoSync bool
+	// BufferLimit overrides the append-buffer size (0 = 256 KB).
+	// Crash tests shrink it so every record append becomes a separate
+	// file write — a separate crash point.
+	BufferLimit int
+}
+
+// Stats counts log activity since the writer was opened.
+type Stats struct {
+	Appends     int64 // records appended
+	Bytes       int64 // payload bytes appended
+	Syncs       int64 // durability barriers issued
+	Checkpoints int64 // checkpoints taken
+}
+
+// Writer is the append side of the log. Appends are buffered in memory
+// and reach the file on Flush/Sync — commit is the group-commit point:
+// an operation's records travel to the file together and cost one sync.
+// All methods are safe for concurrent use (the single mutator appends
+// while buffer-pool evictions on reader goroutines call FlushTo).
+type Writer struct {
+	mu       sync.Mutex
+	st       Storage
+	opts     Options
+	base     LSN   // LSN of the byte at file offset headerSize
+	fileEnd  int64 // bytes currently in the file
+	buf      []byte
+	synced   LSN // log is durable through here (exclusive)
+	activeOp uint64
+	beginLSN LSN
+	opSeq    uint64
+
+	appends     int64
+	bytes       int64
+	syncs       int64
+	checkpoints int64
+}
+
+// bufFlushLimit bounds the in-memory append buffer; a bigger buffer is
+// written out (without sync) to keep operation memory flat.
+const bufFlushLimit = 256 << 10
+
+// OpenWriter attaches a writer to st, creating the log header if the
+// storage is empty. Recovery, when needed, must run before the writer
+// is opened: the writer appends at the current end of storage.
+func OpenWriter(st Storage, opts Options) (*Writer, error) {
+	if !pagedev.ValidPageSize(opts.PageSize) {
+		return nil, fmt.Errorf("wal: invalid page size %d", opts.PageSize)
+	}
+	size, err := st.Size()
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{st: st, opts: opts}
+	if w.opts.BufferLimit == 0 {
+		w.opts.BufferLimit = bufFlushLimit
+	}
+	if size == 0 {
+		w.base = 1
+		w.fileEnd = headerSize
+		if _, err := st.WriteAt(encodeHeader(header{base: w.base, pageSize: opts.PageSize}), 0); err != nil {
+			return nil, err
+		}
+		// The header must be durable before any record is appended:
+		// recovery treats an unreadable header as an empty log.
+		if err := st.Sync(); err != nil {
+			return nil, err
+		}
+	} else {
+		hb := make([]byte, headerSize)
+		if _, err := st.ReadAt(hb, 0); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+		}
+		h, err := decodeHeader(hb)
+		if err != nil {
+			return nil, err
+		}
+		if h.pageSize != opts.PageSize {
+			return nil, fmt.Errorf("%w: log page size %d, store %d", ErrBadHeader, h.pageSize, opts.PageSize)
+		}
+		w.base = h.base
+		w.fileEnd = size
+	}
+	w.synced = w.endLocked()
+	return w, nil
+}
+
+// endLocked returns the LSN one past the last appended record.
+func (w *Writer) endLocked() LSN {
+	return w.base + LSN(w.fileEnd-headerSize) + LSN(len(w.buf))
+}
+
+// End returns the LSN the next record will be assigned.
+func (w *Writer) End() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.endLocked()
+}
+
+// SyncedLSN returns the LSN through which the log is durable.
+func (w *Writer) SyncedLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.synced
+}
+
+// Size returns the log size in bytes, buffered appends included.
+func (w *Writer) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fileEnd + int64(len(w.buf))
+}
+
+// Stats returns a snapshot of the writer's counters.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{Appends: w.appends, Bytes: w.bytes, Syncs: w.syncs, Checkpoints: w.checkpoints}
+}
+
+// appendLocked frames rec into the buffer and returns its LSN.
+func (w *Writer) appendLocked(rec *Record) (LSN, error) {
+	lsn := w.endLocked()
+	payload := encodePayload(rec)
+	w.buf = appendRecord(w.buf, payload)
+	w.appends++
+	w.bytes += int64(len(payload))
+	if len(w.buf) >= w.opts.BufferLimit {
+		if err := w.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// flushLocked writes the buffer to storage without a sync barrier.
+func (w *Writer) flushLocked() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if _, err := w.st.WriteAt(w.buf, w.fileEnd); err != nil {
+		return err
+	}
+	w.fileEnd += int64(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// syncLocked makes every appended record durable.
+func (w *Writer) syncLocked() error {
+	end := w.endLocked()
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	if !w.opts.NoSync {
+		if err := w.st.Sync(); err != nil {
+			return err
+		}
+		w.syncs++
+	}
+	w.synced = end
+	return nil
+}
+
+// Sync flushes the buffer and issues a durability barrier.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+// FlushTo ensures the log is durable through lsn. The buffer manager
+// calls it before writing back a dirty page (the WAL rule).
+func (w *Writer) FlushTo(lsn LSN) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.synced >= lsn {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// Begin opens an operation: all subsequent updates belong to it until
+// Commit or Abort. preNumPages is the device size before the operation;
+// undo truncates back to it. Returns the begin record's LSN.
+func (w *Writer) Begin(kind string, preNumPages uint64) (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.activeOp != 0 {
+		return 0, fmt.Errorf("%w: %q", ErrInOp, kind)
+	}
+	w.opSeq++
+	rec := Record{Type: RecBegin, OpID: w.opSeq, PreNumPages: preNumPages, Kind: kind}
+	lsn, err := w.appendLocked(&rec)
+	if err != nil {
+		return 0, err
+	}
+	w.activeOp = w.opSeq
+	w.beginLSN = lsn
+	return lsn, nil
+}
+
+// ActiveOp returns the begin LSN of the operation in progress, if any.
+func (w *Writer) ActiveOp() (LSN, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.beginLSN, w.activeOp != 0
+}
+
+// Commit closes the active operation and makes it durable: the group
+// commit point — one sync covers every record the operation appended.
+func (w *Writer) Commit() error {
+	return w.endOp(RecCommit)
+}
+
+// Abort closes the active operation after its effects were rolled back
+// (the compensating updates are ordinary logged updates preceding the
+// abort record).
+func (w *Writer) Abort() error {
+	return w.endOp(RecAbort)
+}
+
+func (w *Writer) endOp(t uint8) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.activeOp == 0 {
+		return ErrNoOp
+	}
+	rec := Record{Type: t, OpID: w.activeOp}
+	if _, err := w.appendLocked(&rec); err != nil {
+		return err
+	}
+	w.activeOp = 0
+	w.beginLSN = 0
+	return w.syncLocked()
+}
+
+// AppendUpdate logs a byte-range change to a page.
+func (w *Writer) AppendUpdate(page pagedev.PageNo, ranges []Range) (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(&Record{Type: RecUpdate, Page: page, Ranges: ranges})
+}
+
+// AppendFirstUpdate logs the first post-checkpoint change to an
+// existing page: the full before-image plus the changed ranges.
+func (w *Writer) AppendFirstUpdate(page pagedev.PageNo, beforeImage []byte, ranges []Range) (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(&Record{Type: RecFirstUpdate, Page: page, BeforeImage: beforeImage, Ranges: ranges})
+}
+
+// AppendImage logs the full after-image of a freshly allocated page.
+func (w *Writer) AppendImage(page pagedev.PageNo, image []byte) (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(&Record{Type: RecImage, Page: page, Image: image})
+}
+
+// AppendShrink logs a device truncation (runtime rollback deallocating
+// the pages an aborted operation grew the device by).
+func (w *Writer) AppendShrink(numPages uint64) (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(&Record{Type: RecShrink, NumPages: numPages})
+}
+
+// Checkpoint marks all pages durable and resets the log. The caller
+// must have synced the log, flushed every dirty page and synced the
+// device, in that order, before calling; no operation may be active.
+// The sequence is: checkpoint record (so a crash between here and the
+// truncation recovers from the checkpoint, a no-op), then truncation
+// with the header's base LSN advanced so LSNs stay monotonic.
+func (w *Writer) Checkpoint(numPages uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.activeOp != 0 {
+		return fmt.Errorf("wal: checkpoint with operation in progress")
+	}
+	if _, err := w.appendLocked(&Record{Type: RecCheckpoint, NumPages: numPages}); err != nil {
+		return err
+	}
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	newBase := w.endLocked()
+	if err := w.st.Truncate(headerSize); err != nil {
+		return err
+	}
+	if _, err := w.st.WriteAt(encodeHeader(header{base: newBase, pageSize: w.opts.PageSize}), 0); err != nil {
+		return err
+	}
+	if !w.opts.NoSync {
+		if err := w.st.Sync(); err != nil {
+			return err
+		}
+		w.syncs++
+	}
+	w.base = newBase
+	w.fileEnd = headerSize
+	w.buf = w.buf[:0]
+	w.synced = newBase
+	w.checkpoints++
+	return nil
+}
+
+// RecordLSNsSince returns the LSNs of every record appended at or after
+// from, in log order. Runtime rollback collects these and then reads
+// each record back in reverse.
+func (w *Writer) RecordLSNsSince(from LSN) ([]LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []LSN
+	lsn := from
+	end := w.endLocked()
+	for lsn < end {
+		_, n, err := w.readFrameLocked(lsn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lsn)
+		lsn += LSN(n)
+	}
+	return out, nil
+}
+
+// ReadRecord reads one record back by LSN, from the file or the append
+// buffer. The returned record owns its memory.
+func (w *Writer) ReadRecord(lsn LSN) (Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	payload, _, err := w.readFrameLocked(lsn)
+	if err != nil {
+		return Record{}, err
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.LSN = lsn
+	return rec, nil
+}
+
+// readFrameLocked returns the payload (a private copy) and total frame
+// length of the record at lsn.
+func (w *Writer) readFrameLocked(lsn LSN) (payload []byte, frameLen int, err error) {
+	if lsn < w.base {
+		return nil, 0, fmt.Errorf("%w: LSN %d before log base %d", ErrBadRecord, lsn, w.base)
+	}
+	read := func(p []byte, off int64) error {
+		fileBytes := w.fileEnd - headerSize
+		for len(p) > 0 {
+			if off < fileBytes {
+				n := int64(len(p))
+				if off+n > fileBytes {
+					n = fileBytes - off
+				}
+				if _, err := w.st.ReadAt(p[:n], headerSize+off); err != nil {
+					return err
+				}
+				p = p[n:]
+				off += n
+			} else {
+				boff := off - fileBytes
+				if boff >= int64(len(w.buf)) {
+					return fmt.Errorf("%w: LSN beyond log end", ErrBadRecord)
+				}
+				n := copy(p, w.buf[boff:])
+				p = p[n:]
+				off += int64(n)
+			}
+		}
+		return nil
+	}
+	off := int64(lsn - w.base)
+	var fr [frameSize]byte
+	if err := read(fr[:], off); err != nil {
+		return nil, 0, err
+	}
+	n := int(binary.LittleEndian.Uint32(fr[0:]))
+	crc := binary.LittleEndian.Uint32(fr[4:])
+	if n == 0 || n > maxPayload {
+		return nil, 0, ErrBadRecord
+	}
+	payload = make([]byte, n)
+	if err := read(payload, off+frameSize); err != nil {
+		return nil, 0, err
+	}
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, 0, ErrBadRecord
+	}
+	return payload, frameSize + n, nil
+}

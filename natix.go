@@ -62,6 +62,21 @@
 // positions, which edits invalidate); queries fall back to the scan
 // until ReindexDocument rebuilds it.
 //
+// # Durability
+//
+// Opening a store with Options.WAL makes the write path durable: every
+// mutation runs as one operation in a write-ahead log (a "<Path>-wal"
+// file next to the database), committed with a single group-commit
+// sync. A store that crashed — kill -9, power loss, a torn page write
+// — is repaired by restart recovery on the next Open: committed
+// operations are replayed, the interrupted one is rolled back, and
+// every document comes back either fully present or fully absent.
+// DB.Flush becomes a real checkpoint (after it, nothing depends on
+// the log) and Options.NoSync trades the per-commit sync away where
+// throughput matters more than the last few commits. Every page also
+// carries a checksum, verified on read (ErrCorrupted), so torn writes
+// are detected rather than decoded as garbage.
+//
 // See the examples directory for runnable programs and DESIGN.md for
 // the system inventory.
 package natix
@@ -82,6 +97,7 @@ import (
 	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
+	"natix/internal/wal"
 )
 
 // Policy is a split-matrix entry: the clustering preference for a
@@ -155,6 +171,29 @@ type Options struct {
 	// when reopening a store; documents imported while it was off can
 	// be indexed later with ReindexDocument.
 	PathIndex bool
+
+	// WAL enables the write-ahead log: every mutation (ImportXML,
+	// Delete, Convert, ReindexDocument, Document edits) runs as one
+	// atomic, durable operation. For file stores the log lives next to
+	// the database file as "<Path>-wal". A store that crashed mid-
+	// mutation is repaired by restart recovery on the next Open — each
+	// operation is then either fully present or fully absent —
+	// regardless of whether the new session sets WAL. DB.Flush becomes
+	// a real checkpoint. See DESIGN.md, "Durability and recovery".
+	WAL bool
+
+	// NoSync, with WAL, skips the per-commit durability barrier: log
+	// records are still written (the file can never become corrupt, and
+	// atomicity across crashes is preserved) but the last few committed
+	// operations may be lost if the machine — not just the process —
+	// dies. A deliberate speed/durability trade, like SQLite's
+	// "synchronous=off".
+	NoSync bool
+
+	// walBufLimit overrides the log append-buffer size (crash tests
+	// shrink it so every log record is a separate write, and therefore
+	// a separate injectable crash point).
+	walBufLimit int
 }
 
 func (o Options) withDefaults() Options {
@@ -199,18 +238,42 @@ func (o Options) withDefaults() Options {
 // in-flight operations to drain. See DESIGN.md ("Concurrency model")
 // for the full lock order.
 type DB struct {
-	mu     sync.RWMutex // lifecycle: ops hold shared, Close exclusive
-	opts   Options
-	dev    pagedev.Device
-	sim    *pagedev.SimDisk
-	pool   *buffer.Pool
-	store  *docstore.Store
-	matrix *core.SplitMatrix
-	closed bool
+	mu       sync.RWMutex // lifecycle: ops hold shared, Close exclusive
+	opts     Options
+	dev      pagedev.Device
+	sim      *pagedev.SimDisk
+	pool     *buffer.Pool
+	store    *docstore.Store
+	matrix   *core.SplitMatrix
+	wal      *wal.Writer // nil when Options.WAL is off
+	walSt    wal.Storage // open log storage (may outlive wal when WAL is off)
+	recovery RecoveryStats
+	closed   bool
+}
+
+// RecoveryStats describes what restart recovery did when the store was
+// opened (all zero for a cleanly closed store).
+type RecoveryStats struct {
+	// Recovered is true when the previous session did not close
+	// cleanly and the log was replayed.
+	Recovered bool
+	// RedoneOps counts committed operations whose effects were
+	// reapplied; UndoneOps counts interrupted operations rolled back.
+	RedoneOps, UndoneOps int
+	// PagesWritten counts device pages recovery rewrote.
+	PagesWritten int
+}
+
+// Recovery reports what restart recovery did during Open.
+func (db *DB) Recovery() (RecoveryStats, error) {
+	return viewE(db, func() (RecoveryStats, error) { return db.recovery, nil })
 }
 
 // Open opens the store at opts.Path, creating it if it does not exist
-// (or creating an in-memory store when Path is empty).
+// (or creating an in-memory store when Path is empty). If the store
+// was not closed cleanly and a write-ahead log is present, restart
+// recovery runs first — whether or not this session enables WAL — so
+// the opened store always contains exactly the committed operations.
 func Open(opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	if !pagedev.ValidPageSize(opts.PageSize) {
@@ -220,6 +283,7 @@ func Open(opts Options) (*DB, error) {
 	var (
 		dev      pagedev.Device
 		sim      *pagedev.SimDisk
+		walSt    wal.Storage
 		existing bool
 		err      error
 	)
@@ -233,6 +297,9 @@ func Open(opts Options) (*DB, error) {
 			sim = pagedev.NewSimDisk(mem, pagedev.DCAS34330W)
 			dev = sim
 		}
+		if opts.WAL {
+			walSt = wal.NewMemStorage()
+		}
 	} else {
 		if opts.SimulateDisk {
 			return nil, errors.New("natix: SimulateDisk requires an in-memory store")
@@ -244,12 +311,83 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		walPath := opts.Path + "-wal"
+		// The log is opened when this session wants WAL, or when a
+		// previous session left one behind (it may hold records a
+		// crashed mutation needs recovered, even if this session runs
+		// unlogged).
+		if st, err := os.Stat(walPath); opts.WAL || (err == nil && st.Size() > 0) {
+			walSt, err = wal.OpenFileStorage(walPath)
+			if err != nil {
+				dev.Close()
+				return nil, err
+			}
+		}
+	}
+	db, err := openWith(opts, dev, sim, walSt, existing)
+	if err != nil {
+		if walSt != nil {
+			walSt.Close()
+		}
+		dev.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// openWith assembles a DB over explicit devices. Crash-recovery tests
+// call it directly with fault-injecting wrappers; Open builds the real
+// devices.
+func openWith(opts Options, dev pagedev.Device, sim *pagedev.SimDisk, walSt wal.Storage, existing bool) (*DB, error) {
+	// Restart recovery: before anything reads the segment, replay the
+	// log against the device. A cleanly closed (or never-logged) store
+	// makes this a no-op.
+	var recovery RecoveryStats
+	if existing && walSt != nil {
+		res, err := wal.Recover(dev, walSt)
+		if err != nil {
+			return nil, fmt.Errorf("natix: recovery: %w", err)
+		}
+		recovery = RecoveryStats{
+			Recovered:    res.Recovered,
+			RedoneOps:    res.RedoneOps,
+			UndoneOps:    res.UndoneOps,
+			PagesWritten: res.PagesWritten,
+		}
+	}
+	var (
+		w   *wal.Writer
+		err error
+	)
+	if !existing && walSt != nil {
+		// A leftover log from a deleted database file describes pages
+		// that no longer exist: discard it — whether or not this
+		// session logs — so a later Open can never replay it onto the
+		// freshly created database.
+		if err := walSt.Truncate(0); err != nil {
+			return nil, err
+		}
+	}
+	if opts.WAL {
+		w, err = wal.OpenWriter(walSt, wal.Options{PageSize: opts.PageSize, NoSync: opts.NoSync, BufferLimit: opts.walBufLimit})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	pool, err := buffer.NewSized(dev, opts.BufferBytes)
 	if err != nil {
-		dev.Close()
 		return nil, err
+	}
+	if w != nil {
+		pool.AttachWAL(w)
+		// Store creation below mutates pages; bracket it as the first
+		// logged operation so even a crash during creation recovers.
+		if !existing {
+			if _, err := w.Begin("create", uint64(dev.NumPages())); err != nil {
+				return nil, err
+			}
+		}
 	}
 	var seg *segment.Segment
 	if existing {
@@ -258,7 +396,6 @@ func Open(opts Options) (*DB, error) {
 		seg, err = segment.Create(pool)
 	}
 	if err != nil {
-		dev.Close()
 		return nil, err
 	}
 	rm := records.New(seg)
@@ -269,7 +406,6 @@ func Open(opts Options) (*DB, error) {
 		d, err = dict.Create(rm)
 	}
 	if err != nil {
-		dev.Close()
 		return nil, err
 	}
 	matrix := core.NewSplitMatrix(opts.DefaultPolicy)
@@ -287,7 +423,6 @@ func Open(opts Options) (*DB, error) {
 		store, err = docstore.Create(trees, d)
 	}
 	if err != nil {
-		dev.Close()
 		return nil, err
 	}
 	// The path-index store is always attached so deletes and mutations
@@ -297,7 +432,6 @@ func Open(opts Options) (*DB, error) {
 	store.SetBulkFill(opts.BulkFillFactor)
 	px, err := pathindex.Open(rm)
 	if err != nil {
-		dev.Close()
 		return nil, err
 	}
 	if opts.PathIndex {
@@ -305,7 +439,16 @@ func Open(opts Options) (*DB, error) {
 	} else {
 		store.AttachPathIndex(px)
 	}
-	return &DB{opts: opts, dev: dev, sim: sim, pool: pool, store: store, matrix: matrix}, nil
+	if w != nil {
+		if !existing {
+			if err := w.Commit(); err != nil {
+				return nil, err
+			}
+		}
+		store.AttachWAL(w)
+	}
+	return &DB{opts: opts, dev: dev, sim: sim, pool: pool, store: store,
+		matrix: matrix, wal: w, walSt: walSt, recovery: recovery}, nil
 }
 
 // view runs fn holding the lifecycle lock shared, failing fast with
@@ -451,12 +594,18 @@ func (db *DB) Documents() ([]DocInfo, error) {
 	})
 }
 
-// Flush writes all buffered pages to the underlying device.
+// Flush forces all buffered state to the device. With WAL enabled it
+// is a full checkpoint: the log is synced, every dirty page written
+// and synced, and the log truncated behind a checkpoint record —
+// after it returns, no committed operation depends on the log.
+// Without WAL it writes the dirty pages.
 func (db *DB) Flush() error {
-	return db.view(func() error { return db.pool.FlushAll() })
+	return db.view(func() error { return db.store.Checkpoint() })
 }
 
-// Close flushes and releases the store. It takes the lifecycle lock
+// Close flushes and releases the store. With WAL enabled the flush is
+// a checkpoint, so a cleanly closed store reopens without recovery
+// work and with an empty log. Close takes the lifecycle lock
 // exclusively, so it waits for every in-flight operation to finish;
 // operations started after Close fail with ErrClosed.
 func (db *DB) Close() error {
@@ -466,11 +615,16 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
-	if err := db.pool.FlushAll(); err != nil {
-		db.dev.Close()
-		return err
+	err := db.store.Checkpoint()
+	if db.walSt != nil {
+		if cerr := db.walSt.Close(); err == nil {
+			err = cerr
+		}
 	}
-	return db.dev.Close()
+	if derr := db.dev.Close(); err == nil {
+		err = derr
+	}
+	return err
 }
 
 // Stats reports storage activity since the store was opened.
@@ -493,6 +647,11 @@ type Stats struct {
 	PathIndexBuilds int64 // index builds (imports and reindexes)
 	IndexedQueries  int64 // tree-mode queries answered from the index
 	ScanQueries     int64 // tree-mode queries evaluated by navigation
+	// Write-ahead log (all zero when Options.WAL is off).
+	WALAppends     int64 // log records appended
+	WALBytes       int64 // log payload bytes appended
+	WALSyncs       int64 // durability barriers issued (group commit: ~1/mutation)
+	WALCheckpoints int64 // checkpoints taken (Flush, Close, log-size-triggered)
 }
 
 // Stats returns a snapshot of storage counters.
@@ -501,6 +660,10 @@ func (db *DB) Stats() (Stats, error) {
 		bs := db.pool.Stats()
 		ts := db.store.Trees().Stats()
 		is := db.store.IndexStats()
+		var ws wal.Stats
+		if db.wal != nil {
+			ws = db.wal.Stats()
+		}
 		return Stats{
 			LogicalReads:    bs.LogicalReads,
 			BufferHits:      bs.Hits,
@@ -516,6 +679,10 @@ func (db *DB) Stats() (Stats, error) {
 			PathIndexBuilds: is.Builds,
 			IndexedQueries:  is.IndexedQueries,
 			ScanQueries:     is.ScanQueries,
+			WALAppends:      ws.Appends,
+			WALBytes:        ws.Bytes,
+			WALSyncs:        ws.Syncs,
+			WALCheckpoints:  ws.Checkpoints,
 		}, nil
 	})
 }
