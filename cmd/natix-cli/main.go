@@ -7,6 +7,7 @@
 //	natix-cli -db plays.natix ls
 //	natix-cli -db plays.natix query othello '/PLAY/ACT[3]/SCENE[2]//SPEAKER'
 //	natix-cli -db plays.natix -limit 10 -timeout 500ms query othello '//SPEAKER'
+//	natix-cli -db plays.natix -pathindex -explain query othello '//SPEECH/LINE'
 //	natix-cli -db plays.natix -workers 8 -limit 1 batch queries.txt
 //	natix-cli -db plays.natix export othello > othello-out.xml
 //	natix-cli -db plays.natix rm othello
@@ -42,6 +43,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-query timeout, e.g. 500ms (0 = none)")
 		useWAL   = flag.Bool("wal", false, "write-ahead logging: atomic, crash-durable mutations")
 		noSync   = flag.Bool("nosync", false, "with -wal: skip the per-commit fsync")
+		explain  = flag.Bool("explain", false, "with query: print the plan and measured execution instead of matches")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -92,6 +94,19 @@ func main() {
 	case "query":
 		if len(rest) != 2 {
 			fatalf("usage: query <name> <path>")
+		}
+		if *explain {
+			// EXPLAIN mode: plan first (evaluator choice, per-step
+			// cardinality estimates), then run the query counting-only and
+			// print estimate and reality side by side.
+			ctx, cancel := queryContext(*timeout)
+			defer cancel()
+			ex, err := db.ExplainRun(ctx, rest[0], rest[1])
+			if err != nil {
+				fatalf("explain: %v", err)
+			}
+			fmt.Println(ex)
+			break
 		}
 		// A cursor, not db.Query: matches stream to stdout as they are
 		// found, -limit stops the evaluator (and its page reads) at the
@@ -203,6 +218,7 @@ commands:
   import [-flat] <name> <file.xml>   store a document (tree or flat mode)
   export <name>                      write a document's XML to stdout
   query <name> <path>                stream a path query's matches to stdout
+                                     (-explain: print plan + measured run instead)
   batch <queries.txt>                run a query file across -workers goroutines
                                      (lines: <document> <path>; # comments ok)
   validate <file.xml>                check a document against its own DTD

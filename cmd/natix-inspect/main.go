@@ -11,12 +11,16 @@
 //	natix-inspect -db plays.natix -check          # verify invariants
 //	natix-inspect -db plays.natix -pathindex      # path summaries + postings
 //	natix-inspect -db plays.natix -wal            # dump the write-ahead log
+//	natix-inspect -db plays.natix -check -metrics # + I/O profile of the check
+//	natix-inspect -db plays.natix -check -traces  # + per-phase timings
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"natix/internal/buffer"
 	"natix/internal/core"
@@ -28,6 +32,7 @@ import (
 	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
+	"natix/internal/telemetry"
 	"natix/internal/wal"
 )
 
@@ -40,6 +45,8 @@ func main() {
 		check    = flag.Bool("check", false, "verify invariants of every document")
 		pathIdx  = flag.Bool("pathindex", false, "dump path summaries and postings sizes")
 		walDump  = flag.Bool("wal", false, "dump the write-ahead log (<db>-wal) and exit")
+		metrics  = flag.Bool("metrics", false, "print the engine metrics the inspection generated")
+		traces   = flag.Bool("traces", false, "print per-phase timings of the inspection")
 	)
 	flag.Parse()
 
@@ -72,6 +79,21 @@ func main() {
 		fatalf("open docstore: %v", err)
 	}
 
+	// The inspection session is itself instrumented: -metrics reports
+	// the I/O its walks generated (every page access goes through the
+	// same counters the engine uses), -traces times each phase.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{Enabled: *traces})
+	pool.AttachTelemetry(reg)
+	trees.AttachTelemetry(reg)
+	store.AttachTelemetry(reg, nil)
+
+	phase := func(op string, fn func()) {
+		sp := tracer.Start("inspect:" + op)
+		fn()
+		sp.End()
+	}
+
 	fmt.Printf("segment: %d pages × %d bytes = %d bytes\n",
 		seg.NumPages(), seg.PageSize(), seg.TotalBytes())
 	fmt.Printf("labels:  %d in dictionary\n", d.Len())
@@ -85,16 +107,65 @@ func main() {
 	}
 
 	if *pages {
-		dumpPages(seg, pool)
+		phase("pages", func() { dumpPages(seg, pool) })
 	}
 	if *doc != "" {
-		dumpDoc(store, trees, d, *doc)
+		phase("doc", func() { dumpDoc(store, trees, d, *doc) })
 	}
 	if *check {
-		checkAll(store)
+		phase("check", func() { checkAll(store) })
 	}
 	if *pathIdx {
-		dumpPathIndex(rm, d)
+		phase("pathindex", func() { dumpPathIndex(rm, d) })
+	}
+	if *metrics {
+		dumpMetrics(reg)
+	}
+	if *traces {
+		dumpTraces(tracer)
+	}
+}
+
+// dumpMetrics prints every non-zero counter and histogram the
+// inspection session accumulated, sorted by name.
+func dumpMetrics(reg *telemetry.Registry) {
+	snap := reg.Snapshot()
+	fmt.Printf("\nengine metrics of this inspection:\n")
+	names := make([]string, 0, len(snap.Counters))
+	for name, v := range snap.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-32s %12d\n", name, snap.Counters[name])
+	}
+	hists := make([]string, 0, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		if h.Count != 0 {
+			hists = append(hists, name)
+		}
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		h := snap.Histograms[name]
+		fmt.Printf("  %-32s %12d obs, mean %v, p99 %v\n", name, h.Count,
+			time.Duration(h.Mean()).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
+	}
+}
+
+// dumpTraces prints the recorded inspection phases, oldest first.
+func dumpTraces(tracer *telemetry.Tracer) {
+	traces := tracer.RecentTraces()
+	fmt.Printf("\ninspection phases:\n")
+	for i := len(traces) - 1; i >= 0; i-- {
+		tr := traces[i]
+		fmt.Printf("  %-20s %v\n", tr.Op, tr.Duration.Round(time.Microsecond))
+		for _, ph := range tr.Phases {
+			fmt.Printf("    %-18s %v\n", ph.Op, ph.Duration.Round(time.Microsecond))
+		}
 	}
 }
 
@@ -132,7 +203,11 @@ func dumpPathIndex(rm *records.Manager, d *dict.Dict) {
 			if err != nil {
 				lname = fmt.Sprintf("label#%d", label)
 			}
-			fmt.Printf("    %-20s %7d postings\n", lname, idx.PostingCount(label))
+			bytes, err := idx.PostingSize(label)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("    %-20s %7d postings %9d bytes\n", lname, idx.PostingCount(label), bytes)
 		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
+	"natix/internal/telemetry"
 	"natix/internal/xmlkit"
 )
 
@@ -134,6 +135,12 @@ type Metrics struct {
 	PhysWrites   int64
 	SpaceBytes   int64 // segment size on disk (space figure)
 	Work         int64 // op-dependent checksum: nodes visited, matches, …
+
+	// Engine is the engine-metrics delta of the measured region: every
+	// counter that moved, by name (buffer.*, core.*, docstore.*) —
+	// splits, cache hits, evictions and the like, next to the headline
+	// I/O numbers above.
+	Engine map[string]int64
 }
 
 // Series returns the paper's series label for a config.
@@ -152,6 +159,9 @@ type Env struct {
 	store *docstore.Store
 	docs  []string
 	spec  corpus.Spec
+
+	reg  *telemetry.Registry
+	base telemetry.Snapshot // registry state at the last resetMeasurement
 
 	insertion Metrics
 }
@@ -198,7 +208,11 @@ func BuildEnv(spec corpus.Spec, cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{cfg: cfg, sim: sim, pool: pool, store: store, spec: spec}
+	reg := telemetry.NewRegistry()
+	pool.AttachTelemetry(reg)
+	trees.AttachTelemetry(reg)
+	store.AttachTelemetry(reg, nil)
+	env := &Env{cfg: cfg, sim: sim, pool: pool, store: store, spec: spec, reg: reg}
 
 	// Measured insertion: clear buffer, load everything, flush.
 	env.resetMeasurement()
@@ -300,6 +314,7 @@ func (e *Env) resetMeasurement() {
 	}
 	e.pool.ResetStats()
 	e.sim.ResetStats()
+	e.base = e.reg.Snapshot()
 }
 
 // capture snapshots the metrics of the operation started at start.
@@ -317,6 +332,7 @@ func (e *Env) capture(op string, start time.Time, work int64) Metrics {
 		PhysWrites:   pool.PhysWrites,
 		SpaceBytes:   e.store.Trees().Records().Segment().TotalBytes(),
 		Work:         work,
+		Engine:       e.reg.Snapshot().DeltaCounters(e.base),
 	}
 }
 

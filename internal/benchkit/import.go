@@ -109,6 +109,10 @@ type ImportCell struct {
 	PagesWritten     int64   `json:"pages_written"`
 	RecordsCreated   int64   `json:"records_created"`
 	RecordsRewritten int64   `json:"records_rewritten"`
+
+	// Engine is the engine-metrics delta of the measured region (every
+	// counter that moved, by name).
+	Engine map[string]int64 `json:"engine,omitempty"`
 }
 
 // RunImportExperiment measures both import paths over freshly generated
@@ -150,6 +154,7 @@ func RunImportExperiment(spec corpus.Spec, buffer, pageSize int) ([]ImportCell, 
 			PagesWritten:     m.PagesWritten,
 			RecordsCreated:   m.RecordsCreated,
 			RecordsRewritten: m.RecordsRewritten,
+			Engine:           m.Engine,
 		})
 	}
 	return cells, nil

@@ -30,6 +30,7 @@ import (
 	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
+	"natix/internal/telemetry"
 	"natix/internal/wal"
 	"natix/internal/xmlkit"
 )
@@ -47,6 +48,10 @@ type WALCell struct {
 	LogRecords     int64   `json:"log_records"`
 	LogBytes       int64   `json:"log_bytes"`
 	LogSyncs       int64   `json:"log_syncs"`
+
+	// Engine is the engine-metrics delta of the whole run (every
+	// counter that moved, by name — wal.* included when logging is on).
+	Engine map[string]int64 `json:"engine,omitempty"`
 }
 
 // walConfig describes one store configuration under test.
@@ -64,6 +69,7 @@ type walStore struct {
 	w     *wal.Writer
 	pool  *buffer.Pool
 	store *docstore.Store
+	reg   *telemetry.Registry
 }
 
 func openWALStore(path string, pageSize, bufBytes int, cfg walConfig) (*walStore, error) {
@@ -122,6 +128,13 @@ func openWALStore(path string, pageSize, bufBytes int, cfg walConfig) (*walStore
 		}
 		s.store.AttachWAL(s.w)
 	}
+	s.reg = telemetry.NewRegistry()
+	s.pool.AttachTelemetry(s.reg)
+	if s.w != nil {
+		s.w.AttachTelemetry(s.reg)
+	}
+	trees.AttachTelemetry(s.reg)
+	s.store.AttachTelemetry(s.reg, nil)
 	return s, nil
 }
 
@@ -176,6 +189,7 @@ func RunWALExperiment(spec corpus.Spec, buffer, pageSize int, dir string) ([]WAL
 		if err != nil {
 			return nil, fmt.Errorf("open %s: %w", cfg.name, err)
 		}
+		base := s.reg.Snapshot()
 
 		start := time.Now()
 		for _, d := range docs {
@@ -199,6 +213,7 @@ func RunWALExperiment(spec corpus.Spec, buffer, pageSize int, dir string) ([]WAL
 		queryMS := float64(time.Since(start).Microseconds()) / 1000
 
 		pages := s.pool.Stats().PhysWrites
+		engine := s.reg.Snapshot().DeltaCounters(base)
 		var ws wal.Stats
 		if s.w != nil {
 			ws = s.w.Stats()
@@ -217,6 +232,7 @@ func RunWALExperiment(spec corpus.Spec, buffer, pageSize int, dir string) ([]WAL
 			LogRecords:   ws.Appends,
 			LogBytes:     ws.Bytes,
 			LogSyncs:     ws.Syncs,
+			Engine:       engine,
 		}
 		if importMS > 0 {
 			cell.ImportMBPerSec = float64(xmlBytes) / (1 << 20) / (importMS / 1000)

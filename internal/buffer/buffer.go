@@ -51,6 +51,7 @@ import (
 
 	"natix/internal/pagedev"
 	"natix/internal/pageformat"
+	"natix/internal/telemetry"
 	"natix/internal/wal"
 )
 
@@ -70,6 +71,7 @@ type Stats struct {
 	PhysReads    int64 // pages read from the device
 	PhysWrites   int64 // pages written to the device
 	Evictions    int64 // frames evicted to make room
+	LatchWaits   int64 // latch acquisitions that had to block
 }
 
 // numShards is the page-table shard count. Pages are numbered densely,
@@ -107,11 +109,15 @@ type Pool struct {
 	evictMu   sync.Mutex
 	handShard int
 
-	logicalReads atomic.Int64
-	hits         atomic.Int64
-	physReads    atomic.Int64
-	physWrites   atomic.Int64
-	evictions    atomic.Int64
+	// Hit-path counters are sharded: every Get on every goroutine
+	// bumps them, so a single cache line would be the pool's hottest
+	// contention point. The rest increment only around physical I/O.
+	logicalReads telemetry.ShardedCounter
+	hits         telemetry.ShardedCounter
+	physReads    telemetry.Counter
+	physWrites   telemetry.Counter
+	evictions    telemetry.Counter
+	latchWaits   telemetry.Counter
 }
 
 // Frame is a pinned page image. Callers must Release every frame they
@@ -204,6 +210,7 @@ func (p *Pool) Stats() Stats {
 		PhysReads:    p.physReads.Load(),
 		PhysWrites:   p.physWrites.Load(),
 		Evictions:    p.evictions.Load(),
+		LatchWaits:   p.latchWaits.Load(),
 	}
 }
 
@@ -214,6 +221,21 @@ func (p *Pool) ResetStats() {
 	p.physReads.Store(0)
 	p.physWrites.Store(0)
 	p.evictions.Store(0)
+	p.latchWaits.Store(0)
+}
+
+// AttachTelemetry registers the pool's counters with a metrics
+// registry. The counters are the pool's own — registration installs
+// read-only views, so the hot path never changes.
+func (p *Pool) AttachTelemetry(reg *telemetry.Registry) {
+	reg.Func("buffer.logical_reads", p.logicalReads.Load)
+	reg.Func("buffer.hits", p.hits.Load)
+	reg.Func("buffer.misses", func() int64 { return p.logicalReads.Load() - p.hits.Load() })
+	reg.Func("buffer.phys_reads", p.physReads.Load)
+	reg.Func("buffer.phys_writes", p.physWrites.Load)
+	reg.Func("buffer.evictions", p.evictions.Load)
+	reg.Func("buffer.latch_waits", p.latchWaits.Load)
+	reg.Func("buffer.resident_frames", func() int64 { return p.size.Load() })
 }
 
 // Get pins the frame for page pn, reading it from the device on a miss.
@@ -537,14 +559,29 @@ func (f *Frame) Data() []byte { return f.data }
 func (f *Frame) MarkDirty() { f.dirty.Store(true) }
 
 // RLatch acquires the frame latch shared, for reading the page bytes.
-func (f *Frame) RLatch() { f.latch.RLock() }
+// A blocked acquisition (a writer holds or awaits the latch) counts as
+// a latch wait; the try-first fast path keeps the uncontended case at
+// one atomic.
+func (f *Frame) RLatch() {
+	if f.latch.TryRLock() {
+		return
+	}
+	f.pool.latchWaits.Inc()
+	f.latch.RLock()
+}
 
 // RUnlatch releases a shared latch.
 func (f *Frame) RUnlatch() { f.latch.RUnlock() }
 
 // Latch acquires the frame latch exclusively, for mutating the page
-// bytes.
-func (f *Frame) Latch() { f.latch.Lock() }
+// bytes. Blocked acquisitions count as latch waits.
+func (f *Frame) Latch() {
+	if f.latch.TryLock() {
+		return
+	}
+	f.pool.latchWaits.Inc()
+	f.latch.Lock()
+}
 
 // Unlatch releases an exclusive latch.
 func (f *Frame) Unlatch() { f.latch.Unlock() }

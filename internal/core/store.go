@@ -11,6 +11,7 @@ import (
 	"natix/internal/noderep"
 	"natix/internal/pagedev"
 	"natix/internal/records"
+	"natix/internal/telemetry"
 )
 
 // Config tunes the tree storage manager.
@@ -127,6 +128,18 @@ func (s *Store) Stats() Stats {
 		CacheHits:        s.stats.cacheHits.Load(),
 		CacheMisses:      s.stats.cacheMisses.Load(),
 	}
+}
+
+// AttachTelemetry registers the manager's counters with a metrics
+// registry as read-only views of its existing atomics.
+func (s *Store) AttachTelemetry(reg *telemetry.Registry) {
+	reg.Func("core.splits", s.stats.splits.Load)
+	reg.Func("core.records_created", s.stats.recordsCreated.Load)
+	reg.Func("core.records_deleted", s.stats.recordsDeleted.Load)
+	reg.Func("core.records_rewritten", s.stats.recordsRewritten.Load)
+	reg.Func("core.parent_patches", s.stats.parentPatches.Load)
+	reg.Func("core.cache_hits", s.stats.cacheHits.Load)
+	reg.Func("core.cache_misses", s.stats.cacheMisses.Load)
 }
 
 // ResetStats zeroes the counters.

@@ -28,6 +28,7 @@ import (
 	"natix/internal/noderep"
 	"natix/internal/pathindex"
 	"natix/internal/records"
+	"natix/internal/telemetry"
 	"natix/internal/xmlkit"
 )
 
@@ -219,12 +220,15 @@ func (s *Store) abortBulk(l *bulkLoader) {
 }
 
 // importStreamLocked runs a bulk import off a streaming parser.
-// Mutator context.
-func (s *Store) importStreamLocked(cx context.Context, name string, p *xmlkit.StreamParser) (DocInfo, error) {
+// Mutator context. sp is the operation's root span (nil when tracing
+// is off); the parse-and-pack loop and the finish work become phases
+// on it.
+func (s *Store) importStreamLocked(cx context.Context, name string, p *xmlkit.StreamParser, sp *telemetry.Span) (DocInfo, error) {
 	if _, ok := s.lookup(name); ok {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	l := s.newBulkLoader()
+	ch := sp.Child("stream")
 	for {
 		ev, err := p.Next()
 		if err == io.EOF {
@@ -244,16 +248,19 @@ func (s *Store) importStreamLocked(cx context.Context, name string, p *xmlkit.St
 			}
 		}
 		if err != nil {
+			ch.End()
 			s.abortBulk(l)
 			return DocInfo{}, err
 		}
 	}
-	return s.finishBulkImport(name, l)
+	ch.Add("nodes", l.nodes)
+	ch.End()
+	return s.finishBulkImport(name, l, sp)
 }
 
 // importTreeLocked runs a bulk import over a parsed tree. Mutator
-// context.
-func (s *Store) importTreeLocked(cx context.Context, name string, root *xmlkit.Node) (DocInfo, error) {
+// context. sp as in importStreamLocked.
+func (s *Store) importTreeLocked(cx context.Context, name string, root *xmlkit.Node, sp *telemetry.Span) (DocInfo, error) {
 	if _, ok := s.lookup(name); ok {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
@@ -261,40 +268,52 @@ func (s *Store) importTreeLocked(cx context.Context, name string, root *xmlkit.N
 		return DocInfo{}, errors.New("docstore: document root must be an element")
 	}
 	l := s.newBulkLoader()
+	ch := sp.Child("load")
 	if err := l.loadDOM(cx, root); err != nil {
+		ch.End()
 		s.abortBulk(l)
 		return DocInfo{}, err
 	}
-	return s.finishBulkImport(name, l)
+	ch.Add("nodes", l.nodes)
+	ch.End()
+	return s.finishBulkImport(name, l, sp)
 }
 
 // finishBulkImport seals the build — flush the last page, persist the
 // dictionary batch, store the stream-built index — and registers the
 // document. Any failure rolls the whole import back.
-func (s *Store) finishBulkImport(name string, l *bulkLoader) (DocInfo, error) {
+func (s *Store) finishBulkImport(name string, l *bulkLoader, sp *telemetry.Span) (DocInfo, error) {
 	fail := func(err error) (DocInfo, error) {
 		s.abortBulk(l)
 		return DocInfo{}, err
 	}
+	ch := sp.Child("finish")
 	root, err := l.bb.Finish()
 	if err != nil {
+		ch.End()
 		return fail(err)
 	}
 	if err := l.batch.Commit(); err != nil {
+		ch.End()
 		return fail(err)
 	}
+	ch.End()
 	info := &DocInfo{Name: name, Mode: ModeTree, Root: root}
 	// Index before registering: a failed build must not leave a
 	// registered-but-unindexed document behind a returned error.
 	if l.sb != nil {
+		ch = sp.Child("index")
 		idx, err := l.sb.Finish()
 		if err != nil {
+			ch.End()
 			return fail(err)
 		}
 		if err := s.pindex.Put(name, idx); err != nil {
+			ch.End()
 			return fail(err)
 		}
 		s.builds.Add(1)
+		ch.End()
 	}
 	if err := s.register(info); err != nil {
 		if l.sb != nil && s.walW == nil {

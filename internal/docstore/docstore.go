@@ -60,6 +60,7 @@ import (
 	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
+	"natix/internal/telemetry"
 	"natix/internal/wal"
 	"natix/internal/xmlkit"
 )
@@ -136,6 +137,22 @@ type Store struct {
 	builds         atomic.Int64
 	indexedQueries atomic.Int64
 	scanQueries    atomic.Int64
+	flatQueries    atomic.Int64
+
+	// tracer and the m* handles are set by AttachTelemetry (see
+	// telemetry.go); all remain nil — and every use is nil-safe — on an
+	// unattached store.
+	tracer            *telemetry.Tracer
+	mImports          *telemetry.Counter
+	mMutations        *telemetry.Counter
+	mCursorsOpened    *telemetry.Counter
+	mCursorsExhausted *telemetry.Counter
+	mCursorsAbandoned *telemetry.Counter
+	mCursorRows       *telemetry.Counter
+	mQueryIndexedNS   *telemetry.Histogram
+	mQueryScanNS      *telemetry.Histogram
+	mQueryFlatNS      *telemetry.Histogram
+	mCheckpointNS     *telemetry.Histogram
 }
 
 // IndexStats counts path-index activity.
@@ -182,6 +199,7 @@ func (s *Store) View(name string, fn func() error) error {
 // its page effects become durable atomically at commit, and an error
 // (or a crash) rolls every one of them back — see wal.go.
 func (s *Store) Mutate(name string, fn func() error) error {
+	s.mMutations.Inc()
 	l := s.lockFor(name)
 	l.Lock()
 	defer l.Unlock()
@@ -297,6 +315,8 @@ func (s *Store) ReindexDocumentContext(cx context.Context, name string) error {
 	if err := ctxErr(cx); err != nil {
 		return err
 	}
+	sp := s.startOp("reindex", name)
+	defer sp.End()
 	return s.Mutate(name, func() error { return s.reindexLocked(name) })
 }
 
@@ -448,6 +468,8 @@ func (s *Store) DeleteContext(cx context.Context, name string) error {
 	if err := ctxErr(cx); err != nil {
 		return err
 	}
+	sp := s.startOp("delete", name)
+	defer sp.End()
 	return s.Mutate(name, func() error { return s.deleteLocked(name) })
 }
 
@@ -589,11 +611,14 @@ func (s *Store) ImportXML(name string, r io.Reader) (DocInfo, error) {
 // make progress (files, buffers); wrap network streams with read
 // deadlines or spool them to disk first.
 func (s *Store) ImportXMLContext(cx context.Context, name string, r io.Reader) (DocInfo, error) {
+	sp := s.startOp("import", name)
+	defer sp.End()
+	s.mImports.Inc()
 	var info DocInfo
 	err := s.Mutate(name, func() error {
 		var err error
 		p := xmlkit.NewStreamParser(r, xmlkit.ParseOptions{})
-		info, err = s.importStreamLocked(cx, name, p)
+		info, err = s.importStreamLocked(cx, name, p, sp)
 		return err
 	})
 	return info, err
@@ -608,10 +633,13 @@ func (s *Store) ImportTree(name string, root *xmlkit.Node) (DocInfo, error) {
 // ImportTreeContext is ImportTree honoring a context (see
 // ImportXMLContext).
 func (s *Store) ImportTreeContext(cx context.Context, name string, root *xmlkit.Node) (DocInfo, error) {
+	sp := s.startOp("import_tree", name)
+	defer sp.End()
+	s.mImports.Inc()
 	var info DocInfo
 	err := s.Mutate(name, func() error {
 		var err error
-		info, err = s.importTreeLocked(cx, name, root)
+		info, err = s.importTreeLocked(cx, name, root, sp)
 		return err
 	})
 	return info, err
@@ -624,6 +652,9 @@ func (s *Store) ImportTreeContext(cx context.Context, name string, root *xmlkit.
 // reference implementation the equivalence tests and import benchmarks
 // compare against.
 func (s *Store) ImportTreeIncremental(name string, root *xmlkit.Node) (DocInfo, error) {
+	sp := s.startOp("import_incremental", name)
+	defer sp.End()
+	s.mImports.Inc()
 	var info DocInfo
 	err := s.Mutate(name, func() error {
 		var err error
@@ -799,16 +830,27 @@ func (s *Store) ImportFlatContext(cx context.Context, name string, r io.Reader) 
 	if err := ctxErr(cx); err != nil {
 		return DocInfo{}, err
 	}
+	sp := s.startOp("import_flat", name)
+	defer sp.End()
+	s.mImports.Inc()
+	ch := sp.Child("parse")
 	text, err := io.ReadAll(r)
 	if err != nil {
+		ch.End()
 		return DocInfo{}, err
 	}
 	if err := ctxErr(cx); err != nil {
+		ch.End()
 		return DocInfo{}, err
 	}
 	if _, err := xmlkit.ParseString(string(text), xmlkit.ParseOptions{}); err != nil {
+		ch.End()
 		return DocInfo{}, fmt.Errorf("docstore: flat import: %w", err)
 	}
+	ch.Add("bytes", int64(len(text)))
+	ch.End()
+	ch = sp.Child("write")
+	defer ch.End()
 	var info DocInfo
 	err = s.Mutate(name, func() error {
 		var err error
@@ -841,6 +883,8 @@ func (s *Store) ExportXML(name string, w io.Writer) error {
 // ExportXMLContext is ExportXML honoring a context, checked per record
 // while the stored tree is materialized.
 func (s *Store) ExportXMLContext(cx context.Context, name string, w io.Writer) error {
+	sp := s.startOp("export", name)
+	defer sp.End()
 	l := s.lockFor(name)
 	l.RLock()
 	defer l.RUnlock()
@@ -954,10 +998,12 @@ func (s *Store) Convert(name string, to Mode) error {
 // Once replacement begins the conversion ignores the context — a
 // cancelled half-replaced document would be lost, not preserved.
 func (s *Store) ConvertContext(cx context.Context, name string, to Mode) error {
-	return s.Mutate(name, func() error { return s.convertLocked(cx, name, to) })
+	sp := s.startOp("convert", name)
+	defer sp.End()
+	return s.Mutate(name, func() error { return s.convertLocked(cx, name, to, sp) })
 }
 
-func (s *Store) convertLocked(cx context.Context, name string, to Mode) error {
+func (s *Store) convertLocked(cx context.Context, name string, to Mode, sp *telemetry.Span) error {
 	info, ok := s.lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -985,7 +1031,7 @@ func (s *Store) convertLocked(cx context.Context, name string, to Mode) error {
 	if err != nil {
 		return err
 	}
-	_, err = s.importTreeLocked(context.Background(), name, doc.Root)
+	_, err = s.importTreeLocked(context.Background(), name, doc.Root, sp)
 	return err
 }
 

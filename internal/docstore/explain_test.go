@@ -1,0 +1,151 @@
+package docstore
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"natix/internal/core"
+)
+
+// hasPositional reports whether any step carries a positional
+// predicate (summary estimates become upper bounds there).
+func hasPositional(steps []Step) bool {
+	for _, st := range steps {
+		if st.Pos > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExplainMatchesActualIndexedAndScan plans every equivalence query
+// against an indexed store and checks the plan against reality: the
+// chosen evaluator is the one the engine actually uses, and for plans
+// the summary can price, the estimate agrees with (or bounds) the true
+// match count.
+func TestExplainMatchesActualIndexedAndScan(t *testing.T) {
+	s, _ := newDocStore(t, 512, core.Config{})
+	enableIndex(t, s)
+	importBoth(t, s)
+
+	for _, q := range equivalenceQueries {
+		doc := docFor(q)
+		steps, err := ParseQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := s.ExplainSteps(context.Background(), doc, steps)
+		if err != nil {
+			t.Fatalf("explain %s on %s: %v", q, doc, err)
+		}
+		fallback := strings.Contains(q, "*") || strings.Contains(q, "#text")
+		wantEval := EvalIndexed
+		if fallback {
+			wantEval = EvalScan
+		}
+		if plan.Evaluator != wantEval {
+			t.Errorf("%s: evaluator %s, want %s (%s)", q, plan.Evaluator, wantEval, plan.Reason)
+		}
+		if plan.NumPaths <= 0 || plan.NumNodes <= 0 {
+			t.Errorf("%s: plan carries no summary shape: %+v", q, plan)
+		}
+		if len(plan.Steps) != len(steps) {
+			t.Fatalf("%s: %d step plans for %d steps", q, len(plan.Steps), len(steps))
+		}
+		actual, err := s.QueryCount(doc, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case strings.Contains(q, "#text"):
+			if plan.EstMatches != -1 || plan.Exact {
+				t.Errorf("%s: #text step should be unpriceable, got est=%d exact=%v", q, plan.EstMatches, plan.Exact)
+			}
+		case hasPositional(steps):
+			if plan.Exact {
+				t.Errorf("%s: positional predicate cannot be exact", q)
+			}
+			if plan.EstMatches < int64(actual) {
+				t.Errorf("%s: est %d below actual %d (must be an upper bound)", q, plan.EstMatches, actual)
+			}
+		default:
+			if !plan.Exact {
+				t.Errorf("%s: name-test-only plan should be exact", q)
+			}
+			if plan.EstMatches != int64(actual) {
+				t.Errorf("%s: est %d, actual %d", q, plan.EstMatches, actual)
+			}
+		}
+	}
+}
+
+// TestExplainScanWithoutIndex plans on a store with no index: the scan
+// is chosen, the reason says why, and estimates are unknown.
+func TestExplainScanWithoutIndex(t *testing.T) {
+	s, _ := newDocStore(t, 512, core.Config{})
+	importBoth(t, s)
+	plan, err := s.Explain("p", "/PLAY//SPEAKER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Evaluator != EvalScan {
+		t.Fatalf("evaluator %s, want scan", plan.Evaluator)
+	}
+	if !strings.Contains(plan.Reason, "not enabled") {
+		t.Errorf("reason %q should name the missing index", plan.Reason)
+	}
+	if plan.EstMatches != -1 || plan.Exact {
+		t.Errorf("no summary, yet est=%d exact=%v", plan.EstMatches, plan.Exact)
+	}
+	for _, sp := range plan.Steps {
+		if sp.EstMatches != -1 {
+			t.Errorf("step %+v priced without a summary", sp)
+		}
+	}
+}
+
+// TestExplainFlatExact plans queries against a flat-mode document:
+// the flat evaluator is chosen and every step count is exact.
+func TestExplainFlatExact(t *testing.T) {
+	s, _ := newDocStore(t, 512, core.Config{})
+	if _, err := s.ImportFlat("f", strings.NewReader(nested)); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"/DOC//A", "//DIV/A", "//DIV[1]//A", "//NOSUCH"} {
+		plan, err := s.Explain("f", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Evaluator != EvalFlat {
+			t.Fatalf("%s: evaluator %s, want flat", q, plan.Evaluator)
+		}
+		if !plan.Exact {
+			t.Errorf("%s: flat plans are exact by construction", q)
+		}
+		actual, err := s.QueryCount("f", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.EstMatches != int64(actual) {
+			t.Errorf("%s: est %d, actual %d", q, plan.EstMatches, actual)
+		}
+	}
+}
+
+// TestExplainStringRendering smoke-tests the CLI rendering.
+func TestExplainStringRendering(t *testing.T) {
+	s, _ := newDocStore(t, 512, core.Config{})
+	enableIndex(t, s)
+	importBoth(t, s)
+	plan, err := s.Explain("n", "/DOC//A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.String()
+	for _, want := range []string{"evaluator=indexed", "summary:", "//A", "matches:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

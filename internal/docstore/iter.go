@@ -7,9 +7,11 @@ import (
 	"iter"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"natix/internal/core"
 	"natix/internal/pathindex"
+	"natix/internal/telemetry"
 	"natix/internal/xmlkit"
 )
 
@@ -59,6 +61,15 @@ type Iter struct {
 	limit   int
 	done    bool
 	indexed bool
+
+	// Telemetry: the evaluation route, open timestamp and operation span
+	// feed the cursor-lifecycle metrics when finish runs. exhausted
+	// distinguishes a cursor its consumer drained (or limited) from one
+	// abandoned by Close, cancellation, or an error.
+	kind      EvaluatorKind
+	start     time.Time
+	span      *telemetry.Span
+	exhausted bool
 }
 
 // QueryIter opens a lazy cursor over the matches of steps against the
@@ -81,10 +92,12 @@ func (s *Store) QueryIter(cx context.Context, name string, steps []Step, opts It
 		l.RUnlock()
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	it := &Iter{store: s, doc: name, cx: cx, lock: l, limit: opts.Limit}
+	it := &Iter{store: s, doc: name, cx: cx, lock: l, limit: opts.Limit, start: telemetry.Now()}
 
 	var seq iter.Seq2[Result, error]
 	if info.Mode == ModeFlat {
+		s.flatQueries.Add(1)
+		it.kind = EvalFlat
 		seq = s.flatSeq(cx, it, info, steps)
 	} else {
 		idx, err := s.indexFor(info, steps)
@@ -95,14 +108,18 @@ func (s *Store) QueryIter(cx context.Context, name string, steps []Step, opts It
 		if idx != nil {
 			s.indexedQueries.Add(1)
 			it.indexed = true
+			it.kind = EvalIndexed
 			seq = s.indexedSeq(cx, it, idx, steps)
 		} else {
 			s.scanQueries.Add(1)
+			it.kind = EvalScan
 			seq = s.scanSeq(cx, it, info, steps)
 		}
 	}
 	it.next, it.stop = iter.Pull2(seq)
 	it.locked.Store(true)
+	it.span = s.startOp("cursor:"+string(it.kind), name)
+	s.mCursorsOpened.Inc()
 	return it, nil
 }
 
@@ -119,11 +136,13 @@ func (it *Iter) Next() bool {
 		return false
 	}
 	if it.limit > 0 && it.seen >= it.limit {
+		it.exhausted = true // the consumer got everything it asked for
 		it.finish(nil)
 		return false
 	}
 	r, err, ok := it.next()
 	if !ok {
+		it.exhausted = true
 		it.finish(nil)
 		return false
 	}
@@ -161,6 +180,9 @@ func (it *Iter) Abort(err error) { it.finish(err) }
 // finish tears the cursor down exactly once: remember a terminal
 // error, stop the suspended producer, release the document lock. The
 // release waits out in-flight lock-elided match accesses (relmu).
+// Cursor-lifecycle accounting happens here — a cursor counts as
+// exhausted only when its consumer drained it (or hit its limit);
+// everything else (Close, cancellation, errors) is an abandonment.
 func (it *Iter) finish(err error) {
 	if it.done {
 		return
@@ -175,6 +197,16 @@ func (it *Iter) finish(err error) {
 		it.lock.RUnlock()
 	}
 	it.relmu.Unlock()
+	s := it.store
+	if it.exhausted {
+		s.mCursorsExhausted.Inc()
+	} else {
+		s.mCursorsAbandoned.Inc()
+	}
+	s.mCursorRows.Add(int64(it.seen))
+	s.queryHist(it.kind).Observe(int64(telemetry.Since(it.start)))
+	it.span.Add("rows", int64(it.seen))
+	it.span.End()
 }
 
 // holdsLock reports whether the cursor still holds the document read

@@ -9,6 +9,7 @@ import (
 
 	"natix/internal/core"
 	"natix/internal/pathindex"
+	"natix/internal/telemetry"
 	"natix/internal/xmlkit"
 )
 
@@ -202,12 +203,18 @@ func (s *Store) QuerySteps(cx context.Context, name string, steps []Step) ([]Res
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	start := telemetry.Now()
 	if info.Mode == ModeFlat {
+		s.flatQueries.Add(1)
+		sp := s.startOp("query:flat", name)
+		defer sp.End()
 		var out []Result
 		err := s.streamFlat(cx, info, steps, func(n *xmlkit.Node) error {
 			out = append(out, Result{Mode: ModeFlat, Doc: name, XML: n, store: s})
 			return nil
 		})
+		sp.Add("matches", int64(len(out)))
+		s.mQueryFlatNS.Observe(int64(telemetry.Since(start)))
 		return out, err
 	}
 	idx, err := s.indexFor(info, steps)
@@ -216,11 +223,18 @@ func (s *Store) QuerySteps(cx context.Context, name string, steps []Step) ([]Res
 	}
 	if idx != nil {
 		s.indexedQueries.Add(1)
+		sp := s.startOp("query:indexed", name)
+		defer sp.End()
+		ch := sp.Child("postings")
 		posts, err := s.collectIndexed(cx, idx, steps)
+		ch.Add("postings", int64(len(posts)))
+		ch.End()
 		if err != nil {
 			return nil, err
 		}
+		ch = sp.Child("resolve")
 		refs, err := s.resolvePostings(posts)
+		ch.End()
 		if err != nil {
 			return nil, err
 		}
@@ -228,14 +242,20 @@ func (s *Store) QuerySteps(cx context.Context, name string, steps []Step) ([]Res
 		for i, ref := range refs {
 			out[i] = Result{Mode: ModeTree, Doc: name, Ref: ref, store: s}
 		}
+		sp.Add("matches", int64(len(out)))
+		s.mQueryIndexedNS.Observe(int64(telemetry.Since(start)))
 		return out, nil
 	}
 	s.scanQueries.Add(1)
+	sp := s.startOp("query:scan", name)
+	defer sp.End()
 	var out []Result
 	err = s.streamScan(cx, info, steps, func(ref core.NodeRef) error {
 		out = append(out, Result{Mode: ModeTree, Doc: name, Ref: ref, store: s})
 		return nil
 	})
+	sp.Add("matches", int64(len(out)))
+	s.mQueryScanNS.Observe(int64(telemetry.Since(start)))
 	return out, err
 }
 
@@ -268,12 +288,18 @@ func (s *Store) QueryCountSteps(cx context.Context, name string, steps []Step) (
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	start := telemetry.Now()
 	count := 0
 	if info.Mode == ModeFlat {
+		s.flatQueries.Add(1)
+		sp := s.startOp("count:flat", name)
+		defer sp.End()
 		err := s.streamFlat(cx, info, steps, func(*xmlkit.Node) error {
 			count++
 			return nil
 		})
+		sp.Add("matches", int64(count))
+		s.mQueryFlatNS.Observe(int64(telemetry.Since(start)))
 		return count, err
 	}
 	idx, err := s.indexFor(info, steps)
@@ -282,17 +308,25 @@ func (s *Store) QueryCountSteps(cx context.Context, name string, steps []Step) (
 	}
 	if idx != nil {
 		s.indexedQueries.Add(1)
+		sp := s.startOp("count:indexed", name)
+		defer sp.End()
 		err := s.streamIndexed(cx, idx, steps, func(pathindex.Posting) error {
 			count++
 			return nil
 		})
+		sp.Add("matches", int64(count))
+		s.mQueryIndexedNS.Observe(int64(telemetry.Since(start)))
 		return count, err
 	}
 	s.scanQueries.Add(1)
+	sp := s.startOp("count:scan", name)
+	defer sp.End()
 	err = s.streamScan(cx, info, steps, func(core.NodeRef) error {
 		count++
 		return nil
 	})
+	sp.Add("matches", int64(count))
+	s.mQueryScanNS.Observe(int64(telemetry.Since(start)))
 	return count, err
 }
 

@@ -28,6 +28,7 @@ import (
 	"natix/internal/pagedev"
 	"natix/internal/records"
 	"natix/internal/segment"
+	"natix/internal/telemetry"
 	"natix/internal/wal"
 )
 
@@ -55,9 +56,16 @@ func (s *Store) Checkpoint() error {
 }
 
 func (s *Store) checkpointLocked() error {
+	sp := s.tracer.Start("checkpoint")
+	defer sp.End()
+	start := telemetry.Now()
 	pool := s.seg.Pool()
 	if s.walW == nil {
-		return pool.FlushAll()
+		if err := pool.FlushAll(); err != nil {
+			return err
+		}
+		s.mCheckpointNS.Observe(int64(telemetry.Since(start)))
+		return nil
 	}
 	if err := s.walW.Sync(); err != nil {
 		return err
@@ -69,6 +77,7 @@ func (s *Store) checkpointLocked() error {
 		return err
 	}
 	pool.AdvanceWALEpoch()
+	s.mCheckpointNS.Observe(int64(telemetry.Since(start)))
 	return nil
 }
 

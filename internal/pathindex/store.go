@@ -418,6 +418,18 @@ func (h *Handle) PostingCount(label dict.LabelID) int {
 	return int(h.sum.dir[label].count)
 }
 
+// PostingSize returns the serialized size in bytes of label's posting
+// blob without loading it (0 when the label does not occur). Together
+// with PostingCount this prices a query's posting reads before running
+// it.
+func (h *Handle) PostingSize(label dict.LabelID) (int64, error) {
+	e, ok := h.sum.dir[label]
+	if !ok {
+		return 0, nil
+	}
+	return h.store.blobs.Size(e.rid)
+}
+
 // Postings returns the document-order posting list for label (nil when
 // the label does not occur), loading it on first use. The slice is
 // shared; callers must not modify it. Concurrent first probes of the

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are safe on a nil receiver (they no-op or return
+// zero), so registry-owned handles can be updated before attachment.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Store sets the counter (ResetStats-style rebaselining only; counters
+// are otherwise monotonic).
+func (c *Counter) Store(v int64) {
+	if c != nil {
+		c.v.Store(v)
+	}
+}
+
+// Gauge is a metric that can move in both directions (resident frames,
+// open cursors).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// counterShards spreads a contended counter over cache lines. Eight
+// covers the core counts the engine targets without bloating Load.
+const counterShards = 8
+
+// paddedCounter occupies a full cache line so two shards never share
+// one (the whole point of sharding).
+type paddedCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter is a Counter for write-hot, multi-core call sites
+// (buffer-pool hit accounting): adds land on one of several
+// cache-line-padded cells chosen by a per-goroutine hint, and Load sums
+// the cells. Load is O(shards) and momentarily inconsistent across
+// cells — exactly the counter trade-off.
+type ShardedCounter struct {
+	shards [counterShards]paddedCounter
+}
+
+// shardHint derives a cheap per-goroutine shard index from the address
+// of a stack variable: distinct goroutines run on distinct stacks, so
+// concurrent writers spread across cells. It is a hint, not an
+// identity — correctness never depends on it.
+func shardHint() int {
+	var x byte
+	return int((uintptr(unsafe.Pointer(&x)) >> 11) % counterShards)
+}
+
+// Add increments the counter by n.
+func (c *ShardedCounter) Add(n int64) {
+	if c != nil {
+		c.shards[shardHint()].v.Add(n)
+	}
+}
+
+// Load returns the summed value.
+func (c *ShardedCounter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Store resets every cell, leaving the sum at v (cell 0 carries it).
+func (c *ShardedCounter) Store(v int64) {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		c.shards[i].v.Store(0)
+	}
+	c.shards[0].v.Store(v)
+}
+
+// histBuckets is the fixed bucket count: power-of-two-nanosecond
+// buckets, bucket b covering [2^(b-1), 2^b). Forty buckets reach ~9
+// minutes — far beyond any single engine operation.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// bucketed by bit length — no floats, no allocation, no locks. The zero
+// value is ready; methods are nil-safe.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value (typically nanoseconds). Negative values
+// clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[b].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64              `json:"count"`
+	Sum     int64              `json:"sum"`
+	Buckets [histBuckets]int64 `json:"buckets,omitempty"`
+}
+
+// snapshot copies the histogram's cells.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// top of the bucket the quantile falls in. Bucket resolution is a
+// factor of two, which is all a fixed-bucket histogram promises.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for b, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			if b == 0 {
+				return 0
+			}
+			return (int64(1) << uint(b)) - 1
+		}
+	}
+	return (int64(1) << (histBuckets - 1)) - 1
+}

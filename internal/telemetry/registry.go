@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps canonical metric names ("buffer.logical_reads",
+// "wal.fsync_ns") to metrics. Registration takes a lock; metric updates
+// never touch the registry again — subsystems hold the returned handles
+// directly. All methods are safe for concurrent use, and every accessor
+// is nil-safe so unattached subsystems need no guards.
+type Registry struct {
+	mu    sync.Mutex
+	ints  map[string]func() int64 // counters, gauges and read-only views
+	hists map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ints:  make(map[string]func() int64),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// registerInt installs an integer reader, panicking on a duplicate name:
+// two subsystems claiming one metric is a wiring bug, not a runtime
+// condition.
+func (r *Registry) registerInt(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ints[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.ints[name] = fn
+}
+
+// Counter creates and registers a registry-owned counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := new(Counter)
+	r.registerInt(name, c.Load)
+	return c
+}
+
+// Gauge creates and registers a registry-owned gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := new(Gauge)
+	r.registerInt(name, g.Load)
+	return g
+}
+
+// Histogram creates and registers a registry-owned histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := new(Histogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Func registers a read-only integer view — the adoption path for
+// counters a subsystem already maintains as its own atomics.
+func (r *Registry) Func(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.registerInt(name, fn)
+}
+
+// Snapshot is a quasi-consistent point-in-time copy of every registered
+// metric.
+type Snapshot struct {
+	// Counters holds every integer metric (counters, gauges, views) by
+	// name.
+	Counters map[string]int64 `json:"counters"`
+	// Histograms holds every histogram by name.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot reads every metric. Integer metrics are read in a
+// double-read stabilization loop: the pass is retried (bounded) until
+// two consecutive sweeps agree, so under a quiescent or slowly moving
+// store the snapshot is exactly consistent, and under heavy concurrency
+// it is at worst one sweep wide — never the four-subsystem-calls-apart
+// tear the old Stats path had.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.ints))
+	readers := make([]func() int64, 0, len(r.ints))
+	for n, fn := range r.ints {
+		names = append(names, n)
+		readers = append(readers, fn)
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	cur := make([]int64, len(readers))
+	nxt := make([]int64, len(readers))
+	sweep := func(dst []int64) {
+		for i, fn := range readers {
+			dst[i] = fn()
+		}
+	}
+	sweep(cur)
+	for try := 0; try < 3; try++ {
+		sweep(nxt)
+		stable := true
+		for i := range cur {
+			if cur[i] != nxt[i] {
+				stable = false
+				break
+			}
+		}
+		cur, nxt = nxt, cur
+		if stable {
+			break
+		}
+	}
+
+	s := Snapshot{Counters: make(map[string]int64, len(names))}
+	for i, n := range names {
+		s.Counters[n] = cur[i]
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for n, h := range hists {
+			s.Histograms[n] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// DeltaCounters returns this snapshot's integer metrics minus prev's —
+// the activity between two snapshots. Metrics absent from prev count
+// from zero; metrics that did not move are omitted, so the delta reads
+// as "what happened", not a dump of every registered name.
+func (s Snapshot) DeltaCounters(prev Snapshot) map[string]int64 {
+	out := make(map[string]int64, len(s.Counters))
+	for n, v := range s.Counters {
+		if d := v - prev.Counters[n]; d != 0 {
+			out[n] = d
+		}
+	}
+	return out
+}
+
+// Names returns the snapshot's integer metric names, sorted.
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the current snapshot as JSON, which makes the registry
+// an expvar.Var: expvar.Publish("natix", db.MetricsVar()) exports every
+// engine metric over /debug/vars without any further glue.
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

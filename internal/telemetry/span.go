@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one integer annotation on a span ("matches": 42,
+// "logical_reads": 7).
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// Phase is one completed child span inside a trace: a named segment of
+// its parent operation with its own duration and annotations.
+type Phase struct {
+	Op       string        `json:"op"`
+	Duration time.Duration `json:"duration"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Trace is one completed root span: an operation's breakdown as
+// recorded into the trace ring.
+type Trace struct {
+	Op       string        `json:"op"`
+	Doc      string        `json:"doc,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Phases   []Phase       `json:"phases,omitempty"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// SlowOp is one slow-operation record: the trace of an operation whose
+// duration met or exceeded the configured threshold.
+type SlowOp struct {
+	Trace
+	Threshold time.Duration `json:"threshold"`
+}
+
+// TracerOptions configure a Tracer.
+type TracerOptions struct {
+	// Enabled records every completed root span into the trace ring.
+	Enabled bool
+	// BufferSize bounds the trace ring (0 = 256).
+	BufferSize int
+	// SlowOpThreshold, when positive, emits a SlowOp for every root
+	// span at least this long — with or without Enabled.
+	SlowOpThreshold time.Duration
+	// SlowOpSink receives slow-op records. Nil keeps them in an
+	// internal ring readable via SlowOps. The sink is called
+	// synchronously from the operation's goroutine; keep it fast.
+	SlowOpSink func(SlowOp)
+}
+
+// defaultRingSize bounds the trace and slow-op rings.
+const defaultRingSize = 256
+
+// Tracer hands out spans and collects finished traces. A nil *Tracer is
+// valid and hands out nil spans, so instrumented subsystems hold a
+// possibly-nil tracer and call it unconditionally.
+type Tracer struct {
+	active atomic.Bool // any recording at all: gates Start's fast path
+	record bool        // completed root spans go to the trace ring
+	slowNS int64       // slow-op threshold (0 = off)
+	sink   func(SlowOp)
+
+	mu      sync.Mutex
+	traces  ring[Trace]
+	slowOps ring[SlowOp]
+}
+
+// NewTracer creates a tracer. With neither tracing nor a slow-op
+// threshold enabled, Start returns nil spans and operations pay one
+// atomic load.
+func NewTracer(o TracerOptions) *Tracer {
+	size := o.BufferSize
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	t := &Tracer{
+		record: o.Enabled,
+		slowNS: int64(o.SlowOpThreshold),
+		sink:   o.SlowOpSink,
+		traces: ring[Trace]{buf: make([]Trace, size)},
+	}
+	if o.SlowOpThreshold > 0 && o.SlowOpSink == nil {
+		t.slowOps = ring[SlowOp]{buf: make([]SlowOp, size)}
+	}
+	t.active.Store(o.Enabled || o.SlowOpThreshold > 0)
+	return t
+}
+
+// Start opens a root span for one operation. It returns nil — and every
+// downstream Span call no-ops — when the tracer is nil or records
+// nothing.
+func (t *Tracer) Start(op string) *Span {
+	if t == nil || !t.active.Load() {
+		return nil
+	}
+	return &Span{tracer: t, op: op, start: Now()}
+}
+
+// Enabled reports whether Start returns live spans.
+func (t *Tracer) Enabled() bool { return t != nil && t.active.Load() }
+
+// RecentTraces returns the completed root spans still in the ring,
+// newest first.
+func (t *Tracer) RecentTraces() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traces.newestFirst()
+}
+
+// SlowOps returns the slow-op records still in the internal ring,
+// newest first. Always empty when a sink was configured — the sink owns
+// the records then.
+func (t *Tracer) SlowOps() []SlowOp {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.slowOps.newestFirst()
+}
+
+// finish records one completed root span.
+func (t *Tracer) finish(tr Trace) {
+	slow := t.slowNS > 0 && int64(tr.Duration) >= t.slowNS
+	if slow && t.sink != nil {
+		t.sink(SlowOp{Trace: tr, Threshold: time.Duration(t.slowNS)})
+	}
+	if !t.record && !(slow && t.sink == nil) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.record {
+		t.traces.push(tr)
+	}
+	if slow && t.sink == nil {
+		t.slowOps.push(SlowOp{Trace: tr, Threshold: time.Duration(t.slowNS)})
+	}
+}
+
+// Span is one timed segment of an operation. A span is owned by the
+// goroutine running the operation: its methods must not be called
+// concurrently. All methods are no-ops on a nil receiver.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	op     string
+	doc    string
+	start  time.Time
+	attrs  []Attr
+	phases []Phase
+	ended  bool
+}
+
+// Child opens a sub-span; its duration and attributes become one Phase
+// of this span when the child Ends.
+func (s *Span) Child(op string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{tracer: s.tracer, parent: s, op: op, start: Now()}
+}
+
+// SetDoc annotates the span with the document it operates on.
+func (s *Span) SetDoc(doc string) {
+	if s != nil {
+		s.doc = doc
+	}
+}
+
+// Add attaches (or accumulates onto) an integer annotation.
+func (s *Span) Add(key string, v int64) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Val += v
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+}
+
+// End closes the span: a child folds into its parent as a Phase, a root
+// span becomes a Trace handed to the tracer (and, past the threshold, a
+// SlowOp). End is idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	d := Since(s.start)
+	if s.parent != nil {
+		s.parent.phases = append(s.parent.phases, Phase{Op: s.op, Duration: d, Attrs: s.attrs})
+		return
+	}
+	s.tracer.finish(Trace{
+		Op:       s.op,
+		Doc:      s.doc,
+		Start:    s.start,
+		Duration: d,
+		Phases:   s.phases,
+		Attrs:    s.attrs,
+	})
+}
+
+// ring is a bounded circular buffer under its owner's lock.
+type ring[T any] struct {
+	buf  []T
+	next int
+	n    int // elements stored, ≤ len(buf)
+}
+
+func (r *ring[T]) push(v T) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// newestFirst copies the contents, most recent element first.
+func (r *ring[T]) newestFirst() []T {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]T, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

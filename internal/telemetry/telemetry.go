@@ -1,0 +1,43 @@
+// Package telemetry is the engine's zero-dependency instrumentation
+// layer: a metrics registry of atomic counters, gauges and fixed-bucket
+// latency histograms; a lightweight span API for operation tracing with
+// a bounded in-memory trace ring; and a slow-operation log with a
+// pluggable sink.
+//
+// The package is built for hot paths. Metric updates are single atomic
+// adds (sharded where a counter is contended across cores), histogram
+// observations are two atomic adds and one atomic bucket increment, and
+// none of them allocate. Disabled tracing costs one atomic load per
+// operation: Tracer.Start returns a nil *Span when neither tracing nor
+// the slow-op log is on, and every Span method is a no-op on a nil
+// receiver, so instrumentation sites need no conditionals.
+//
+// # Adding a counter
+//
+// Subsystems either keep their own atomic counters and expose them to
+// the registry as read-only views (Registry.Func), or ask the registry
+// for an owned metric (Registry.Counter, Registry.Histogram) during
+// their AttachTelemetry hook. Registry-owned metric handles are nil-safe,
+// so a subsystem that was never attached can update its handles
+// unconditionally.
+//
+// # The span clock
+//
+// Now and Since are the only sanctioned time sources in instrumented
+// hot paths (internal/buffer, internal/wal, internal/docstore,
+// internal/core, internal/records, internal/pathindex, internal/segment):
+// scripts/vet-telemetry-clock.sh fails the build on a direct time.Now
+// there, which keeps every clock read auditable when reasoning about
+// instrumentation overhead.
+package telemetry
+
+import "time"
+
+// Now is the span clock: the one sanctioned wall/monotonic time source
+// for telemetry-instrumented hot paths. time.Time carries a monotonic
+// reading, so durations derived via Since are immune to wall-clock
+// steps.
+func Now() time.Time { return time.Now() }
+
+// Since returns the time elapsed since t, using the monotonic clock.
+func Since(t time.Time) time.Duration { return time.Since(t) }

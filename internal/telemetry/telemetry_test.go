@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("nil counter Load = %d", got)
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 0 {
+		t.Fatalf("nil gauge Load = %d", got)
+	}
+	var h *Histogram
+	h.Observe(9)
+	var sc *ShardedCounter
+	sc.Add(5)
+	if got := sc.Load(); got != 0 {
+		t.Fatalf("nil sharded Load = %d", got)
+	}
+}
+
+func TestShardedCounterSumAndReset(t *testing.T) {
+	var c ShardedCounter
+	for i := 0; i < 1000; i++ {
+		c.Add(1)
+	}
+	if got := c.Load(); got != 1000 {
+		t.Fatalf("Load = %d, want 1000", got)
+	}
+	c.Store(0)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("Load after Store(0) = %d", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 1000, 1 << 20, -5} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	if s.Sum != 0+1+2+3+1000+(1<<20)+0 {
+		t.Fatalf("Sum = %d", s.Sum)
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Fatalf("Quantile(0) = %d, want 0", q)
+	}
+	// The max observation (2^20) lands in bucket 21, upper bound 2^21-1.
+	if q := s.Quantile(1); q != (1<<21)-1 {
+		t.Fatalf("Quantile(1) = %d, want %d", q, (1<<21)-1)
+	}
+	if m := s.Mean(); m <= 0 {
+		t.Fatalf("Mean = %v", m)
+	}
+	// Overflow value clamps into the last bucket.
+	h.Observe(1 << 62)
+	if got := h.snapshot().Buckets[histBuckets-1]; got != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", got)
+	}
+}
+
+func TestRegistrySnapshotAndDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	g := r.Gauge("a.gauge")
+	h := r.Histogram("a.hist")
+	var ext int64 = 40
+	r.Func("a.view", func() int64 { return ext })
+
+	c.Add(3)
+	g.Set(-2)
+	h.Observe(100)
+
+	s := r.Snapshot()
+	if s.Counters["a.count"] != 3 || s.Counters["a.gauge"] != -2 || s.Counters["a.view"] != 40 {
+		t.Fatalf("snapshot = %+v", s.Counters)
+	}
+	if hs := s.Histograms["a.hist"]; hs.Count != 1 || hs.Sum != 100 {
+		t.Fatalf("hist snapshot = %+v", hs)
+	}
+	c.Add(7)
+	ext = 50
+	d := r.Snapshot().DeltaCounters(s)
+	if d["a.count"] != 7 || d["a.view"] != 10 || d["a.gauge"] != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if names := s.Names(); len(names) != 3 || names[0] != "a.count" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup")
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(1) // nil handle from nil registry must not crash
+	r.Func("y", func() int64 { return 1 })
+	if s := r.Snapshot(); s.Counters != nil {
+		t.Fatalf("nil registry snapshot = %+v", s)
+	}
+}
+
+func TestRegistryExpvarString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x.count").Add(5)
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(r.String()), &decoded); err != nil {
+		t.Fatalf("String() is not JSON: %v", err)
+	}
+	if decoded.Counters["x.count"] != 5 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if !strings.Contains(r.String(), "x.count") {
+		t.Fatal("String() missing metric name")
+	}
+}
+
+func TestTracerDisabledHandsOutNilSpans(t *testing.T) {
+	var nilT *Tracer
+	if sp := nilT.Start("op"); sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	off := NewTracer(TracerOptions{})
+	if sp := off.Start("op"); sp != nil {
+		t.Fatal("disabled tracer returned a span")
+	}
+	// The full nil-span surface must be inert.
+	var sp *Span
+	sp.SetDoc("d")
+	sp.Add("k", 1)
+	c := sp.Child("c")
+	c.End()
+	sp.End()
+}
+
+func TestTracerRecordsTraces(t *testing.T) {
+	tr := NewTracer(TracerOptions{Enabled: true, BufferSize: 4})
+	for i := 0; i < 6; i++ {
+		sp := tr.Start("op")
+		sp.SetDoc("doc")
+		sp.Add("n", int64(i))
+		ch := sp.Child("phase")
+		ch.Add("k", 1)
+		ch.End()
+		sp.End()
+	}
+	got := tr.RecentTraces()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(got))
+	}
+	// Newest first: attr n counts down from 5.
+	if got[0].Attrs[0].Val != 5 || got[3].Attrs[0].Val != 2 {
+		t.Fatalf("order wrong: %+v", got)
+	}
+	if got[0].Doc != "doc" || len(got[0].Phases) != 1 || got[0].Phases[0].Op != "phase" {
+		t.Fatalf("trace = %+v", got[0])
+	}
+}
+
+func TestSlowOpLogRingAndSink(t *testing.T) {
+	// Internal ring: threshold 0ns-exceeded by everything.
+	tr := NewTracer(TracerOptions{SlowOpThreshold: time.Nanosecond})
+	sp := tr.Start("slow")
+	sp.SetDoc("d")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	ops := tr.SlowOps()
+	if len(ops) != 1 || ops[0].Op != "slow" || ops[0].Threshold != time.Nanosecond {
+		t.Fatalf("slow ops = %+v", ops)
+	}
+	if len(tr.RecentTraces()) != 0 {
+		t.Fatal("tracing off but trace recorded")
+	}
+
+	// Pluggable sink: records go to the sink, not the ring.
+	var mu sync.Mutex
+	var sunk []SlowOp
+	ts := NewTracer(TracerOptions{SlowOpThreshold: time.Nanosecond, SlowOpSink: func(o SlowOp) {
+		mu.Lock()
+		sunk = append(sunk, o)
+		mu.Unlock()
+	}})
+	sp2 := ts.Start("slow2")
+	time.Sleep(time.Millisecond)
+	sp2.End()
+	if len(sunk) != 1 || sunk[0].Op != "slow2" {
+		t.Fatalf("sink got %+v", sunk)
+	}
+	if len(ts.SlowOps()) != 0 {
+		t.Fatal("sink configured but internal ring populated")
+	}
+
+	// Fast ops below the threshold leave no record.
+	tf := NewTracer(TracerOptions{SlowOpThreshold: time.Hour})
+	spf := tf.Start("fast")
+	spf.End()
+	if len(tf.SlowOps()) != 0 {
+		t.Fatal("fast op logged as slow")
+	}
+}
+
+// TestMetricsStressConcurrent hammers every metric type from many
+// goroutines while others take snapshots — the race-detector workout
+// for the registry's lock-free read paths.
+func TestMetricsStressConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("s.count")
+	sc := new(ShardedCounter)
+	r.Func("s.sharded", sc.Load)
+	g := r.Gauge("s.gauge")
+	h := r.Histogram("s.hist")
+
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				sc.Add(2)
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		s := r.Snapshot()
+		if s.Counters["s.count"] < 0 || s.Counters["s.sharded"] < 0 {
+			t.Fatal("negative counter observed")
+		}
+		select {
+		case <-done:
+			s = r.Snapshot()
+			if s.Counters["s.count"] != writers*perWriter {
+				t.Fatalf("count = %d, want %d", s.Counters["s.count"], writers*perWriter)
+			}
+			if s.Counters["s.sharded"] != 2*writers*perWriter {
+				t.Fatalf("sharded = %d", s.Counters["s.sharded"])
+			}
+			if s.Counters["s.gauge"] != 0 {
+				t.Fatalf("gauge = %d, want 0", s.Counters["s.gauge"])
+			}
+			if s.Histograms["s.hist"].Count != writers*perWriter {
+				t.Fatalf("hist count = %d", s.Histograms["s.hist"].Count)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestTracerStressConcurrent runs spans on many goroutines while
+// readers drain the rings.
+func TestTracerStressConcurrent(t *testing.T) {
+	tr := NewTracer(TracerOptions{Enabled: true, BufferSize: 64, SlowOpThreshold: time.Nanosecond})
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Start("op")
+				sp.SetDoc("doc")
+				ch := sp.Child("phase")
+				ch.Add("i", int64(i))
+				ch.End()
+				sp.End()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		for _, trc := range tr.RecentTraces() {
+			if trc.Op != "op" {
+				t.Fatalf("trace op = %q", trc.Op)
+			}
+		}
+		_ = tr.SlowOps()
+		select {
+		case <-done:
+			if got := len(tr.RecentTraces()); got != 64 {
+				t.Fatalf("ring holds %d, want 64", got)
+			}
+			return
+		default:
+		}
+	}
+}

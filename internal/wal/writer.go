@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"natix/internal/pagedev"
+	"natix/internal/telemetry"
 )
 
 // Options configure a log writer.
@@ -53,6 +54,13 @@ type Writer struct {
 	bytes       int64
 	syncs       int64
 	checkpoints int64
+
+	// Telemetry histograms (nil until AttachTelemetry; Observe on nil
+	// no-ops). opAppends counts the records of the active operation so
+	// endOp can observe the group-commit batch size.
+	fsyncNS   *telemetry.Histogram
+	batchRecs *telemetry.Histogram
+	opAppends int64
 }
 
 // bufFlushLimit bounds the in-memory append buffer; a bigger buffer is
@@ -137,6 +145,26 @@ func (w *Writer) Stats() Stats {
 	return Stats{Appends: w.appends, Bytes: w.bytes, Syncs: w.syncs, Checkpoints: w.checkpoints}
 }
 
+// AttachTelemetry registers the writer's counters with a metrics
+// registry and enables the fsync-duration and group-commit batch-size
+// histograms. Call before mutation traffic starts.
+func (w *Writer) AttachTelemetry(reg *telemetry.Registry) {
+	read := func(p *int64) func() int64 {
+		return func() int64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return *p
+		}
+	}
+	reg.Func("wal.appends", read(&w.appends))
+	reg.Func("wal.bytes", read(&w.bytes))
+	reg.Func("wal.syncs", read(&w.syncs))
+	reg.Func("wal.checkpoints", read(&w.checkpoints))
+	reg.Func("wal.size_bytes", w.Size)
+	w.fsyncNS = reg.Histogram("wal.fsync_ns")
+	w.batchRecs = reg.Histogram("wal.commit_batch_records")
+}
+
 // appendLocked frames rec into the buffer and returns its LSN.
 func (w *Writer) appendLocked(rec *Record) (LSN, error) {
 	lsn := w.endLocked()
@@ -172,9 +200,11 @@ func (w *Writer) syncLocked() error {
 		return err
 	}
 	if !w.opts.NoSync {
+		start := telemetry.Now()
 		if err := w.st.Sync(); err != nil {
 			return err
 		}
+		w.fsyncNS.Observe(int64(telemetry.Since(start)))
 		w.syncs++
 	}
 	w.synced = end
@@ -209,6 +239,7 @@ func (w *Writer) Begin(kind string, preNumPages uint64) (LSN, error) {
 		return 0, fmt.Errorf("%w: %q", ErrInOp, kind)
 	}
 	w.opSeq++
+	w.opAppends = w.appends
 	rec := Record{Type: RecBegin, OpID: w.opSeq, PreNumPages: preNumPages, Kind: kind}
 	lsn, err := w.appendLocked(&rec)
 	if err != nil {
@@ -249,6 +280,9 @@ func (w *Writer) endOp(t uint8) error {
 	if _, err := w.appendLocked(&rec); err != nil {
 		return err
 	}
+	// Group-commit batch size: every record the operation appended
+	// (begin + updates + commit/abort) travels under this one sync.
+	w.batchRecs.Observe(w.appends - w.opAppends)
 	w.activeOp = 0
 	w.beginLSN = 0
 	return w.syncLocked()
@@ -310,9 +344,11 @@ func (w *Writer) Checkpoint(numPages uint64) error {
 		return err
 	}
 	if !w.opts.NoSync {
+		start := telemetry.Now()
 		if err := w.st.Sync(); err != nil {
 			return err
 		}
+		w.fsyncNS.Observe(int64(telemetry.Since(start)))
 		w.syncs++
 	}
 	w.base = newBase

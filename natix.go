@@ -88,6 +88,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"natix/internal/buffer"
 	"natix/internal/core"
@@ -97,6 +98,7 @@ import (
 	"natix/internal/pathindex"
 	"natix/internal/records"
 	"natix/internal/segment"
+	"natix/internal/telemetry"
 	"natix/internal/wal"
 )
 
@@ -190,6 +192,35 @@ type Options struct {
 	// "synchronous=off".
 	NoSync bool
 
+	// Tracing records an operation trace (span tree with phase
+	// durations and attributes) for every engine operation — imports,
+	// queries, cursors, checkpoints — into a bounded in-memory ring
+	// read by DB.RecentTraces. Metrics (DB.Metrics) are always on;
+	// tracing is the opt-in half of the telemetry subsystem because it
+	// allocates per operation.
+	Tracing bool
+
+	// TraceBuffer bounds the trace ring (0 = 256 traces). The ring
+	// keeps the newest traces; older ones fall off.
+	TraceBuffer int
+
+	// SlowOpThreshold, when positive, records every operation slower
+	// than the threshold into the slow-op log (DB.SlowOps) and hands it
+	// to SlowOpSink if one is set. Implies span collection for the
+	// operations it times, even when Tracing is off.
+	SlowOpThreshold time.Duration
+
+	// SlowOpSink, when set, receives each slow operation synchronously
+	// as it completes. Keep it fast (hand off to a channel or logger);
+	// it runs on the operation's goroutine.
+	SlowOpSink func(SlowOp)
+
+	// PprofLabels tags query goroutines with pprof labels
+	// (natix_op, natix_doc) for the duration of each prepared-query
+	// evaluation, so CPU profiles of a mixed workload break down by
+	// operation and document.
+	PprofLabels bool
+
 	// walBufLimit overrides the log append-buffer size (crash tests
 	// shrink it so every log record is a separate write, and therefore
 	// a separate injectable crash point).
@@ -247,6 +278,8 @@ type DB struct {
 	matrix   *core.SplitMatrix
 	wal      *wal.Writer // nil when Options.WAL is off
 	walSt    wal.Storage // open log storage (may outlive wal when WAL is off)
+	reg      *telemetry.Registry
+	tracer   *telemetry.Tracer // nil unless Tracing or a slow-op log is on
 	recovery RecoveryStats
 	closed   bool
 }
@@ -447,8 +480,29 @@ func openWith(opts Options, dev pagedev.Device, sim *pagedev.SimDisk, walSt wal.
 		}
 		store.AttachWAL(w)
 	}
+	// Telemetry: the metrics registry is always on (counters are atomic
+	// adds — DB.Stats and DB.Metrics read from it); the tracer exists
+	// only when tracing or a slow-op log was requested, so untraced
+	// operations pay one atomic load per op.
+	reg := telemetry.NewRegistry()
+	var tracer *telemetry.Tracer
+	if opts.Tracing || opts.SlowOpThreshold > 0 || opts.SlowOpSink != nil {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{
+			Enabled:         true,
+			BufferSize:      opts.TraceBuffer,
+			SlowOpThreshold: opts.SlowOpThreshold,
+			SlowOpSink:      opts.SlowOpSink,
+		})
+	}
+	pool.AttachTelemetry(reg)
+	if w != nil {
+		w.AttachTelemetry(reg)
+	}
+	trees.AttachTelemetry(reg)
+	store.AttachTelemetry(reg, tracer)
 	return &DB{opts: opts, dev: dev, sim: sim, pool: pool, store: store,
-		matrix: matrix, wal: w, walSt: walSt, recovery: recovery}, nil
+		matrix: matrix, wal: w, walSt: walSt, reg: reg, tracer: tracer,
+		recovery: recovery}, nil
 }
 
 // view runs fn holding the lifecycle lock shared, failing fast with
@@ -634,6 +688,8 @@ type Stats struct {
 	BufferHits   int64
 	PhysReads    int64
 	PhysWrites   int64
+	Evictions    int64 // frames reclaimed by the clock sweep
+	LatchWaits   int64 // frame-latch acquisitions that had to block
 	// Tree storage manager.
 	Splits           int64
 	RecordsCreated   int64
@@ -654,35 +710,35 @@ type Stats struct {
 	WALCheckpoints int64 // checkpoints taken (Flush, Close, log-size-triggered)
 }
 
-// Stats returns a snapshot of storage counters.
+// Stats returns a snapshot of storage counters. The snapshot is read
+// in one pass from the telemetry registry (every subsystem registers
+// its counters there), stabilized by re-reading until two sweeps
+// agree — so the cross-subsystem view is consistent, not four
+// independent reads taken at slightly different times.
 func (db *DB) Stats() (Stats, error) {
 	return viewE(db, func() (Stats, error) {
-		bs := db.pool.Stats()
-		ts := db.store.Trees().Stats()
-		is := db.store.IndexStats()
-		var ws wal.Stats
-		if db.wal != nil {
-			ws = db.wal.Stats()
-		}
+		c := db.reg.Snapshot().Counters
 		return Stats{
-			LogicalReads:    bs.LogicalReads,
-			BufferHits:      bs.Hits,
-			PhysReads:       bs.PhysReads,
-			PhysWrites:      bs.PhysWrites,
-			Splits:           ts.Splits,
-			RecordsCreated:   ts.RecordsCreated,
-			RecordsDeleted:   ts.RecordsDeleted,
-			RecordsRewritten: ts.RecordsRewritten,
-			ParentPatches:    ts.ParentPatches,
-			SpaceBytes:      db.store.Trees().Records().Segment().TotalBytes(),
-			PageSize:        db.opts.PageSize,
-			PathIndexBuilds: is.Builds,
-			IndexedQueries:  is.IndexedQueries,
-			ScanQueries:     is.ScanQueries,
-			WALAppends:      ws.Appends,
-			WALBytes:        ws.Bytes,
-			WALSyncs:        ws.Syncs,
-			WALCheckpoints:  ws.Checkpoints,
+			LogicalReads:     c["buffer.logical_reads"],
+			BufferHits:       c["buffer.hits"],
+			PhysReads:        c["buffer.phys_reads"],
+			PhysWrites:       c["buffer.phys_writes"],
+			Evictions:        c["buffer.evictions"],
+			LatchWaits:       c["buffer.latch_waits"],
+			Splits:           c["core.splits"],
+			RecordsCreated:   c["core.records_created"],
+			RecordsDeleted:   c["core.records_deleted"],
+			RecordsRewritten: c["core.records_rewritten"],
+			ParentPatches:    c["core.parent_patches"],
+			SpaceBytes:       db.store.Trees().Records().Segment().TotalBytes(),
+			PageSize:         db.opts.PageSize,
+			PathIndexBuilds:  c["docstore.index_builds"],
+			IndexedQueries:   c["docstore.queries_indexed"],
+			ScanQueries:      c["docstore.queries_scan"],
+			WALAppends:       c["wal.appends"],
+			WALBytes:         c["wal.bytes"],
+			WALSyncs:         c["wal.syncs"],
+			WALCheckpoints:   c["wal.checkpoints"],
 		}, nil
 	})
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package natix
+
+// raceEnabled mirrors the -race flag so timing-sensitive tests can skip
+// themselves under the detector's instrumentation overhead.
+const raceEnabled = true

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Instrumented hot paths must read the clock through telemetry.Now() /
+# telemetry.Since(), never time.Now() directly: the telemetry package is
+# the one place where "what time source do measurements use" is decided,
+# and a stray time.Now() in an engine package silently bypasses it.
+# Test files are exempt (they time test scaffolding, not operations).
+set -eu
+cd "$(dirname "$0")/.."
+
+packages="internal/buffer internal/wal internal/core internal/docstore \
+internal/records internal/pathindex internal/segment internal/blobstore"
+
+bad=0
+for pkg in $packages; do
+    # shellcheck disable=SC2046
+    hits=$(grep -n 'time\.Now(' $(ls "$pkg"/*.go | grep -v '_test\.go$') /dev/null || true)
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        bad=1
+    fi
+done
+
+if [ "$bad" -ne 0 ]; then
+    echo >&2
+    echo "vet-telemetry-clock: direct time.Now() in an instrumented package." >&2
+    echo "Use telemetry.Now() / telemetry.Since() so measurements share one clock." >&2
+    exit 1
+fi
+echo "vet-telemetry-clock: ok"

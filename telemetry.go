@@ -1,0 +1,93 @@
+package natix
+
+// The observability surface: engine metrics, operation traces, the
+// slow-op log, and an expvar-compatible export. Metrics are always on
+// (atomic counters and fixed-bucket histograms; no allocation on any
+// hot path). Traces and the slow-op log are opt-in via
+// Options.Tracing / Options.SlowOpThreshold.
+//
+// # Quick start: slow-op logging
+//
+//	db, _ := natix.Open(natix.Options{
+//		Path:            "plays.natix",
+//		SlowOpThreshold: 50 * time.Millisecond,
+//		SlowOpSink: func(op natix.SlowOp) {
+//			log.Printf("slow %s on %q: %v", op.Op, op.Doc, op.Duration)
+//		},
+//	})
+//
+// Operations slower than the threshold land in DB.SlowOps() (a bounded
+// ring; newest first) and are handed to the sink as they finish. Each
+// SlowOp carries the full trace: phase durations (parse vs finish vs
+// index for an import; postings vs resolve for an indexed query) and
+// attributes like rows and matches.
+//
+// # Quick start: metrics
+//
+//	m, _ := db.Metrics()
+//	fmt.Println(m.Counters["buffer.hits"], m.Counters["wal.syncs"])
+//	fmt.Println(time.Duration(m.Histograms["wal.fsync_ns"].Quantile(0.99)))
+//
+// To serve everything over HTTP with the standard library:
+//
+//	v, _ := db.MetricsVar()
+//	expvar.Publish("natix", v)
+
+import (
+	"expvar"
+
+	"natix/internal/telemetry"
+)
+
+// Metrics is a point-in-time snapshot of every engine metric: counter
+// and gauge values by name, histograms by name. Marshals to JSON.
+type Metrics = telemetry.Snapshot
+
+// HistogramSnapshot is one histogram in a Metrics snapshot. Buckets
+// are powers of two (bucket b counts observations in [2^(b-1), 2^b)
+// nanoseconds); Mean and Quantile summarize without the caller knowing
+// the bucket layout.
+type HistogramSnapshot = telemetry.HistogramSnapshot
+
+// Trace is one recorded operation: op name, document, start time,
+// duration, phase breakdown, and attributes.
+type Trace = telemetry.Trace
+
+// SlowOp is a Trace that exceeded Options.SlowOpThreshold.
+type SlowOp = telemetry.SlowOp
+
+// Metrics returns a stabilized snapshot of every engine metric. The
+// registry re-reads until two sweeps agree, so the snapshot is
+// consistent across subsystems even under concurrent load.
+func (db *DB) Metrics() (Metrics, error) {
+	return viewE(db, func() (Metrics, error) { return db.reg.Snapshot(), nil })
+}
+
+// MetricsDelta returns the difference between the current counters and
+// a previous snapshot — the per-interval view a poller wants.
+func (db *DB) MetricsDelta(prev Metrics) (map[string]int64, error) {
+	return viewE(db, func() (map[string]int64, error) {
+		return db.reg.Snapshot().DeltaCounters(prev), nil
+	})
+}
+
+// MetricsVar returns the metrics registry as an expvar.Var whose
+// String() is the JSON snapshot, ready for expvar.Publish("natix", v)
+// — published metrics then appear on /debug/vars with everything else.
+// Publication is left to the caller so two DBs never fight over one
+// expvar name.
+func (db *DB) MetricsVar() (expvar.Var, error) {
+	return viewE(db, func() (expvar.Var, error) { return db.reg, nil })
+}
+
+// RecentTraces returns the most recent operation traces, newest first.
+// Empty unless the store was opened with Options.Tracing.
+func (db *DB) RecentTraces() ([]Trace, error) {
+	return viewE(db, func() ([]Trace, error) { return db.tracer.RecentTraces(), nil })
+}
+
+// SlowOps returns the most recent slow operations, newest first. Empty
+// unless the store was opened with a positive Options.SlowOpThreshold.
+func (db *DB) SlowOps() ([]SlowOp, error) {
+	return viewE(db, func() ([]SlowOp, error) { return db.tracer.SlowOps(), nil })
+}
