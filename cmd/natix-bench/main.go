@@ -39,6 +39,8 @@ func main() {
 		flat       = flag.Bool("flat", false, "include the flat-stream extension series")
 		csvPath    = flag.String("csv", "", "write raw cells to this CSV file")
 		jsonPath   = flag.String("json", "", "write import-experiment cells to this JSON file")
+		workers    = flag.String("workers", "", "comma-separated worker counts for the import scaling sweep (e.g. 1,2,4,8)")
+		baselineMS = flag.Float64("baseline-ms", 0, "reference serial bulk wall-ms the scaling curve is computed against (0: this run's serial cell)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -47,7 +49,17 @@ func main() {
 	spec.Plays = *plays
 
 	if *experiment == "import" {
-		runImport(spec, *buffer, *jsonPath, *quiet)
+		var workerList []int
+		if *workers != "" {
+			for _, w := range strings.Split(*workers, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(w))
+				if err != nil || n < 1 {
+					fatalf("bad -workers entry %q", w)
+				}
+				workerList = append(workerList, n)
+			}
+		}
+		runImport(spec, *buffer, *jsonPath, workerList, *baselineMS, *quiet)
 		return
 	}
 	if *experiment == "wal" {
@@ -119,8 +131,8 @@ func main() {
 // and the incremental per-node path on the same generated plays,
 // printing a table and optionally writing the cells as JSON — the
 // BENCH_import.json baseline of the perf trajectory.
-func runImport(spec corpus.Spec, buffer int, jsonPath string, quiet bool) {
-	cells, err := benchkit.RunImportExperiment(spec, buffer, 8192)
+func runImport(spec corpus.Spec, buffer int, jsonPath string, workers []int, baselineMS float64, quiet bool) {
+	cells, err := benchkit.RunImportExperiment(spec, buffer, 8192, workers)
 	if err != nil {
 		fatalf("import experiment: %v", err)
 	}
@@ -131,7 +143,7 @@ func runImport(spec corpus.Spec, buffer int, jsonPath string, quiet bool) {
 			fatalf("create %s: %v", jsonPath, err)
 		}
 		defer f.Close()
-		if err := benchkit.WriteImportJSON(f, cells); err != nil {
+		if err := benchkit.WriteImportJSON(f, cells, baselineMS); err != nil {
 			fatalf("write json: %v", err)
 		}
 		if !quiet {

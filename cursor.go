@@ -105,6 +105,10 @@ func (c *Cursor) Match() Match { return c.cur }
 // stopped by Close, a limit, or exhaustion has a nil Err.
 func (c *Cursor) Err() error { return c.it.Err() }
 
+// Indexed reports whether the cursor runs on the posting-list
+// evaluator (as opposed to the navigating scan or a flat-mode parse).
+func (c *Cursor) Indexed() bool { return c.it.Indexed() }
+
 // Close releases the document lock and the suspended producer. It is
 // idempotent, safe after exhaustion, and returns Err. Close never
 // touches the database itself, so it works — and must still be called —

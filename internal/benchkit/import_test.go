@@ -44,18 +44,27 @@ func TestRunImportBothPaths(t *testing.T) {
 
 func TestImportExperimentJSON(t *testing.T) {
 	spec := tinySpec()
-	cells, err := RunImportExperiment(spec, 1<<20, 2048)
+	cells, err := RunImportExperiment(spec, 1<<20, 2048, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cells) != 2 || cells[0].Path != "bulk" || cells[1].Path != "incremental" {
+	if len(cells) != 4 || cells[0].Path != "bulk" || cells[3].Path != "incremental" {
 		t.Fatalf("unexpected cells: %+v", cells)
 	}
+	if cells[1].Workers != 1 || cells[2].Workers != 2 {
+		t.Fatalf("worker cells not recorded: %+v", cells)
+	}
+	for _, c := range cells[:3] {
+		if c.ParseMS <= 0 || c.PackMS <= 0 {
+			t.Fatalf("bulk cell missing stage breakdown: %+v", c)
+		}
+	}
 	var buf bytes.Buffer
-	if err := WriteImportJSON(&buf, cells); err != nil {
+	if err := WriteImportJSON(&buf, cells, 0); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"benchmark": "import"`, `"records_rewritten"`, `"speedup_x"`} {
+	for _, want := range []string{`"benchmark": "import"`, `"records_rewritten"`,
+		`"speedup_x"`, `"scaling"`, `"parse_ms"`, `"workers": 2`} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("JSON missing %s:\n%s", want, buf.String())
 		}

@@ -343,10 +343,32 @@ func (p *Pool) evictOne() error {
 		// Another eviction (or a failed load) made room meanwhile.
 		return nil
 	}
+	// First pass prefers victims whose write-back needs no log sync
+	// (clean frames, or dirty ones the log already covers): evicting a
+	// freshly-logged page forces an fsync under the WAL rule, and during
+	// a bulk load the pool is full of older, already-durable pages that
+	// cost nothing to drop.
+	var durableLSN wal.LSN
+	if p.wal != nil {
+		durableLSN = p.wal.SyncedLSN()
+	}
+	if p.wal != nil {
+		for i := 0; i < numShards; i++ {
+			sh := &p.shards[p.handShard]
+			evicted, err := p.sweepShard(sh, durableLSN)
+			if err != nil {
+				return err
+			}
+			if evicted {
+				return nil
+			}
+			p.handShard = (p.handShard + 1) % numShards
+		}
+	}
 	for cycle := 0; cycle < 2; cycle++ {
 		for i := 0; i < numShards; i++ {
 			sh := &p.shards[p.handShard]
-			evicted, err := p.sweepShard(sh)
+			evicted, err := p.sweepShard(sh, 0)
 			if err != nil {
 				return err
 			}
@@ -360,9 +382,12 @@ func (p *Pool) evictOne() error {
 }
 
 // sweepShard advances the shard's clock hand over its ring once,
-// evicting the first second-chance victim it finds. Caller holds
-// evictMu.
-func (p *Pool) sweepShard(sh *shard) (bool, error) {
+// evicting the first second-chance victim it finds. A non-zero
+// durableLSN makes the pass selective: dirty frames the log does not
+// yet cover are passed over (their reference bits untouched), so a
+// cheaper victim can be found before paying for a log sync. Caller
+// holds evictMu.
+func (p *Pool) sweepShard(sh *shard, durableLSN wal.LSN) (bool, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	n := len(sh.ring)
@@ -372,6 +397,10 @@ func (p *Pool) sweepShard(sh *shard) (bool, error) {
 		}
 		f := sh.ring[sh.hand]
 		if f.pins.Load() > 0 {
+			sh.hand++
+			continue
+		}
+		if durableLSN > 0 && f.dirty.Load() && wal.LSN(f.pageLSN.Load()) > durableLSN {
 			sh.hand++
 			continue
 		}

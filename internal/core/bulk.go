@@ -71,6 +71,22 @@ type BulkBuilder struct {
 	// proxies still sit in open frames.
 	parentOff map[records.RID]int
 
+	// free recycles record-body buffers: the batch writer hands a body
+	// back (possibly from its flusher goroutine) once its bytes are
+	// copied into a page, and emitRecord reuses it for a later record.
+	free chan []byte
+
+	// runScratch is flushOnce's reusable run type set; leafScratch is
+	// emitRecord's single-node set for standalone literals.
+	runScratch  *noderep.TypeSet
+	leafScratch *noderep.TypeSet
+
+	// frameFree and tsFree recycle frames and type sets across the many
+	// short-lived elements of a build (a frame per open element, a type
+	// set per frame and per pending child).
+	frameFree []*bulkFrame
+	tsFree    []*noderep.TypeSet
+
 	rootRID records.RID
 	created int64 // records emitted by this builder
 	aborted bool
@@ -80,10 +96,21 @@ type BulkBuilder struct {
 // holds the pending, already-reduced children) plus incremental size
 // accounting.
 type bulkFrame struct {
-	node    *noderep.Node
-	sizes   []int            // content size per pending child
-	types   *noderep.TypeSet // types of node + all pending subtrees
-	content int              // Σ (EmbeddedHeaderSize + sizes[i])
+	node  *noderep.Node
+	sizes []int // content size per pending child
+	// kidProxy marks, per pending child, whether its subtree contains a
+	// proxy node — i.e. whether a record emitted around it needs the
+	// parent-pointer patch walk. Most records (literal and text runs)
+	// carry no proxies and skip the walk entirely.
+	kidProxy []bool
+	// kidTypes holds, per pending child, the type set of its subtree —
+	// a closed frame's set, handed over at Close. nil entries (literals,
+	// proxies) contribute their single node type. Keeping them lets run
+	// packing and post-splice accounting merge small sets instead of
+	// re-walking whole subtrees.
+	kidTypes []*noderep.TypeSet
+	types    *noderep.TypeSet // types of node + all pending subtrees
+	content  int              // Σ (EmbeddedHeaderSize + sizes[i])
 }
 
 // recordSize returns the record size if the frame were emitted now.
@@ -107,13 +134,69 @@ func (s *Store) NewBulkBuilder(opts BulkOptions) *BulkBuilder {
 	if max := s.maxRecordSize() - 64; budget > max {
 		budget = max // room for the scaffold type entry and header drift
 	}
-	return &BulkBuilder{
-		s:         s,
-		w:         s.rm.NewBatchWriter(fill),
-		onRecord:  opts.OnRecord,
-		budget:    budget,
-		parentOff: make(map[records.RID]int),
+	b := &BulkBuilder{
+		s:           s,
+		w:           s.rm.NewBatchWriter(fill),
+		onRecord:    opts.OnRecord,
+		budget:      budget,
+		parentOff:   make(map[records.RID]int),
+		free:        make(chan []byte, 64),
+		runScratch:  noderep.NewTypeSet(),
+		leafScratch: noderep.NewTypeSet(),
 	}
+	b.w.SetRecycle(func(body []byte) {
+		select {
+		case b.free <- body:
+		default:
+		}
+	})
+	return b
+}
+
+// getTS returns an empty type set, reusing a recycled one.
+func (b *BulkBuilder) getTS() *noderep.TypeSet {
+	if n := len(b.tsFree); n > 0 {
+		ts := b.tsFree[n-1]
+		b.tsFree = b.tsFree[:n-1]
+		ts.Reset()
+		return ts
+	}
+	return noderep.NewTypeSet()
+}
+
+// putTS recycles a type set nothing references anymore.
+func (b *BulkBuilder) putTS(ts *noderep.TypeSet) {
+	if ts != nil {
+		b.tsFree = append(b.tsFree, ts)
+	}
+}
+
+// getFrame returns a fresh frame (child slices emptied, capacity kept).
+func (b *BulkBuilder) getFrame(n *noderep.Node, ts *noderep.TypeSet) *bulkFrame {
+	if k := len(b.frameFree); k > 0 {
+		f := b.frameFree[k-1]
+		b.frameFree = b.frameFree[:k-1]
+		f.node = n
+		f.types = ts
+		f.sizes = f.sizes[:0]
+		f.kidTypes = f.kidTypes[:0]
+		f.kidProxy = f.kidProxy[:0]
+		f.content = 0
+		return f
+	}
+	return &bulkFrame{node: n, types: ts}
+}
+
+// putFrame recycles a closed frame and its per-child type sets (dead
+// once the frame's children are final). f.types is NOT recycled here —
+// its ownership moves to the parent frame or to emitRecord's caller.
+func (b *BulkBuilder) putFrame(f *bulkFrame) {
+	for _, kt := range f.kidTypes {
+		b.putTS(kt)
+	}
+	f.node = nil
+	f.types = nil
+	b.frameFree = append(b.frameFree, f)
 }
 
 // Open begins an element: n must be a childless facade aggregate. Its
@@ -125,9 +208,9 @@ func (b *BulkBuilder) Open(n *noderep.Node) error {
 	if !b.rootRID.IsNil() {
 		return fmt.Errorf("%w: document already closed", ErrBulkState)
 	}
-	types := noderep.NewTypeSet()
+	types := b.getTS()
 	types.AddNode(n)
-	b.stack = append(b.stack, &bulkFrame{node: n, types: types})
+	b.stack = append(b.stack, b.getFrame(n, types))
 	return nil
 }
 
@@ -145,13 +228,15 @@ func (b *BulkBuilder) Leaf(n *noderep.Node) error {
 	}
 	parent := b.stack[len(b.stack)-1]
 	if b.s.cfg.Matrix.Get(parent.node.Label, n.Label) == PolicyStandalone {
-		rid, err := b.emitRecord(n, records.NilRID)
+		b.leafScratch.Reset()
+		b.leafScratch.AddNode(n)
+		rid, err := b.emitRecord(n, records.NilRID, b.leafScratch, len(n.Payload), false)
 		if err != nil {
 			return err
 		}
-		return b.appendChild(parent, noderep.NewProxy(rid), records.RIDSize, nil)
+		return b.appendChild(parent, noderep.NewProxy(rid), records.RIDSize, nil, false)
 	}
-	return b.appendChild(parent, n, len(n.Payload), nil)
+	return b.appendChild(parent, n, len(n.Payload), nil, false)
 }
 
 // Close ends the innermost open element, attaching its (reduced)
@@ -164,30 +249,41 @@ func (b *BulkBuilder) Close() (*noderep.Node, error) {
 	f := b.stack[len(b.stack)-1]
 	b.stack = b.stack[:len(b.stack)-1]
 	if len(b.stack) == 0 {
-		rid, err := b.emitRecord(f.node, records.NilRID)
+		rid, err := b.emitRecord(f.node, records.NilRID, f.types, f.content, anyProxy(f.kidProxy))
 		if err != nil {
 			return nil, err
 		}
 		b.rootRID = rid
-		return f.node, nil
+		n := f.node
+		b.putTS(f.types)
+		b.putFrame(f)
+		return n, nil
 	}
 	parent := b.stack[len(b.stack)-1]
 	if b.s.cfg.Matrix.Get(parent.node.Label, f.node.Label) == PolicyStandalone {
 		// "x is stored as a standalone node and a proxy is inserted into
 		// y" (§3.3).
-		rid, err := b.emitRecord(f.node, records.NilRID)
+		rid, err := b.emitRecord(f.node, records.NilRID, f.types, f.content, anyProxy(f.kidProxy))
 		if err != nil {
 			return nil, err
 		}
-		if err := b.appendChild(parent, noderep.NewProxy(rid), records.RIDSize, nil); err != nil {
+		n := f.node
+		b.putTS(f.types)
+		b.putFrame(f)
+		if err := b.appendChild(parent, noderep.NewProxy(rid), records.RIDSize, nil, false); err != nil {
 			return nil, err
 		}
-		return f.node, nil
+		return n, nil
 	}
-	if err := b.appendChild(parent, f.node, f.content, f.types); err != nil {
+	n := f.node
+	types := f.types
+	content := f.content
+	proxies := anyProxy(f.kidProxy)
+	b.putFrame(f)
+	if err := b.appendChild(parent, n, content, types, proxies); err != nil {
 		return nil, err
 	}
-	return f.node, nil
+	return n, nil
 }
 
 // Finish completes the build: materializes the last page and returns
@@ -209,6 +305,26 @@ func (b *BulkBuilder) Finish() (records.RID, error) {
 	return b.rootRID, nil
 }
 
+// ReleaseScratch drops the builder's reusable buffers — the recycled
+// record bodies, frame and type-set pools. Call it after Finish when
+// the builder object must stay reachable for a while (the batch import
+// holds every shard's builder until the whole batch commits): the
+// scratch is the bulk of a finished builder's footprint, and keeping
+// dozens of them live multiplies GC work for the remaining shards.
+// Abort still works afterwards.
+func (b *BulkBuilder) ReleaseScratch() {
+	for {
+		select {
+		case <-b.free:
+			continue
+		default:
+		}
+		break
+	}
+	b.frameFree, b.tsFree = nil, nil
+	b.runScratch, b.leafScratch = nil, nil
+}
+
 // Abort rolls the build back: buffered pages are dropped and every
 // record already stored is deleted, leaving the segment as it was.
 func (b *BulkBuilder) Abort() error {
@@ -226,15 +342,18 @@ func (b *BulkBuilder) BatchStats() records.BatchStats { return b.w.Stats() }
 
 // appendChild attaches a reduced child (facade subtree, literal or
 // proxy) to a frame and re-packs the frame if it overflowed. types, when
-// non-nil, is the child's precomputed type set (a closed frame's);
-// otherwise the child subtree is walked.
-func (b *BulkBuilder) appendChild(f *bulkFrame, n *noderep.Node, cs int, types *noderep.TypeSet) error {
+// non-nil, is the child's precomputed type set (a closed frame's), kept
+// with the child for later run packing; nil means the child is a single
+// node (literal or proxy) whose one type is added directly.
+func (b *BulkBuilder) appendChild(f *bulkFrame, n *noderep.Node, cs int, types *noderep.TypeSet, hasProxy bool) error {
 	f.node.AppendChild(n)
 	f.sizes = append(f.sizes, cs)
+	f.kidTypes = append(f.kidTypes, types)
+	f.kidProxy = append(f.kidProxy, hasProxy || n.Kind == noderep.KindProxy)
 	if types != nil {
 		f.types.Merge(types)
 	} else {
-		f.types.AddSubtree(n)
+		f.types.AddNode(n)
 	}
 	f.content += noderep.EmbeddedHeaderSize + cs
 	return b.reduce(f)
@@ -280,24 +399,34 @@ func (b *BulkBuilder) flushOnce(f *bulkFrame, relax bool) (bool, error) {
 			continue
 		}
 		// Grow the run while it fits the record budget (the +1 type
-		// reserves the scaffolding aggregate entry).
-		runTypes := noderep.NewTypeSet()
+		// reserves the scaffolding aggregate entry). Each child's types
+		// merge from its retained set; a child that overshoots is rolled
+		// back out, so the set stays exact for the emitted record.
+		runTypes := b.runScratch
+		runTypes.Reset()
 		runContent := 0
+		runProxy := false
 		end := start
 		for end < len(kids) {
 			c := kids[end]
 			if pinned(c) {
 				break
 			}
-			runTypes.AddSubtree(c)
+			mark := runTypes.Len()
+			if kt := f.kidTypes[end]; kt != nil {
+				runTypes.Merge(kt)
+			} else {
+				runTypes.AddNode(c)
+			}
 			next := noderep.RecordOverhead(runTypes.Len()+1) + runContent + noderep.EmbeddedHeaderSize + f.sizes[end]
 			if end > start && next > b.budget {
 				// The run without c was already within budget (checked on
-				// the previous iteration); the polluted type set only
-				// shortens later runs, never corrupts this one.
+				// the previous iteration).
+				runTypes.TruncateTo(mark)
 				break
 			}
 			runContent += noderep.EmbeddedHeaderSize + f.sizes[end]
+			runProxy = runProxy || f.kidProxy[end]
 			end++
 		}
 		// Replacing the run with a proxy must shrink the frame: skip
@@ -306,27 +435,38 @@ func (b *BulkBuilder) flushOnce(f *bulkFrame, relax bool) (bool, error) {
 		if gain <= 0 || (end-start == 1 && kids[start].Kind == noderep.KindProxy) {
 			continue
 		}
-		proxy, err := b.emitGroup(kids[start:end])
+		proxy, err := b.emitGroup(kids[start:end], runTypes, runContent, runProxy)
 		if err != nil {
 			return false, err
 		}
-		// Splice: children[start:end) -> proxy.
-		newKids := make([]*noderep.Node, 0, len(kids)-(end-start)+1)
-		newKids = append(newKids, kids[:start]...)
+		// The spliced-out children's retained type sets are dead now.
+		for i := start; i < end; i++ {
+			b.putTS(f.kidTypes[i])
+		}
+		// Splice in place: children[start:end) -> proxy.
 		proxy.Parent = f.node
-		newKids = append(newKids, proxy)
-		newKids = append(newKids, kids[end:]...)
-		newSizes := make([]int, 0, len(newKids))
-		newSizes = append(newSizes, f.sizes[:start]...)
-		newSizes = append(newSizes, records.RIDSize)
-		newSizes = append(newSizes, f.sizes[end:]...)
-		f.node.Children = newKids
-		f.sizes = newSizes
-		f.types = noderep.NewTypeSet()
+		kids[start] = proxy
+		copy(kids[start+1:], kids[end:])
+		f.node.Children = kids[:len(kids)-(end-start)+1]
+		f.sizes[start] = records.RIDSize
+		copy(f.sizes[start+1:], f.sizes[end:])
+		f.sizes = f.sizes[:len(f.node.Children)]
+		f.kidTypes[start] = nil
+		copy(f.kidTypes[start+1:], f.kidTypes[end:])
+		f.kidTypes = f.kidTypes[:len(f.node.Children)]
+		f.kidProxy[start] = true
+		copy(f.kidProxy[start+1:], f.kidProxy[end:])
+		f.kidProxy = f.kidProxy[:len(f.node.Children)]
+		// Rebuild the frame accounting from the retained child sets.
+		f.types.Reset()
 		f.types.AddNode(f.node)
 		f.content = 0
 		for i, c := range f.node.Children {
-			f.types.AddSubtree(c)
+			if kt := f.kidTypes[i]; kt != nil {
+				f.types.Merge(kt)
+			} else {
+				f.types.AddNode(c)
+			}
 			f.content += noderep.EmbeddedHeaderSize + f.sizes[i]
 		}
 		return true, nil
@@ -338,8 +478,9 @@ func (b *BulkBuilder) flushOnce(f *bulkFrame, relax bool) (bool, error) {
 // and returns the node representing it on the parent level, applying
 // §3.2.2's special cases: a run that is just one proxy is returned
 // as-is (no record), and a single subtree needs no scaffolding
-// aggregate.
-func (b *BulkBuilder) emitGroup(group []*noderep.Node) (*noderep.Node, error) {
+// aggregate. types is the exact type set of the run's subtrees and
+// content their embedded content total (run headers included).
+func (b *BulkBuilder) emitGroup(group []*noderep.Node, types *noderep.TypeSet, content int, hasProxy bool) (*noderep.Node, error) {
 	if len(group) == 1 && group[0].Kind == noderep.KindProxy {
 		return group[0], nil
 	}
@@ -347,26 +488,47 @@ func (b *BulkBuilder) emitGroup(group []*noderep.Node) (*noderep.Node, error) {
 	if len(group) == 1 {
 		root = group[0]
 		root.Parent = nil
+		// A single subtree is the record root itself: its content size
+		// excludes its own embedded header.
+		content -= noderep.EmbeddedHeaderSize
 	} else {
 		root = noderep.NewScaffoldAggregate()
 		for _, g := range group {
 			root.AppendChild(g)
 		}
+		types.AddNode(root)
 	}
-	rid, err := b.emitRecord(root, records.NilRID)
+	rid, err := b.emitRecord(root, records.NilRID, types, content, hasProxy)
 	if err != nil {
 		return nil, err
 	}
 	return noderep.NewProxy(rid), nil
 }
 
+// anyProxy reports whether any pending child's subtree holds a proxy.
+func anyProxy(kidProxy []bool) bool {
+	for _, p := range kidProxy {
+		if p {
+			return true
+		}
+	}
+	return false
+}
+
 // emitRecord encodes and stores one record through the batch writer —
 // its single write — then fixes the parent pointers of every record
-// whose proxy it contains.
-func (b *BulkBuilder) emitRecord(root *noderep.Node, parent records.RID) (records.RID, error) {
+// whose proxy it contains. types and content are the builder's
+// incremental accounting for the subtree (EncodeWith cross-checks them
+// against the bytes actually written).
+func (b *BulkBuilder) emitRecord(root *noderep.Node, parent records.RID, types *noderep.TypeSet, content int, hasProxy bool) (records.RID, error) {
 	root.Parent = nil
 	rec := &noderep.Record{ParentRID: parent, Root: root}
-	body, err := noderep.Encode(rec)
+	var dst []byte
+	select {
+	case dst = <-b.free:
+	default:
+	}
+	body, err := noderep.EncodeWith(dst, rec, types, content)
 	if err != nil {
 		return records.NilRID, err
 	}
@@ -383,6 +545,10 @@ func (b *BulkBuilder) emitRecord(root *noderep.Node, parent records.RID) (record
 		if err := b.onRecord(rid, root); err != nil {
 			return records.NilRID, err
 		}
+	}
+	b.parentOff[rid] = noderep.ParentRIDOffset(types.Len())
+	if !hasProxy {
+		return rid, nil
 	}
 	var enc [records.RIDSize]byte
 	rid.Put(enc[:])
@@ -407,6 +573,5 @@ func (b *BulkBuilder) emitRecord(root *noderep.Node, parent records.RID) (record
 	if firstErr != nil {
 		return records.NilRID, firstErr
 	}
-	b.parentOff[rid] = noderep.RecordParentRIDOffset(rec)
 	return rid, nil
 }

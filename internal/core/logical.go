@@ -120,13 +120,39 @@ func (fi *FacadeIndexer) Index(ref NodeRef) (int, error) {
 }
 
 // RefByFacadeIndex resolves a (record, facade index) address back to a
-// NodeRef, loading the record through the buffer pool.
+// NodeRef, loading the record through the buffer pool. This is the
+// cursor's per-match resolver, so on a warm record it must not
+// allocate: the facade walk is a plain recursion, no closures, no
+// memo.
 func (s *Store) RefByFacadeIndex(rid records.RID, idx int) (NodeRef, error) {
-	refs, err := s.RefsByFacadeIndex(rid, []int{idx})
+	rec, err := s.loadRecord(rid)
 	if err != nil {
 		return NodeRef{}, err
 	}
-	return refs[0], nil
+	seq := idx
+	n := findFacade(rec.Root, &seq)
+	if n == nil {
+		return NodeRef{}, fmt.Errorf("core: facade node %d missing in record %s", idx, rid)
+	}
+	return NodeRef{rid: rid, node: n, rec: rec}, nil
+}
+
+// findFacade returns the *seq-th facade node of the pre-order walk
+// under n (proxies are leaves of the walk), counting *seq down as it
+// goes; nil if the subtree has fewer facade nodes.
+func findFacade(n *noderep.Node, seq *int) *noderep.Node {
+	if isFacade(n) {
+		if *seq == 0 {
+			return n
+		}
+		*seq--
+	}
+	for _, c := range n.Children {
+		if m := findFacade(c, seq); m != nil {
+			return m
+		}
+	}
+	return nil
 }
 
 // RefsByFacadeIndex resolves several facade indices of one record with
@@ -237,13 +263,39 @@ func (s *Store) collectEntries(rid records.RID, rec *noderep.Record, agg *nodere
 
 // Children returns the logical children of ref in document order.
 func (s *Store) Children(ref NodeRef) ([]NodeRef, error) {
-	entries, err := s.childEntries(ref)
-	if err != nil {
-		return nil, err
+	return s.ChildrenAppend(ref, nil)
+}
+
+// ChildrenAppend appends ref's logical children to buf and returns the
+// extended slice — the allocation-free variant of Children for callers
+// that recycle traversal buffers. Unlike childEntries it carries no
+// physical slot information, which is all the read paths need.
+func (s *Store) ChildrenAppend(ref NodeRef, buf []NodeRef) ([]NodeRef, error) {
+	if ref.node.Kind != noderep.KindAggregate {
+		return buf, nil
 	}
-	out := make([]NodeRef, len(entries))
-	for i, e := range entries {
-		out[i] = e.ref
+	return s.appendChildRefs(ref.rid, ref.rec, ref.node, buf)
+}
+
+// appendChildRefs is collectEntries minus the slot bookkeeping,
+// appending bare refs into a caller-owned buffer.
+func (s *Store) appendChildRefs(rid records.RID, rec *noderep.Record, agg *noderep.Node, out []NodeRef) ([]NodeRef, error) {
+	for _, n := range agg.Children {
+		if n.Kind == noderep.KindProxy {
+			child, err := s.loadRecord(n.Target)
+			if err != nil {
+				return out, fmt.Errorf("resolving proxy to %s: %w", n.Target, err)
+			}
+			if child.Root.Scaffold && child.Root.Kind == noderep.KindAggregate {
+				if out, err = s.appendChildRefs(n.Target, child, child.Root, out); err != nil {
+					return out, err
+				}
+			} else {
+				out = append(out, NodeRef{rid: n.Target, node: child.Root, rec: child})
+			}
+		} else {
+			out = append(out, NodeRef{rid: rid, node: n, rec: rec})
+		}
 	}
 	return out, nil
 }

@@ -16,6 +16,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"natix/internal/dict"
 )
@@ -60,6 +61,7 @@ type matrixKey struct {
 type SplitMatrix struct {
 	mu      sync.RWMutex
 	def     Policy
+	n       atomic.Int32 // len(entries); lets Get skip lock and hash on an empty matrix
 	entries map[matrixKey]Policy
 }
 
@@ -83,10 +85,16 @@ func (m *SplitMatrix) Set(parent, child dict.LabelID, p Policy) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.entries[matrixKey{parent, child}] = p
+	m.n.Store(int32(len(m.entries)))
 }
 
-// Get returns the policy for the (parent, child) label pair.
+// Get returns the policy for the (parent, child) label pair. The
+// common configuration — every pair at the default — never takes the
+// lock: Get is on the per-child hot path of the bulk packer.
 func (m *SplitMatrix) Get(parent, child dict.LabelID) Policy {
+	if m.n.Load() == 0 {
+		return m.def
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if p, ok := m.entries[matrixKey{parent, child}]; ok {

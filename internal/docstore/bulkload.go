@@ -21,7 +21,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 
 	"natix/internal/core"
 	"natix/internal/dict"
@@ -48,7 +47,7 @@ type bulkLoader struct {
 	s         *Store
 	bb        *core.BulkBuilder
 	sb        *pathindex.StreamBuilder // nil when indexing is off
-	batch     *dict.Batch
+	batch     labelBatch
 	open      []*noderep.Node // open-element stack
 	textLimit int
 	nodes     int64 // logical nodes loaded
@@ -57,15 +56,64 @@ type bulkLoader struct {
 	// from the stream parser) are re-joined so literal boundaries come
 	// out exactly as the incremental path's insertText produces them —
 	// full textLimit chunks plus a remainder — regardless of how the
-	// parser split the token for memory. pendText stays under textLimit.
-	pendText string
-	runOpen  bool
+	// parser split the token for memory. pend stays under textLimit and
+	// is reused across tokens.
+	pend    []byte
+	runOpen bool
+
+	// Slab arenas: loader-built nodes and literal payloads are carved
+	// out of chunked block allocations instead of being allocated one by
+	// one — the import's dominant allocation sites. A chunk is dropped
+	// (left to the GC) the moment it fills; nothing outlives the import,
+	// since emitted records only retain the builder's own proxy nodes.
+	nodeSlab []noderep.Node
+	textSlab []byte
+}
+
+// newNode carves one zeroed node from the node slab.
+func (l *bulkLoader) newNode() *noderep.Node {
+	if len(l.nodeSlab) == cap(l.nodeSlab) {
+		l.nodeSlab = make([]noderep.Node, 0, 1024)
+	}
+	l.nodeSlab = l.nodeSlab[:len(l.nodeSlab)+1]
+	return &l.nodeSlab[len(l.nodeSlab)-1]
+}
+
+// slabBytes copies b into the payload slab, capacity-clamped so later
+// growth of the returned slice reallocates instead of clobbering a
+// neighbor.
+func (l *bulkLoader) slabBytes(b []byte) []byte {
+	if len(l.textSlab)+len(b) > cap(l.textSlab) {
+		c := 64 << 10
+		if len(b) > c {
+			c = len(b)
+		}
+		l.textSlab = make([]byte, 0, c)
+	}
+	base := len(l.textSlab)
+	l.textSlab = append(l.textSlab, b...)
+	return l.textSlab[base : base+len(b) : base+len(b)]
+}
+
+// labelBatch is the slice of the dictionary-batch surface the loader
+// uses. Single-document imports hand the loader a *dict.Batch directly;
+// the multi-document batch import substitutes a mutex-wrapped batch
+// shared by all shards (see pipeline.go).
+type labelBatch interface {
+	Intern(name string) (dict.LabelID, error)
+	Commit() error
 }
 
 func (s *Store) newBulkLoader() *bulkLoader {
+	return s.newBulkLoaderWith(s.dict.NewBatch())
+}
+
+// newBulkLoaderWith builds a loader around an externally owned
+// dictionary batch.
+func (s *Store) newBulkLoaderWith(batch labelBatch) *bulkLoader {
 	l := &bulkLoader{
 		s:         s,
-		batch:     s.dict.NewBatch(),
+		batch:     batch,
 		textLimit: s.trees.Records().MaxRecordSize() / 2,
 	}
 	fill := s.bulkFill
@@ -111,7 +159,9 @@ func (l *bulkLoader) enterAggregate(name string) error {
 	if err != nil {
 		return err
 	}
-	n := noderep.NewAggregate(label)
+	n := l.newNode()
+	n.Kind = noderep.KindAggregate
+	n.Label = label
 	if l.sb != nil {
 		l.sb.Enter(n)
 	}
@@ -144,13 +194,29 @@ func (l *bulkLoader) closeElement() error {
 	return err
 }
 
-// literal adds one text literal (no chunking — attribute values).
+// literal adds one text literal (no chunking — attribute values). Only
+// called between text runs (openElement flushes first), so borrowing the
+// empty pend buffer as scratch is safe; it is left empty again.
 func (l *bulkLoader) literal(text string) error {
+	l.pend = append(l.pend[:0], text...)
+	err := l.literalBytes(l.pend)
+	l.pend = l.pend[:0]
+	return err
+}
+
+// literalBytes adds one text literal from a transient byte slice; the
+// payload is copied into the loader's slab.
+func (l *bulkLoader) literalBytes(b []byte) error {
 	if l.sb != nil {
 		l.sb.Literal()
 	}
 	l.nodes++
-	return l.bb.Leaf(noderep.NewTextLiteral(text))
+	n := l.newNode()
+	n.Kind = noderep.KindLiteral
+	n.Label = dict.Text
+	n.LitType = noderep.LitString
+	n.Payload = l.slabBytes(b)
+	return l.bb.Leaf(n)
 }
 
 // text adds one chunk of character data. cont marks a continuation of
@@ -166,12 +232,12 @@ func (l *bulkLoader) text(text string, cont bool) error {
 		}
 	}
 	l.runOpen = true
-	l.pendText += text
-	for len(l.pendText) > l.textLimit {
-		if err := l.literal(l.pendText[:l.textLimit]); err != nil {
+	l.pend = append(l.pend, text...)
+	for len(l.pend) > l.textLimit {
+		if err := l.literalBytes(l.pend[:l.textLimit]); err != nil {
 			return err
 		}
-		l.pendText = l.pendText[l.textLimit:]
+		l.pend = l.pend[:copy(l.pend, l.pend[l.textLimit:])]
 	}
 	return nil
 }
@@ -183,9 +249,23 @@ func (l *bulkLoader) flushTextRun() error {
 		return nil
 	}
 	l.runOpen = false
-	tail := l.pendText
-	l.pendText = ""
-	return l.literal(tail)
+	err := l.literalBytes(l.pend)
+	l.pend = l.pend[:0]
+	return err
+}
+
+// apply feeds one parse event into the loader — the packer half of the
+// import pipeline (see pipeline.go).
+func (l *bulkLoader) apply(ev *xmlkit.Event) error {
+	switch ev.Kind {
+	case xmlkit.EventStart:
+		return l.openElement(ev.Name, ev.Attrs)
+	case xmlkit.EventEnd:
+		return l.closeElement()
+	case xmlkit.EventText:
+		return l.text(ev.Text, ev.Cont)
+	}
+	return nil
 }
 
 // loadDOM replays an already parsed tree through the loader (ImportTree
@@ -208,6 +288,17 @@ func (l *bulkLoader) loadDOM(cx context.Context, n *xmlkit.Node) error {
 	return l.closeElement()
 }
 
+// releaseScratch drops the loader's import-time ballast (slab tails,
+// builder pools, recycled record bodies) once its document is sealed.
+// The batch import keeps every shard's loader reachable until the whole
+// batch commits; without this, dozens of finished loaders' scratch
+// stays live and taxes the GC for the remaining shards. Abort (and so
+// rollback) still works on a released loader.
+func (l *bulkLoader) releaseScratch() {
+	l.bb.ReleaseScratch()
+	l.nodeSlab, l.textSlab, l.pend, l.open = nil, nil, nil, nil
+}
+
 // abort rolls back everything the loader stored — the pre-WAL
 // best-effort path: it deletes the records the builder materialized.
 // With a log attached it is a no-op; Mutate's log-driven rollback
@@ -219,42 +310,20 @@ func (s *Store) abortBulk(l *bulkLoader) {
 	_ = l.bb.Abort()
 }
 
-// importStreamLocked runs a bulk import off a streaming parser.
-// Mutator context. sp is the operation's root span (nil when tracing
-// is off); the parse-and-pack loop and the finish work become phases
-// on it.
+// importStreamLocked runs a bulk import off a streaming parser —
+// pipelined: the parser produces event batches on its own goroutine
+// while this goroutine packs them (see pipeline.go). Mutator context.
+// sp is the operation's root span (nil when tracing is off); the
+// parse-and-pack pipeline and the finish work become phases on it.
 func (s *Store) importStreamLocked(cx context.Context, name string, p *xmlkit.StreamParser, sp *telemetry.Span) (DocInfo, error) {
 	if _, ok := s.lookup(name); ok {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	l := s.newBulkLoader()
-	ch := sp.Child("stream")
-	for {
-		ev, err := p.Next()
-		if err == io.EOF {
-			break
-		}
-		if err == nil {
-			err = ctxErr(cx)
-		}
-		if err == nil {
-			switch ev.Kind {
-			case xmlkit.EventStart:
-				err = l.openElement(ev.Name, ev.Attrs)
-			case xmlkit.EventEnd:
-				err = l.closeElement()
-			case xmlkit.EventText:
-				err = l.text(ev.Text, ev.Cont)
-			}
-		}
-		if err != nil {
-			ch.End()
-			s.abortBulk(l)
-			return DocInfo{}, err
-		}
+	if err := s.runImportPipeline(cx, l, p, sp); err != nil {
+		s.abortBulk(l)
+		return DocInfo{}, err
 	}
-	ch.Add("nodes", l.nodes)
-	ch.End()
 	return s.finishBulkImport(name, l, sp)
 }
 
@@ -293,6 +362,7 @@ func (s *Store) finishBulkImport(name string, l *bulkLoader, sp *telemetry.Span)
 		ch.End()
 		return fail(err)
 	}
+	s.mImportWriteNS.Add(l.bb.BatchStats().WriteNS)
 	if err := l.batch.Commit(); err != nil {
 		ch.End()
 		return fail(err)

@@ -139,6 +139,10 @@ type Store struct {
 	scanQueries    atomic.Int64
 	flatQueries    atomic.Int64
 
+	// scanPool recycles scanScratch traversal buffers across queries
+	// (see query.go); a warm navigating scan allocates nothing.
+	scanPool sync.Pool
+
 	// tracer and the m* handles are set by AttachTelemetry (see
 	// telemetry.go); all remain nil — and every use is nil-safe — on an
 	// unattached store.
@@ -153,6 +157,9 @@ type Store struct {
 	mQueryScanNS      *telemetry.Histogram
 	mQueryFlatNS      *telemetry.Histogram
 	mCheckpointNS     *telemetry.Histogram
+	mImportParseNS    *telemetry.Counter
+	mImportPackNS     *telemetry.Counter
+	mImportWriteNS    *telemetry.Counter
 }
 
 // IndexStats counts path-index activity.

@@ -348,6 +348,31 @@ func (s *Store) streamFlat(cx context.Context, info DocInfo, steps []Step, emit 
 	return err
 }
 
+// scanScratch recycles the per-frame child buffers of one navigating
+// traversal: frame d of the recursion expands children into bufs[d],
+// so a steady-state scan allocates nothing once every level's buffer
+// has grown to its widest node. Scratches are pooled on the Store.
+type scanScratch struct {
+	bufs  [][]core.NodeRef
+	depth int
+}
+
+// push hands out the current frame's buffer (empty, capacity kept).
+func (sc *scanScratch) push() []core.NodeRef {
+	if sc.depth == len(sc.bufs) {
+		sc.bufs = append(sc.bufs, nil)
+	}
+	buf := sc.bufs[sc.depth][:0]
+	sc.depth++
+	return buf
+}
+
+// pop returns a frame's buffer, keeping whatever capacity it grew.
+func (sc *scanScratch) pop(buf []core.NodeRef) {
+	sc.depth--
+	sc.bufs[sc.depth] = buf
+}
+
 // streamScan evaluates steps by navigating the stored tree (the
 // fallback when no index applies), pushing matches to emit in document
 // order. emit may return errStopIteration to stop the walk early; the
@@ -358,7 +383,15 @@ func (s *Store) streamScan(cx context.Context, info DocInfo, steps []Step, emit 
 	if err != nil {
 		return err
 	}
-	return s.scanStep(cx, root, true, steps, emit)
+	sc, _ := s.scanPool.Get().(*scanScratch)
+	if sc == nil {
+		sc = new(scanScratch)
+	}
+	err = s.scanStep(cx, sc, root, true, steps, emit)
+	// An error unwind skips pops; reset so the scratch pools clean.
+	sc.depth = 0
+	s.scanPool.Put(sc)
+	return err
 }
 
 // scanStep evaluates the remaining steps against one context node. The
@@ -368,7 +401,7 @@ func (s *Store) streamScan(cx context.Context, info DocInfo, steps []Step, emit 
 // stream by, recurses into the selected one, and then abandons the rest
 // of the context's enumeration — the early-termination win over the old
 // collect-then-index evaluator.
-func (s *Store) scanStep(cx context.Context, ref core.NodeRef, isRoot bool, steps []Step, emit func(core.NodeRef) error) error {
+func (s *Store) scanStep(cx context.Context, sc *scanScratch, ref core.NodeRef, isRoot bool, steps []Step, emit func(core.NodeRef) error) error {
 	if len(steps) == 0 {
 		return emit(ref)
 	}
@@ -377,12 +410,12 @@ func (s *Store) scanStep(cx context.Context, ref core.NodeRef, isRoot bool, step
 	sink := func(m core.NodeRef) error {
 		count++
 		if st.Pos == 0 {
-			return s.scanStep(cx, m, false, steps[1:], emit)
+			return s.scanStep(cx, sc, m, false, steps[1:], emit)
 		}
 		if count < st.Pos {
 			return nil
 		}
-		if err := s.scanStep(cx, m, false, steps[1:], emit); err != nil {
+		if err := s.scanStep(cx, sc, m, false, steps[1:], emit); err != nil {
 			return err
 		}
 		return errStepDone
@@ -399,7 +432,7 @@ func (s *Store) scanStep(cx context.Context, ref core.NodeRef, isRoot bool, step
 			}
 		}
 		if err == nil {
-			err = s.walkDescendants(cx, ref, st.Name, sink)
+			err = s.walkDescendants(cx, sc, ref, st.Name, sink)
 		}
 	case isRoot:
 		var ok bool
@@ -410,21 +443,23 @@ func (s *Store) scanStep(cx context.Context, ref core.NodeRef, isRoot bool, step
 		if err = ctxErr(cx); err != nil {
 			break
 		}
-		var kids []core.NodeRef
-		if kids, err = s.trees.Children(ref); err != nil {
+		kids := sc.push()
+		if kids, err = s.trees.ChildrenAppend(ref, kids); err != nil {
+			sc.pop(kids)
 			break
 		}
-		for _, k := range kids {
+		for i := range kids {
 			var ok bool
-			if ok, err = s.refMatches(k, st.Name); err != nil {
+			if ok, err = s.refMatches(kids[i], st.Name); err != nil {
 				break
 			}
 			if ok {
-				if err = sink(k); err != nil {
+				if err = sink(kids[i]); err != nil {
 					break
 				}
 			}
 		}
+		sc.pop(kids)
 	}
 	if errors.Is(err, errStepDone) {
 		return nil
@@ -434,31 +469,38 @@ func (s *Store) scanStep(cx context.Context, ref core.NodeRef, isRoot bool, step
 
 // walkDescendants streams all strict descendants of ref matching name,
 // in document order, into sink. The context is checked before every
-// Children call — i.e. before every record (and therefore page) fetch.
-func (s *Store) walkDescendants(cx context.Context, ref core.NodeRef, name string, sink func(core.NodeRef) error) error {
+// ChildrenAppend call — i.e. before every record (and therefore page)
+// fetch.
+func (s *Store) walkDescendants(cx context.Context, sc *scanScratch, ref core.NodeRef, name string, sink func(core.NodeRef) error) error {
 	if err := ctxErr(cx); err != nil {
 		return err
 	}
-	kids, err := s.trees.Children(ref)
+	kids := sc.push()
+	kids, err := s.trees.ChildrenAppend(ref, kids)
 	if err != nil {
+		sc.pop(kids)
 		return err
 	}
-	for _, k := range kids {
-		ok, err := s.refMatches(k, name)
+	for i := range kids {
+		ok, err := s.refMatches(kids[i], name)
 		if err != nil {
+			sc.pop(kids)
 			return err
 		}
 		if ok {
-			if err := sink(k); err != nil {
+			if err := sink(kids[i]); err != nil {
+				sc.pop(kids)
 				return err
 			}
 		}
-		if !k.IsLiteral() {
-			if err := s.walkDescendants(cx, k, name, sink); err != nil {
+		if !kids[i].IsLiteral() {
+			if err := s.walkDescendants(cx, sc, kids[i], name, sink); err != nil {
+				sc.pop(kids)
 				return err
 			}
 		}
 	}
+	sc.pop(kids)
 	return nil
 }
 

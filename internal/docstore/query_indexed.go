@@ -7,7 +7,6 @@ import (
 	"natix/internal/core"
 	"natix/internal/dict"
 	"natix/internal/pathindex"
-	"natix/internal/records"
 )
 
 // The indexed evaluator answers a whole query from the path index when
@@ -179,39 +178,33 @@ func (s *Store) resolvePosting(p pathindex.Posting) (core.NodeRef, error) {
 	return s.trees.RefByFacadeIndex(p.RID, int(p.Local))
 }
 
-// resolvePostings materializes postings as node refs. Matches are
-// grouped by record so each matching record is loaded exactly once,
-// regardless of how many matches it holds (the eager Query path).
+// resolvePostings materializes postings as node refs (the eager Query
+// path). Postings arrive in document order and a record covers a
+// contiguous pre-order range, so same-record matches come in runs:
+// grouping by run loads each matching record once without building a
+// RID map, and one scratch buffer carries every run's facade indices.
+// A duplicate posting from a nested descendant context can split a
+// run; the repeat load hits the parsed-record cache.
 func (s *Store) resolvePostings(posts []pathindex.Posting) ([]core.NodeRef, error) {
 	if len(posts) == 0 {
 		return nil, nil
 	}
-	type group struct {
-		locals    []int
-		positions []int
-	}
-	order := make([]records.RID, 0, 8)
-	groups := make(map[records.RID]*group)
-	for i, p := range posts {
-		g, ok := groups[p.RID]
-		if !ok {
-			g = &group{}
-			groups[p.RID] = g
-			order = append(order, p.RID)
-		}
-		g.locals = append(g.locals, int(p.Local))
-		g.positions = append(g.positions, i)
-	}
 	out := make([]core.NodeRef, len(posts))
-	for _, rid := range order {
-		g := groups[rid]
-		refs, err := s.trees.RefsByFacadeIndex(rid, g.locals)
+	var locals []int // reused across runs
+	for i := 0; i < len(posts); {
+		rid := posts[i].RID
+		j := i
+		locals = locals[:0]
+		for j < len(posts) && posts[j].RID == rid {
+			locals = append(locals, int(posts[j].Local))
+			j++
+		}
+		refs, err := s.trees.RefsByFacadeIndex(rid, locals)
 		if err != nil {
 			return nil, err
 		}
-		for j, pos := range g.positions {
-			out[pos] = refs[j]
-		}
+		copy(out[i:j], refs)
+		i = j
 	}
 	return out, nil
 }

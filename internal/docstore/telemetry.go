@@ -38,6 +38,12 @@ func (s *Store) AttachTelemetry(reg *telemetry.Registry, tracer *telemetry.Trace
 	s.mCursorsExhausted = reg.Counter("docstore.cursors_exhausted")
 	s.mCursorsAbandoned = reg.Counter("docstore.cursors_abandoned")
 	s.mCursorRows = reg.Counter("docstore.cursor_rows")
+	// Import pipeline stage times: CPU spent tokenizing (producer
+	// goroutine), packing records (loader goroutine) and flushing pages
+	// (batch-writer goroutine), summed across concurrent shards.
+	s.mImportParseNS = reg.Counter("docstore.import_parse_ns")
+	s.mImportPackNS = reg.Counter("docstore.import_pack_ns")
+	s.mImportWriteNS = reg.Counter("docstore.import_write_ns")
 	s.mQueryIndexedNS = reg.Histogram("docstore.query_ns_indexed")
 	s.mQueryScanNS = reg.Histogram("docstore.query_ns_scan")
 	s.mQueryFlatNS = reg.Histogram("docstore.query_ns_flat")

@@ -326,8 +326,7 @@ func ParentRIDOffset(ttCount int) int {
 // RecordParentRIDOffset returns the parent-RID byte offset for the
 // encoded form of rec.
 func RecordParentRIDOffset(rec *Record) int {
-	_, order := collectTypes(rec.Root)
-	return ParentRIDOffset(len(order))
+	return ParentRIDOffset(len(collectTypes(rec.Root)))
 }
 
 // typeKey identifies one node type table entry.
@@ -349,25 +348,35 @@ func nodeTypeKey(n *Node) typeKey {
 	return typeKey{kindFlags: kf, label: n.Label, litType: lt}
 }
 
+// typeIndex returns the position of k in order, or -1. Type tables are
+// small (a handful of distinct types per record), so a linear scan over
+// the 4-byte keys beats hashing — the encoder and the bulk builder's
+// TypeSet both sit on import's hottest path.
+func typeIndex(order []typeKey, k typeKey) int {
+	for i, t := range order {
+		if t == k {
+			return i
+		}
+	}
+	return -1
+}
+
 // collectTypes walks the subtree assigning type-table indexes.
-func collectTypes(root *Node) (map[typeKey]uint16, []typeKey) {
-	idx := make(map[typeKey]uint16)
+func collectTypes(root *Node) []typeKey {
 	var order []typeKey
 	root.Walk(func(n *Node) bool {
-		k := nodeTypeKey(n)
-		if _, ok := idx[k]; !ok {
-			idx[k] = uint16(len(order))
+		if k := nodeTypeKey(n); typeIndex(order, k) < 0 {
 			order = append(order, k)
 		}
 		return true
 	})
-	return idx, order
+	return order
 }
 
 // EncodedSize returns the exact on-disk size of the record. The tree
 // manager compares it against the net page capacity to decide splits.
 func EncodedSize(rec *Record) int {
-	_, order := collectTypes(rec.Root)
+	order := collectTypes(rec.Root)
 	return recHeaderSize + ttEntrySize*len(order) + StandaloneHeaderSize + rec.Root.ContentSize()
 }
 
@@ -382,38 +391,58 @@ func RecordOverhead(ttCount int) int {
 
 // TypeSet incrementally tracks the distinct node types of a prospective
 // record, so its type-table size is known without re-walking already
-// accounted subtrees.
+// accounted subtrees. Types keep the index they were assigned on first
+// insertion, so a set accumulated during a bulk build doubles as the
+// record's type table at encode time (EncodeWith).
 type TypeSet struct {
-	m map[typeKey]struct{}
+	order []typeKey
 }
 
 // NewTypeSet returns an empty type set.
 func NewTypeSet() *TypeSet {
-	return &TypeSet{m: make(map[typeKey]struct{}, 8)}
+	return &TypeSet{order: make([]typeKey, 0, 8)}
+}
+
+func (ts *TypeSet) add(k typeKey) {
+	if typeIndex(ts.order, k) < 0 {
+		ts.order = append(ts.order, k)
+	}
 }
 
 // AddNode records the type of n alone.
 func (ts *TypeSet) AddNode(n *Node) {
-	ts.m[nodeTypeKey(n)] = struct{}{}
+	ts.add(nodeTypeKey(n))
 }
 
 // AddSubtree records the types of every node in the subtree under n.
 func (ts *TypeSet) AddSubtree(n *Node) {
 	n.Walk(func(x *Node) bool {
-		ts.m[nodeTypeKey(x)] = struct{}{}
+		ts.add(nodeTypeKey(x))
 		return true
 	})
 }
 
 // Merge adds every type of other.
 func (ts *TypeSet) Merge(other *TypeSet) {
-	for k := range other.m {
-		ts.m[k] = struct{}{}
+	for _, k := range other.order {
+		ts.add(k)
 	}
 }
 
 // Len returns the number of distinct types.
-func (ts *TypeSet) Len() int { return len(ts.m) }
+func (ts *TypeSet) Len() int { return len(ts.order) }
+
+// TruncateTo rolls the set back to its first n types, undoing every
+// addition made after Len() was n. The bulk builder uses it to un-merge
+// a child that turned out not to fit the record being sized.
+func (ts *TypeSet) TruncateTo(n int) {
+	ts.order = ts.order[:n]
+}
+
+// Reset empties the set for reuse.
+func (ts *TypeSet) Reset() {
+	ts.order = ts.order[:0]
+}
 
 // Encode serializes the record.
 func Encode(rec *Record) ([]byte, error) {
@@ -423,12 +452,38 @@ func Encode(rec *Record) ([]byte, error) {
 	if err := rec.Root.Validate(); err != nil {
 		return nil, err
 	}
-	idx, order := collectTypes(rec.Root)
+	order := collectTypes(rec.Root)
+	size := recHeaderSize + ttEntrySize*len(order) + StandaloneHeaderSize + rec.Root.ContentSize()
+	return encodeInto(nil, rec, size, order)
+}
+
+// EncodeWith serializes the record into dst (grown when too small) using
+// a precomputed type set and content size, skipping the validation and
+// type/size-collection walks Encode performs. It is the bulk loader's
+// fast path: the builder accounts both incrementally, and its trees are
+// well-formed by construction. ts must cover exactly the types in the
+// subtree and content must equal rec.Root.ContentSize(); a mismatch is
+// reported as an encode error, not silently miswritten.
+func EncodeWith(dst []byte, rec *Record, ts *TypeSet, content int) ([]byte, error) {
+	if rec.Root == nil {
+		return nil, fmt.Errorf("%w: nil root", ErrBadNode)
+	}
+	size := RecordOverhead(ts.Len()) + content
+	return encodeInto(dst, rec, size, ts.order)
+}
+
+// encodeInto writes the record image of the given total size into dst
+// (reused when large enough) with the given type table.
+func encodeInto(dst []byte, rec *Record, size int, order []typeKey) ([]byte, error) {
 	if len(order) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: %d node types", ErrTooLarge, len(order))
 	}
-	size := recHeaderSize + ttEntrySize*len(order) + StandaloneHeaderSize + rec.Root.ContentSize()
-	buf := make([]byte, size)
+	var buf []byte
+	if cap(dst) >= size {
+		buf = dst[:size]
+	} else {
+		buf = make([]byte, size)
+	}
 	buf[0] = formatVersion
 	buf[1] = 0
 	binary.LittleEndian.PutUint16(buf[2:], uint16(len(order)))
@@ -441,11 +496,11 @@ func Encode(rec *Record) ([]byte, error) {
 	}
 	// Standalone header.
 	rootOff := pos
-	binary.LittleEndian.PutUint16(buf[pos:], idx[nodeTypeKey(rec.Root)])
+	binary.LittleEndian.PutUint16(buf[pos:], uint16(typeIndex(order, nodeTypeKey(rec.Root))))
 	rec.ParentRID.Put(buf[pos+2:])
 	pos += StandaloneHeaderSize
 	// Root content.
-	end, err := encodeContent(buf, pos, rec.Root, rootOff, idx)
+	end, err := encodeContent(buf, pos, rec.Root, rootOff, order)
 	if err != nil {
 		return nil, err
 	}
@@ -457,33 +512,44 @@ func Encode(rec *Record) ([]byte, error) {
 
 // encodeContent writes the content of n starting at pos; hdrOff is the
 // offset of n's own header (used as the children's parent offset).
-func encodeContent(buf []byte, pos int, n *Node, hdrOff int, idx map[typeKey]uint16) (int, error) {
+// Embedded content sizes are backpatched after each child is written, so
+// encoding never re-walks subtrees to size them.
+func encodeContent(buf []byte, pos int, n *Node, hdrOff int, order []typeKey) (int, error) {
 	switch n.Kind {
 	case KindLiteral:
+		if pos+len(n.Payload) > len(buf) {
+			return 0, fmt.Errorf("%w: literal overruns record", ErrTooLarge)
+		}
 		copy(buf[pos:], n.Payload)
 		return pos + len(n.Payload), nil
 	case KindProxy:
+		if pos+records.RIDSize > len(buf) {
+			return 0, fmt.Errorf("%w: proxy overruns record", ErrTooLarge)
+		}
 		n.Target.Put(buf[pos:])
 		return pos + records.RIDSize, nil
 	case KindAggregate:
+		if hdrOff > math.MaxUint16 {
+			return 0, fmt.Errorf("%w: parent offset %d", ErrTooLarge, hdrOff)
+		}
 		for _, c := range n.Children {
-			cs := c.ContentSize()
-			if cs > math.MaxUint16 {
-				return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, cs)
-			}
-			if hdrOff > math.MaxUint16 {
-				return 0, fmt.Errorf("%w: parent offset %d", ErrTooLarge, hdrOff)
-			}
 			cHdr := pos
-			binary.LittleEndian.PutUint16(buf[pos:], idx[nodeTypeKey(c)])
-			binary.LittleEndian.PutUint16(buf[pos+2:], uint16(cs))
+			if pos+EmbeddedHeaderSize > len(buf) {
+				return 0, fmt.Errorf("%w: embedded header overruns record", ErrTooLarge)
+			}
+			binary.LittleEndian.PutUint16(buf[pos:], uint16(typeIndex(order, nodeTypeKey(c))))
 			binary.LittleEndian.PutUint16(buf[pos+4:], uint16(hdrOff))
 			pos += EmbeddedHeaderSize
 			var err error
-			pos, err = encodeContent(buf, pos, c, cHdr, idx)
+			pos, err = encodeContent(buf, pos, c, cHdr, order)
 			if err != nil {
 				return 0, err
 			}
+			cs := pos - cHdr - EmbeddedHeaderSize
+			if cs > math.MaxUint16 {
+				return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, cs)
+			}
+			binary.LittleEndian.PutUint16(buf[cHdr+2:], uint16(cs))
 		}
 		return pos, nil
 	default:
@@ -493,6 +559,14 @@ func encodeContent(buf []byte, pos int, n *Node, hdrOff int, idx map[typeKey]uin
 
 // Decode parses a record image back into a node tree, validating sizes,
 // type indexes and parent offsets.
+//
+// The returned tree is arena-backed: a structural pre-pass sizes three
+// shared allocations (the Node array, the child-pointer backing and the
+// literal payload bytes) and every node is carved out of them, so a
+// record decodes in a handful of allocations instead of several per
+// node. Child slices and payloads are capacity-clamped to their carved
+// region, so post-decode mutation (AppendChild, payload growth) causes a
+// plain reallocation rather than clobbering a sibling's backing.
 func Decode(buf []byte) (*Record, error) {
 	if len(buf) < recHeaderSize+StandaloneHeaderSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptRecord, len(buf))
@@ -521,37 +595,120 @@ func Decode(buf []byte) (*Record, error) {
 	}
 	parentRID := records.DecodeRID(buf[pos+2 : pos+10])
 	pos += StandaloneHeaderSize
-	root, err := makeNode(types[rootIdx])
+	nNodes, nPayload, err := countContent(buf, pos, len(buf), types[rootIdx].kindFlags, types)
 	if err != nil {
 		return nil, err
 	}
-	if err := decodeContent(buf, pos, len(buf), root, rootOff, types); err != nil {
+	a := &decodeArena{
+		nodes:   make([]Node, 0, nNodes+1),
+		kids:    make([]*Node, 0, nNodes),
+		payload: make([]byte, 0, nPayload),
+	}
+	root, err := a.newNode(types[rootIdx])
+	if err != nil {
+		return nil, err
+	}
+	if err := a.decodeContent(buf, pos, len(buf), root, rootOff, types); err != nil {
 		return nil, err
 	}
 	return &Record{ParentRID: parentRID, Root: root}, nil
 }
 
-func makeNode(t typeKey) (*Node, error) {
+// countContent is Decode's sizing pre-pass: it hops the embedded headers
+// of the content of a node with kind flags kf in buf[pos:end), counting
+// descendant nodes and literal payload bytes (including a literal's own
+// content). Structural errors surface here, before any allocation.
+func countContent(buf []byte, pos, end int, kf byte, types []typeKey) (nodes, payload int, err error) {
+	switch Kind(kf & kindMask) {
+	case KindLiteral:
+		return 0, end - pos, nil
+	case KindProxy:
+		return 0, 0, nil
+	case KindAggregate:
+		for pos < end {
+			if pos+EmbeddedHeaderSize > end {
+				return 0, 0, fmt.Errorf("%w: truncated embedded header", ErrCorruptRecord)
+			}
+			ti := int(binary.LittleEndian.Uint16(buf[pos:]))
+			cs := int(binary.LittleEndian.Uint16(buf[pos+2:]))
+			if ti >= len(types) {
+				return 0, 0, fmt.Errorf("%w: type index %d of %d", ErrCorruptRecord, ti, len(types))
+			}
+			pos += EmbeddedHeaderSize
+			if pos+cs > end {
+				return 0, 0, fmt.Errorf("%w: child content overruns parent", ErrCorruptRecord)
+			}
+			cn, cp, err := countContent(buf, pos, pos+cs, types[ti].kindFlags, types)
+			if err != nil {
+				return 0, 0, err
+			}
+			nodes += 1 + cn
+			payload += cp
+			pos += cs
+		}
+		return nodes, payload, nil
+	default:
+		return 0, 0, fmt.Errorf("%w: node kind %d", ErrCorruptRecord, Kind(kf&kindMask))
+	}
+}
+
+// decodeArena holds one record's shared decode allocations.
+type decodeArena struct {
+	nodes   []Node
+	kids    []*Node
+	payload []byte
+}
+
+// newNode carves one node out of the arena (falling back to a fresh
+// allocation if the pre-pass undercounted, which only a logic bug could
+// cause).
+func (a *decodeArena) newNode(t typeKey) (*Node, error) {
 	k := Kind(t.kindFlags & kindMask)
 	switch k {
 	case KindAggregate, KindLiteral, KindProxy:
 	default:
 		return nil, fmt.Errorf("%w: node kind %d", ErrCorruptRecord, k)
 	}
-	return &Node{
-		Kind:     k,
-		Label:    t.label,
-		Scaffold: t.kindFlags&scaffoldFlag != 0,
-		LitType:  t.litType,
-	}, nil
+	n := &Node{}
+	if len(a.nodes) < cap(a.nodes) {
+		a.nodes = a.nodes[:len(a.nodes)+1]
+		n = &a.nodes[len(a.nodes)-1]
+	}
+	n.Kind = k
+	n.Label = t.label
+	n.Scaffold = t.kindFlags&scaffoldFlag != 0
+	n.LitType = t.litType
+	return n, nil
+}
+
+// takeKids carves an empty, capacity-clamped child slice for n children.
+func (a *decodeArena) takeKids(n int) []*Node {
+	base := len(a.kids)
+	if base+n > cap(a.kids) {
+		return make([]*Node, 0, n)
+	}
+	a.kids = a.kids[:base+n]
+	return a.kids[base:base : base+n]
+}
+
+// takePayload copies b into the payload arena, capacity-clamped.
+func (a *decodeArena) takePayload(b []byte) []byte {
+	base := len(a.payload)
+	if base+len(b) > cap(a.payload) {
+		return append([]byte(nil), b...)
+	}
+	a.payload = a.payload[:base+len(b)]
+	p := a.payload[base : base+len(b) : base+len(b)]
+	copy(p, b)
+	return p
 }
 
 // decodeContent fills n from buf[pos:end]; hdrOff is the offset of n's
 // header, which children must cite as their parent offset.
-func decodeContent(buf []byte, pos, end int, n *Node, hdrOff int, types []typeKey) error {
+func (a *decodeArena) decodeContent(buf []byte, pos, end int, n *Node, hdrOff int, types []typeKey) error {
 	switch n.Kind {
 	case KindLiteral:
-		n.Payload = append([]byte(nil), buf[pos:end]...)
+		n.Payload = a.takePayload(buf[pos:end])
 		return nil
 	case KindProxy:
 		if end-pos != records.RIDSize {
@@ -563,10 +720,23 @@ func decodeContent(buf []byte, pos, end int, n *Node, hdrOff int, types []typeKe
 		}
 		return nil
 	case KindAggregate:
-		for pos < end {
-			if pos+EmbeddedHeaderSize > end {
+		// First sweep: count this level's children by hopping the
+		// embedded headers, so their pointer slice is carved contiguously
+		// before the recursion below carves deeper levels.
+		count := 0
+		for p := pos; p < end; count++ {
+			if p+EmbeddedHeaderSize > end {
 				return fmt.Errorf("%w: truncated embedded header", ErrCorruptRecord)
 			}
+			cs := int(binary.LittleEndian.Uint16(buf[p+2:]))
+			p += EmbeddedHeaderSize
+			if p+cs > end {
+				return fmt.Errorf("%w: child content overruns parent", ErrCorruptRecord)
+			}
+			p += cs
+		}
+		n.Children = a.takeKids(count)
+		for pos < end {
 			ti := int(binary.LittleEndian.Uint16(buf[pos:]))
 			cs := int(binary.LittleEndian.Uint16(buf[pos+2:]))
 			po := int(binary.LittleEndian.Uint16(buf[pos+4:]))
@@ -578,14 +748,11 @@ func decodeContent(buf []byte, pos, end int, n *Node, hdrOff int, types []typeKe
 			}
 			cHdr := pos
 			pos += EmbeddedHeaderSize
-			if pos+cs > end {
-				return fmt.Errorf("%w: child content overruns parent", ErrCorruptRecord)
-			}
-			c, err := makeNode(types[ti])
+			c, err := a.newNode(types[ti])
 			if err != nil {
 				return err
 			}
-			if err := decodeContent(buf, pos, pos+cs, c, cHdr, types); err != nil {
+			if err := a.decodeContent(buf, pos, pos+cs, c, cHdr, types); err != nil {
 				return err
 			}
 			n.AppendChild(c)

@@ -46,7 +46,7 @@ func TestFigure15Sizes(t *testing.T) {
 	rec := &Record{Root: speech}
 	// Record: header(4) + type table (5 types: SPEECH agg, SPEAKER agg,
 	// LINE agg, #text literal — 4 entries) + standalone(10) + content.
-	_, order := collectTypes(speech)
+	order := collectTypes(speech)
 	if len(order) != 4 {
 		t.Fatalf("type table has %d entries, want 4", len(order))
 	}
@@ -339,7 +339,7 @@ func TestParentRIDOffset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, order := collectTypes(rec.Root)
+	order := collectTypes(rec.Root)
 	off := ParentRIDOffset(len(order))
 	got := records.DecodeRID(buf[off : off+records.RIDSize])
 	if got != rec.ParentRID {

@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 
+	"natix/internal/dict"
 	"natix/internal/noderep"
 	"natix/internal/records"
 )
@@ -33,11 +34,18 @@ type streamMeta struct {
 // Drive it strictly in document order; it is not safe for concurrent
 // use.
 type StreamBuilder struct {
-	idx   *Index
-	seq   uint32
-	stack []PathID
-	meta  map[*noderep.Node]streamMeta
-	open  map[*noderep.Node]uint32 // seq of still-open elements
+	idx     *Index
+	seq     uint32
+	stack   []PathID
+	meta    map[*noderep.Node]streamMeta
+	openSeq []uint32 // seq per still-open element, parallel to stack
+
+	// One-entry InternPath memo: document order visits runs of same-label
+	// siblings (rows, lines, items), which all share one summary path.
+	lastParent PathID
+	lastLabel  dict.LabelID
+	lastPath   PathID
+	lastOK     bool
 }
 
 // NewStreamBuilder returns an empty builder.
@@ -45,7 +53,6 @@ func NewStreamBuilder() *StreamBuilder {
 	return &StreamBuilder{
 		idx:  NewIndex(),
 		meta: make(map[*noderep.Node]streamMeta),
-		open: make(map[*noderep.Node]uint32),
 	}
 }
 
@@ -59,9 +66,13 @@ func (b *StreamBuilder) Enter(n *noderep.Node) {
 	} else {
 		b.idx.root = n.Label
 	}
-	path := b.idx.InternPath(parent, n.Label)
+	path := b.lastPath
+	if !b.lastOK || parent != b.lastParent || n.Label != b.lastLabel {
+		path = b.idx.InternPath(parent, n.Label)
+		b.lastParent, b.lastLabel, b.lastPath, b.lastOK = parent, n.Label, path, true
+	}
 	b.idx.paths[path].Count++
-	b.open[n] = b.seq
+	b.openSeq = append(b.openSeq, b.seq)
 	b.seq++
 	b.stack = append(b.stack, path)
 }
@@ -74,11 +85,11 @@ func (b *StreamBuilder) Literal() {
 
 // Exit records an element closing; its subtree size is now known.
 func (b *StreamBuilder) Exit(n *noderep.Node) error {
-	seq, ok := b.open[n]
-	if !ok {
+	if len(b.openSeq) == 0 {
 		return fmt.Errorf("pathindex: Exit of unentered node")
 	}
-	delete(b.open, n)
+	seq := b.openSeq[len(b.openSeq)-1]
+	b.openSeq = b.openSeq[:len(b.openSeq)-1]
 	path := b.stack[len(b.stack)-1]
 	b.stack = b.stack[:len(b.stack)-1]
 	b.meta[n] = streamMeta{seq: seq, size: b.seq - seq - 1, path: path}
@@ -123,8 +134,8 @@ func (b *StreamBuilder) OnRecord(rid records.RID, root *noderep.Node) error {
 // order (bottom-up), so each label's list is re-sorted into document
 // order here.
 func (b *StreamBuilder) Finish() (*Index, error) {
-	if len(b.stack) != 0 || len(b.open) != 0 {
-		return nil, fmt.Errorf("pathindex: %d elements still open", len(b.open))
+	if len(b.stack) != 0 || len(b.openSeq) != 0 {
+		return nil, fmt.Errorf("pathindex: %d elements still open", len(b.openSeq))
 	}
 	if len(b.meta) != 0 {
 		return nil, fmt.Errorf("pathindex: %d elements never reached a record", len(b.meta))

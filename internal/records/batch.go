@@ -13,14 +13,30 @@ package records
 // Patch fix a buffered record (a parent-RID backpointer) for free,
 // without touching the buffer pool at all.
 //
-// A BatchWriter must be driven by a single mutator (it shares the
-// segment allocator) and must be finished with Flush (or Discard).
+// Page materialization is its own pipeline stage: full pages are handed
+// to a flusher goroutine over a small bounded queue, so page copies,
+// log appends and inventory updates overlap with the packing of the
+// next page. The handoff protocol keeps Patch correct at every moment:
+// a submitted page's bodies stay in a pending table (guarded by mu)
+// until the flusher — holding the page's exclusive frame latch — copies
+// them out under the same mutex. A racing Patch therefore either lands
+// in the pending body before the copy, or misses the table and falls
+// through to Manager.Patch, which blocks on the frame latch until the
+// page image (and its single log record) is complete. Either way the
+// patch is never lost and the log stays one image per bulk page.
+//
+// Insert/Patch/Flush/Discard must be driven by a single mutator (the
+// writer shares the segment allocator); the flusher goroutine is the
+// writer's own second stage, not a second mutator.
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"natix/internal/pagedev"
 	"natix/internal/pageformat"
+	"natix/internal/telemetry"
 )
 
 // BatchStats counts batch-writer activity.
@@ -28,20 +44,40 @@ type BatchStats struct {
 	Records int64 // record bodies written
 	Pages   int64 // pages materialized
 	Bytes   int64 // body bytes written
+	WriteNS int64 // busy time of the page-flusher stage
 }
+
+// flusherQueueLen bounds the flusher stage's page queue: enough to keep
+// the flusher busy, small enough that a stalled device back-pressures
+// the packer instead of buffering the whole document.
+const flusherQueueLen = 8
+
+// flushInline short-circuits the flusher stage on single-CPU machines:
+// with no parallelism to win, queueing pages only widens the window in
+// which allocated-but-unmaterialized pages sit in the buffer pool, where
+// an eviction flushes a half-built page (and, under WAL, forces a log
+// sync). Tests toggle it to pin either path.
+var flushInline = runtime.GOMAXPROCS(0) == 1
 
 // BatchWriter packs records onto sequential pages. Create with
 // Manager.NewBatchWriter.
 type BatchWriter struct {
-	m      *Manager
-	budget int // cell+slot bytes to pack per page (fill factor applied)
+	m       *Manager
+	budget  int // cell+slot bytes to pack per page (fill factor applied)
+	recycle func([]byte)
 
 	page   pagedev.PageNo // page the buffered bodies belong to (0 = none)
 	bodies [][]byte       // buffered bodies, slot i = bodies[i]
 	used   int            // bytes the buffered bodies will occupy
 
-	written []RID // materialized records, kept for Discard
-	stats   BatchStats
+	jobs chan pagedev.PageNo // submitted pages, in allocation order
+	done chan struct{}       // closed when the flusher goroutine exits
+
+	mu       sync.Mutex
+	pending  map[pagedev.PageNo][][]byte // submitted, not yet materialized
+	written  []RID                       // materialized records, kept for Discard
+	stats    BatchStats
+	flushErr error // first flusher failure, sticky until Flush/Discard
 }
 
 // NewBatchWriter returns a batch writer that fills each page up to
@@ -60,18 +96,28 @@ func (m *Manager) NewBatchWriter(fill float64) *BatchWriter {
 		fill = 1
 	}
 	capacity := m.MaxRecordSize() + pageformat.SlotOverhead
-	return &BatchWriter{m: m, budget: int(fill * float64(capacity))}
+	return &BatchWriter{
+		m:       m,
+		budget:  int(fill * float64(capacity)),
+		pending: make(map[pagedev.PageNo][][]byte),
+	}
 }
 
+// SetRecycle registers a sink for consumed body buffers: once a body's
+// bytes are on their page, it is handed back for reuse. The sink runs on
+// the flusher goroutine and must be safe for that.
+func (w *BatchWriter) SetRecycle(fn func([]byte)) { w.recycle = fn }
+
 // Insert buffers one record body and returns the RID it will occupy.
-// The writer takes ownership of data (Patch may modify it in place).
+// The writer takes ownership of data (Patch may modify it in place, and
+// the body is recycled once materialized).
 func (w *BatchWriter) Insert(data []byte) (RID, error) {
 	if err := w.m.checkSize(len(data)); err != nil {
 		return NilRID, err
 	}
 	need := len(data) + pageformat.SlotOverhead
 	if w.page != 0 && w.used+need > w.budget && len(w.bodies) > 0 {
-		if err := w.materialize(); err != nil {
+		if err := w.submit(); err != nil {
 			return NilRID, err
 		}
 	}
@@ -89,45 +135,126 @@ func (w *BatchWriter) Insert(data []byte) (RID, error) {
 }
 
 // Patch overwrites len(data) bytes of a record at the given offset. For
-// records still buffered in the writer it is a memory copy; for records
-// already materialized it falls through to Manager.Patch.
+// records still buffered in the writer (current page or a page awaiting
+// the flusher) it is a memory copy; for records already materialized it
+// falls through to Manager.Patch.
 func (w *BatchWriter) Patch(rid RID, off int, data []byte) error {
 	if rid.Page == w.page && int(rid.Slot) < len(w.bodies) {
-		body := w.bodies[rid.Slot]
-		if off < 0 || off+len(data) > len(body) {
-			return fmt.Errorf("%w: [%d,%d) of %d", ErrBadOffset, off, off+len(data), len(body))
-		}
-		copy(body[off:], data)
-		return nil
+		return patchBody(w.bodies[rid.Slot], off, data)
 	}
+	w.mu.Lock()
+	if bodies, ok := w.pending[rid.Page]; ok && int(rid.Slot) < len(bodies) {
+		err := patchBody(bodies[rid.Slot], off, data)
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
 	return w.m.Patch(rid, off, data)
 }
 
-// materialize writes the buffered bodies onto their page under a single
-// pin/latch and registers the page's remaining free space.
-func (w *BatchWriter) materialize() error {
-	if w.page == 0 || len(w.bodies) == 0 {
-		w.page = 0
-		return nil
+func patchBody(body []byte, off int, data []byte) error {
+	if off < 0 || off+len(data) > len(body) {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrBadOffset, off, off+len(data), len(body))
 	}
-	f, err := w.m.seg.Pool().Get(w.page)
+	copy(body[off:], data)
+	return nil
+}
+
+// submit hands the current page to the flusher stage and starts a fresh
+// one, failing fast if the flusher already hit an error.
+func (w *BatchWriter) submit() error {
+	w.mu.Lock()
+	if err := w.flushErr; err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.pending[w.page] = w.bodies
+	w.mu.Unlock()
+	if flushInline {
+		p := w.page
+		w.page = 0
+		w.bodies = make([][]byte, 0, cap(w.bodies))
+		w.used = 0
+		return w.runFlush(p)
+	}
+	if w.jobs == nil {
+		w.jobs = make(chan pagedev.PageNo, flusherQueueLen)
+		w.done = make(chan struct{})
+		go w.flusher()
+	}
+	w.jobs <- w.page
+	w.page = 0
+	w.bodies = make([][]byte, 0, cap(w.bodies))
+	w.used = 0
+	return nil
+}
+
+// flusher drains the page queue, materializing each page in allocation
+// order. After a failure it keeps draining (recording the first error)
+// so the packer never blocks on a full queue.
+func (w *BatchWriter) flusher() {
+	defer close(w.done)
+	for p := range w.jobs {
+		if err := w.runFlush(p); err != nil {
+			w.mu.Lock()
+			if w.flushErr == nil {
+				w.flushErr = err
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// runFlush materializes one page, charging its wall time to the flusher
+// stage.
+func (w *BatchWriter) runFlush(p pagedev.PageNo) error {
+	start := telemetry.Now()
+	err := w.flushPage(p)
+	w.mu.Lock()
+	w.stats.WriteNS += int64(telemetry.Since(start))
+	w.mu.Unlock()
+	return err
+}
+
+// flushPage writes one submitted page's bodies onto the page under a
+// single pin/latch and registers its remaining free space.
+func (w *BatchWriter) flushPage(p pagedev.PageNo) error {
+	f, err := w.m.seg.Pool().Get(p)
 	if err != nil {
+		w.mu.Lock()
+		delete(w.pending, p)
+		w.mu.Unlock()
 		return err
 	}
 	f.Latch()
 	sl, err := pageformat.AsSlotted(f.Data())
 	if err != nil {
+		w.mu.Lock()
+		delete(w.pending, p)
+		w.mu.Unlock()
 		f.Unlatch()
 		f.Release()
 		return err
 	}
-	for i, body := range w.bodies {
+	// Copy the bodies out under mu while holding the frame latch: Patch
+	// callers either still see the pending entry (and patch the body
+	// before this copy) or miss it and serialize behind the latch.
+	w.mu.Lock()
+	bodies := w.pending[p]
+	var copyErr error
+	for i, body := range bodies {
 		slot, ok := sl.Insert(body)
 		if !ok || slot != i {
-			f.Unlatch()
-			f.Release()
-			return fmt.Errorf("records: batch page %d: slot %d/%v, want %d (page not empty?)", w.page, slot, ok, i)
+			copyErr = fmt.Errorf("records: batch page %d: slot %d/%v, want %d (page not empty?)", p, slot, ok, i)
+			break
 		}
+	}
+	delete(w.pending, p)
+	w.mu.Unlock()
+	if copyErr != nil {
+		f.Unlatch()
+		f.Release()
+		return copyErr
 	}
 	free := sl.FreeBytes()
 	// One page-image log record covers the whole packed page (the page
@@ -139,43 +266,83 @@ func (w *BatchWriter) materialize() error {
 	if err != nil {
 		return err
 	}
-	if err := w.m.seg.NotifyFree(w.page, free); err != nil {
+	if err := w.m.seg.NotifyFree(p, free); err != nil {
 		return err
 	}
-	for i := range w.bodies {
-		w.written = append(w.written, RID{Page: w.page, Slot: uint16(i)})
-		w.stats.Bytes += int64(len(w.bodies[i]))
+	w.mu.Lock()
+	for i := range bodies {
+		w.written = append(w.written, RID{Page: p, Slot: uint16(i)})
+		w.stats.Bytes += int64(len(bodies[i]))
 	}
-	w.stats.Records += int64(len(w.bodies))
+	w.stats.Records += int64(len(bodies))
 	w.stats.Pages++
-	w.page = 0
-	w.bodies = w.bodies[:0]
-	w.used = 0
+	w.mu.Unlock()
+	if w.recycle != nil {
+		for _, body := range bodies {
+			w.recycle(body)
+		}
+	}
 	return nil
 }
 
-// Flush materializes any partially filled page. Call once when the bulk
-// load is complete; the writer can keep inserting afterwards (a new
-// page starts).
-func (w *BatchWriter) Flush() error { return w.materialize() }
+// join stops the flusher stage and waits for queued pages to finish.
+func (w *BatchWriter) join() {
+	if w.jobs == nil {
+		return
+	}
+	close(w.jobs)
+	<-w.done
+	w.jobs = nil
+	w.done = nil
+}
 
-// Discard aborts the batch: buffered bodies are dropped (their page was
-// never written, and stays registered as empty in the inventory) and
-// every record this writer materialized is deleted. Used to roll back a
-// failed bulk load.
+// Flush materializes any partially filled page and drains the flusher
+// stage. Call once when the bulk load is complete; the writer can keep
+// inserting afterwards (a new page and flusher start).
+func (w *BatchWriter) Flush() error {
+	if w.page != 0 && len(w.bodies) > 0 {
+		if err := w.submit(); err != nil {
+			w.join()
+			return err
+		}
+	}
+	w.page = 0
+	w.join()
+	w.mu.Lock()
+	err := w.flushErr
+	w.flushErr = nil
+	w.mu.Unlock()
+	return err
+}
+
+// Discard aborts the batch: buffered and queued bodies are dropped
+// (their pages were never referenced, and stay registered as empty or
+// untouched in the inventory) and every record this writer materialized
+// is deleted. Used to roll back a failed bulk load.
 func (w *BatchWriter) Discard() error {
+	w.join()
 	w.page = 0
 	w.bodies = nil
 	w.used = 0
+	w.mu.Lock()
+	written := w.written
+	w.written = nil
+	w.pending = make(map[pagedev.PageNo][][]byte)
+	w.flushErr = nil
+	w.mu.Unlock()
 	var firstErr error
-	for _, rid := range w.written {
+	for _, rid := range written {
 		if err := w.m.Delete(rid); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	w.written = nil
 	return firstErr
 }
 
-// Stats returns the writer's activity counters.
-func (w *BatchWriter) Stats() BatchStats { return w.stats }
+// Stats returns the writer's activity counters. Call after Flush (or
+// between operations) for a settled view.
+func (w *BatchWriter) Stats() BatchStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}

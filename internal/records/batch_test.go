@@ -219,3 +219,85 @@ func TestBatchWriterManyPagesStats(t *testing.T) {
 		t.Fatalf("stats not populated: %+v", st)
 	}
 }
+
+// forceAsyncFlusher pins the flusher-goroutine path on: a single-CPU
+// machine defaults to inline flushing, and the handoff protocol under
+// test lives in the concurrent code.
+func forceAsyncFlusher(t *testing.T) {
+	t.Helper()
+	old := flushInline
+	flushInline = false
+	t.Cleanup(func() { flushInline = old })
+}
+
+// TestBatchWriterAsyncFlusher drives the two-stage writer with the
+// flusher goroutine pinned on: bodies round-trip, patches race the
+// materialization without being lost, and Discard unwinds everything
+// the flusher already wrote.
+func TestBatchWriterAsyncFlusher(t *testing.T) {
+	forceAsyncFlusher(t)
+	m := newManager(t, 1024)
+	w := m.NewBatchWriter(0.9)
+	var rids []RID
+	var want [][]byte
+	for i := 0; i < 200; i++ {
+		body := bytes.Repeat([]byte{byte(i)}, 40+i%37)
+		rid, err := w.Insert(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Patch a body from a few pages back while the flusher may
+		// still (or may not) have it in the pending table.
+		if i >= 20 && i%5 == 0 {
+			prev := rids[i-20]
+			patch := []byte{0xAA, 0xBB}
+			if err := w.Patch(prev, 0, patch); err != nil {
+				t.Fatal(err)
+			}
+			copy(want[i-20], patch)
+		}
+		rids = append(rids, rid)
+		want = append(want, body)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, rid := range rids {
+		got, err := m.Read(rid)
+		if err != nil {
+			t.Fatalf("record %d (%s): %v", i, rid, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("record %d: body mismatch after async flush", i)
+		}
+	}
+	if st := w.Stats(); st.Records != 200 {
+		t.Fatalf("Records = %d, want 200", st.Records)
+	}
+
+	// A second writer, discarded mid-load: every record its flusher
+	// already materialized must be gone, the first writer's untouched.
+	w2 := m.NewBatchWriter(0.9)
+	var second []RID
+	for i := 0; i < 120; i++ {
+		rid, err := w2.Insert(bytes.Repeat([]byte{0xEE}, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		second = append(second, rid)
+	}
+	if err := w2.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rid := range second {
+		if _, err := m.Read(rid); err == nil {
+			t.Fatalf("discarded record %s still readable", rid)
+		}
+	}
+	for i, rid := range rids {
+		got, err := m.Read(rid)
+		if err != nil || !bytes.Equal(got, want[i]) {
+			t.Fatalf("first batch damaged by discard: record %d err=%v", i, err)
+		}
+	}
+}

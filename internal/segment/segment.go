@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"natix/internal/buffer"
 	"natix/internal/pagedev"
@@ -70,6 +71,13 @@ type Segment struct {
 	pool     *buffer.Pool
 	pageSize int
 	fsiCap   int // pages covered per FSI page
+
+	// allocMu serializes device growth: parallel bulk-import shards each
+	// drive their own batch writer, so AllocDataPage must be safe across
+	// them even though the rest of the allocation path stays single-
+	// mutator. (NotifyFree is already serialized by the FSI page's frame
+	// latch.)
+	allocMu sync.Mutex
 }
 
 // fsiCapacity returns how many page entries fit on one FSI page.
@@ -374,6 +382,8 @@ func (s *Segment) scanGroup(group uint64, need int, numPages pagedev.PageNo, fro
 // first when crossing a group boundary), formats it as a slotted page and
 // registers its free space.
 func (s *Segment) allocPage() (pagedev.PageNo, error) {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
 	dev := s.pool.Device()
 	for {
 		p := dev.NumPages()

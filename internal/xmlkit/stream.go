@@ -83,7 +83,8 @@ type StreamParser struct {
 	line int    // line number at pos
 	eof  bool   // reader exhausted
 
-	stack    []string // open elements
+	stack    []string          // open elements
+	names    map[string]string // interned element/attribute names
 	rootSeen bool
 	pending  []Event // queued events (empty-tag close, held text chunks)
 
@@ -122,7 +123,15 @@ func (p *StreamParser) fill() (bool, error) {
 		p.pos = 0
 	}
 	off := len(p.buf)
-	p.buf = append(p.buf, make([]byte, streamChunk)...)
+	// Grow by reslicing into existing capacity: after the first chunk the
+	// compacted buffer almost always has room, so the read lands straight
+	// in place with no allocation, zeroing or copy.
+	if cap(p.buf)-off < streamChunk {
+		nb := make([]byte, off, off+streamChunk)
+		copy(nb, p.buf)
+		p.buf = nb
+	}
+	p.buf = p.buf[:off+streamChunk]
 	n, err := io.ReadFull(p.r, p.buf[off:])
 	p.buf = p.buf[:off+n]
 	switch err {
@@ -140,12 +149,26 @@ func (p *StreamParser) rest() []byte { return p.buf[p.pos:] }
 
 // advance consumes n bytes, tracking lines.
 func (p *StreamParser) advance(n int) {
-	for i := 0; i < n; i++ {
-		if p.buf[p.pos+i] == '\n' {
-			p.line++
-		}
-	}
+	p.line += bytes.Count(p.buf[p.pos:p.pos+n], newlineByte)
 	p.pos += n
+}
+
+var newlineByte = []byte{'\n'}
+
+// intern returns b as a string, reusing the previously allocated copy
+// for names seen before. Element and attribute names repeat massively in
+// real documents, so tag parsing ends up allocation-free in the steady
+// state (the map lookup on a []byte key does not allocate).
+func (p *StreamParser) intern(b []byte) string {
+	if s, ok := p.names[string(b)]; ok {
+		return s
+	}
+	if p.names == nil {
+		p.names = make(map[string]string, 32)
+	}
+	s := string(b)
+	p.names[s] = s
+	return s
 }
 
 // ensure makes at least n unconsumed bytes available, if the input has
@@ -247,6 +270,29 @@ func (p *StreamParser) Next() (Event, error) {
 			return ev, nil
 		}
 	}
+}
+
+// ReadBatch fills dst with the next events of the document and returns
+// how many it produced. It returns 0, io.EOF at the end of the document
+// (never events alongside an error). Batching amortizes the per-call
+// overhead when events are handed across a pipeline stage boundary.
+func (p *StreamParser) ReadBatch(dst []Event) (int, error) {
+	n := 0
+	for n < len(dst) {
+		ev, err := p.Next()
+		if err == io.EOF {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, io.EOF
+		}
+		if err != nil {
+			return 0, err
+		}
+		dst[n] = ev
+		n++
+	}
+	return n, nil
 }
 
 // scanMarkup consumes one markup construct starting at '<'. ok is false
@@ -452,6 +498,13 @@ func (p *StreamParser) acceptText(text string) (Event, bool, error) {
 		}
 		p.textHeld = nil
 	}
+	if len(p.pending) == 0 {
+		// Common case: nothing queued ahead — hand the chunk straight
+		// back instead of round-tripping it through the pending queue.
+		ev := Event{Kind: EventText, Text: text, Cont: p.runCont}
+		p.runCont = true
+		return ev, true, nil
+	}
 	p.emitTextEvent(text)
 	return p.popPending()
 }
@@ -487,20 +540,25 @@ func (p *StreamParser) scanEndTagStream() (Event, bool, error) {
 	if i < 0 {
 		return Event{}, false, p.errf("unterminated end tag")
 	}
-	name := strings.TrimSpace(string(p.rest()[:i]))
-	if !validName(name) {
-		return Event{}, false, p.errf("invalid end tag name %q", name)
+	nameB := bytes.TrimSpace(p.rest()[:i])
+	// Fast path: a well-formed document's end tag matches the innermost
+	// open element, whose (already validated, interned) name is on the
+	// stack — one byte comparison, no lookup, no allocation.
+	if len(p.stack) > 0 && string(nameB) == p.stack[len(p.stack)-1] {
+		p.advance(i + 1)
+		name := p.stack[len(p.stack)-1]
+		p.stack = p.stack[:len(p.stack)-1]
+		return Event{Kind: EventEnd, Name: name}, true, nil
 	}
+	if !validName(nameB) {
+		return Event{}, false, p.errf("invalid end tag name %q", nameB)
+	}
+	name := p.intern(nameB)
 	p.advance(i + 1)
 	if len(p.stack) == 0 {
 		return Event{}, false, p.errf("unexpected </%s>", name)
 	}
-	top := p.stack[len(p.stack)-1]
-	if top != name {
-		return Event{}, false, p.errf("</%s> closes <%s>", name, top)
-	}
-	p.stack = p.stack[:len(p.stack)-1]
-	return Event{Kind: EventEnd, Name: name}, true, nil
+	return Event{}, false, p.errf("</%s> closes <%s>", name, p.stack[len(p.stack)-1])
 }
 
 // scanStartTagStream consumes <name attr="v"...> or <name/>, ensuring
@@ -526,13 +584,13 @@ func (p *StreamParser) scanStartTagStream() (Event, bool, error) {
 		}
 	}
 
-	tag := string(p.rest()[:end]) // without '>'
-	empty := strings.HasSuffix(tag, "/")
+	tag := p.rest()[:end] // without '>'
+	empty := len(tag) > 0 && tag[len(tag)-1] == '/'
 	body := tag[1:] // without '<'
 	if empty {
 		body = body[:len(body)-1]
 	}
-	name, attrs, perr := parseTagBody(body)
+	name, attrs, perr := p.parseTagBody(body)
 	if perr != nil {
 		return Event{}, false, p.errf("%v", perr)
 	}
@@ -575,16 +633,18 @@ func tagEnd(win []byte) int {
 }
 
 // parseTagBody parses `name attr="v" ...` (no angle brackets, no
-// trailing slash).
-func parseTagBody(body string) (string, []Attr, error) {
+// trailing slash) straight out of the read window; element and attribute
+// names are interned, so in the steady state only attribute values (and
+// the Attrs slice itself) allocate.
+func (p *StreamParser) parseTagBody(body []byte) (string, []Attr, error) {
 	i := 0
 	for i < len(body) && isNameByte(body[i]) {
 		i++
 	}
-	name := body[:i]
-	if !validName(name) {
-		return "", nil, fmt.Errorf("invalid tag name %q", name)
+	if !validName(body[:i]) {
+		return "", nil, fmt.Errorf("invalid tag name %q", body[:i])
 	}
+	name := p.intern(body[:i])
 	var attrs []Attr
 	for {
 		for i < len(body) && isSpace(body[i]) {
@@ -597,10 +657,10 @@ func parseTagBody(body string) (string, []Attr, error) {
 		for i < len(body) && isNameByte(body[i]) {
 			i++
 		}
-		aname := body[astart:i]
-		if !validName(aname) {
+		if !validName(body[astart:i]) {
 			return "", nil, fmt.Errorf("invalid attribute name in <%s>", name)
 		}
+		aname := p.intern(body[astart:i])
 		for i < len(body) && isSpace(body[i]) {
 			i++
 		}
@@ -623,7 +683,7 @@ func parseTagBody(body string) (string, []Attr, error) {
 		if i >= len(body) {
 			return "", nil, fmt.Errorf("unterminated value for attribute %q in <%s>", aname, name)
 		}
-		val, err := DecodeEntities(body[vstart:i])
+		val, err := DecodeEntities(string(body[vstart:i]))
 		if err != nil {
 			return "", nil, fmt.Errorf("attribute %q in <%s>: %v", aname, name, err)
 		}

@@ -328,8 +328,8 @@ func isNameByte(b byte) bool {
 	return false
 }
 
-func validName(s string) bool {
-	if s == "" {
+func validName[T string | []byte](s T) bool {
+	if len(s) == 0 {
 		return false
 	}
 	c := s[0]

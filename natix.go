@@ -162,6 +162,12 @@ type Options struct {
 	// instead of splitting immediately.
 	BulkFillFactor float64
 
+	// ImportWorkers bounds the concurrent per-document import pipelines
+	// ImportXMLBatch shards a multi-document corpus across. 0 means
+	// GOMAXPROCS. Single-document imports always pipeline parsing and
+	// packing across two goroutines regardless of this setting.
+	ImportWorkers int
+
 	// SimulateDisk routes every physical page access through a cost
 	// model of the paper's IBM DCAS-34330W disk; SimStats reports the
 	// accumulated simulated time. Only valid with in-memory stores.
@@ -589,6 +595,21 @@ func (db *DB) ImportXML(name string, r io.Reader) error {
 func (db *DB) ImportXMLContext(ctx context.Context, name string, r io.Reader) error {
 	return db.view(func() error {
 		_, err := db.store.ImportXMLContext(ctx, name, r)
+		return err
+	})
+}
+
+// ImportDoc names one input of ImportXMLBatch.
+type ImportDoc = docstore.ImportDoc
+
+// ImportXMLBatch imports several documents in one atomic operation,
+// sharded one document per worker across Options.ImportWorkers
+// concurrent import pipelines. The stored result is byte-identical to
+// importing the documents one at a time in input order; any failure
+// rolls the whole batch back.
+func (db *DB) ImportXMLBatch(ctx context.Context, docs []ImportDoc) error {
+	return db.view(func() error {
+		_, err := db.store.ImportXMLBatch(ctx, docs, db.opts.ImportWorkers)
 		return err
 	})
 }
