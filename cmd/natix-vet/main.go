@@ -1,0 +1,165 @@
+// Natix-vet runs the engine's invariant analyzers (internal/analysis)
+// over the module, multichecker-style.
+//
+// Quickstart:
+//
+//	go run ./cmd/natix-vet ./...                 # whole module
+//	go run ./cmd/natix-vet ./internal/records    # one package
+//	go run ./cmd/natix-vet -analyzers walbracket,lockorder ./...
+//	go run ./cmd/natix-vet -json ./...           # machine-readable
+//	go run ./cmd/natix-vet -list                 # describe the suite
+//
+// Findings print as file:line:col: analyzer: message. A clean run
+// exits 0 and still reports how many findings were suppressed by
+// //natix:vet-ignore annotations, so suppressions never disappear
+// silently. Exit codes: 0 clean, 1 findings, 2 usage or load error.
+//
+// The suite (see DESIGN.md "Static analysis"): walbracket (WAL
+// BeginUpdate/EndUpdate bracket), lockorder (lock hierarchy),
+// telemetryclock (no direct time.Now in engine packages), noalloc
+// (//natix:noalloc warm paths), sentinelerr (facade errors wrap root
+// sentinels).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"natix/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("natix-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (file/line/col/analyzer/message)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: natix-vet [-json] [-analyzers a,b] packages...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "natix-vet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := analysis.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "natix-vet: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		return emitJSON(stdout, res)
+	}
+	for _, d := range res.Findings {
+		fmt.Fprintln(stdout, d.String())
+	}
+	supp := suppressionSummary(res)
+	if len(res.Findings) == 0 {
+		fmt.Fprintf(stderr, "natix-vet: ok%s\n", supp)
+		return 0
+	}
+	fmt.Fprintf(stderr, "natix-vet: %d finding(s)%s\n", len(res.Findings), supp)
+	return 1
+}
+
+func suppressionSummary(res *analysis.Result) string {
+	if len(res.Suppressed) == 0 {
+		return ""
+	}
+	counts := res.SuppressedByAnalyzer()
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%d %s", counts[name], name))
+	}
+	return fmt.Sprintf(", %d suppressed by //natix:vet-ignore (%s)",
+		len(res.Suppressed), strings.Join(parts, ", "))
+}
+
+// jsonFinding is the stable machine-readable schema; future tooling
+// diffs these across commits.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func emitJSON(stdout *os.File, res *analysis.Result) int {
+	out := struct {
+		Findings   []jsonFinding `json:"findings"`
+		Suppressed []jsonFinding `json:"suppressed"`
+	}{Findings: []jsonFinding{}, Suppressed: []jsonFinding{}}
+	for _, d := range res.Findings {
+		out.Findings = append(out.Findings, toJSON(d))
+	}
+	for _, d := range res.Suppressed {
+		out.Suppressed = append(out.Suppressed, toJSON(d))
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return 2
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func toJSON(d analysis.Diagnostic) jsonFinding {
+	return jsonFinding{
+		File:       d.Pos.Filename,
+		Line:       d.Pos.Line,
+		Col:        d.Pos.Column,
+		Analyzer:   d.Analyzer,
+		Message:    d.Message,
+		Suppressed: d.Suppressed,
+		Reason:     d.SuppressReason,
+	}
+}

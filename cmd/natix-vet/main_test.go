@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"natix/internal/analysis"
+)
+
+// TestRepoIsClean is the self-hosting smoke test: the full suite over
+// the whole module must come back with zero active findings. Anything
+// deliberately exceptional in the tree must carry a
+// //natix:vet-ignore reason, which lands in the suppressed list
+// instead.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	res, err := analysis.Run(".", []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatalf("natix-vet failed to run: %v", err)
+	}
+	for _, d := range res.Findings {
+		t.Errorf("finding: %s", d)
+	}
+	for _, d := range res.Suppressed {
+		if d.SuppressReason == "" {
+			t.Errorf("suppressed finding without reason: %s", d)
+		}
+	}
+}

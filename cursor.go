@@ -73,6 +73,8 @@ func (db *DB) QueryIter(ctx context.Context, name, query string, opts ...QueryOp
 // exhausted, the limit is reached, the context is cancelled, the DB is
 // closed (or closing), or an error occurs — consult Err to tell. Once
 // Next returns false the document lock has been released.
+//
+//natix:noalloc
 func (c *Cursor) Next() bool {
 	// TryRLock, not RLock: db.mu's only writer is Close, so a failed
 	// try means the DB is closing or closed. Blocking here instead

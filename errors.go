@@ -21,6 +21,12 @@ var ErrDocNotFound = docstore.ErrNotFound
 // any lock. Test with errors.Is(err, natix.ErrBadQuery).
 var ErrBadQuery = docstore.ErrBadQuery
 
+// ErrBadOptions reports an Options combination Open (or an
+// options-gated accessor like SimStats) cannot honor: an invalid page
+// size, SimulateDisk on a file-backed store. Wrapped with the specific
+// complaint; test with errors.Is(err, natix.ErrBadOptions).
+var ErrBadOptions = errors.New("natix: invalid options")
+
 // ErrCorrupted reports a page that failed its checksum when read from
 // the device — a torn write or external damage. Every page carries a
 // CRC-32C refreshed on write-back and verified on fetch, so corruption

@@ -1,0 +1,150 @@
+// Package analysis is a self-contained static-analysis framework for
+// the natix module, mirroring the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) on the standard library's go/ast,
+// go/parser, go/types, and go/importer only. The module carries no
+// external dependencies, so the x/tools driver stack is reimplemented
+// here: a module-aware loader (loader.go), a package-ordered driver with
+// cross-package facts (driver.go), //natix:vet-ignore suppression
+// (suppress.go), and an analysistest-style fixture runner
+// (analysistest/). The analyzers themselves — walbracket, lockorder,
+// telemetryclock, noalloc, sentinelerr — each enforce one engine
+// invariant; see DESIGN.md "Static analysis".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// An Analyzer describes one invariant check. Run is invoked once per
+// package, in import-graph topological order, so facts exported for a
+// package's dependencies are always visible when the package itself is
+// analyzed.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -analyzers filters,
+	// and JSON output. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description shown by natix-vet -list.
+	Doc string
+	// Run analyzes one package. Diagnostics are reported through
+	// pass.Reportf; the error return is reserved for analyzer failures
+	// (not findings).
+	Run func(*Pass) error
+}
+
+// A Pass is the interface between the driver and one Analyzer.Run call:
+// one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test files. Test files are exempt
+	// from every invariant by construction: the driver never loads
+	// them.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// PkgPath is the import path ("natix/internal/buffer").
+	PkgPath string
+	// ModulePath is the module root import path ("natix").
+	ModulePath string
+	// Engine reports whether this package belongs to the
+	// clock-disciplined engine set: module-internal packages reachable
+	// from the root package's import graph, excluding
+	// internal/telemetry itself. Derived by the driver from the module,
+	// not hardcoded.
+	Engine bool
+	// Facts carries cross-package analyzer state (per-function lock
+	// summaries, for lockorder). Packages are processed in dependency
+	// order, so facts for imported packages are complete by the time a
+	// dependent package runs.
+	Facts *FactStore
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed is set by the driver when a //natix:vet-ignore comment
+	// covers the diagnostic's line; SuppressReason carries the
+	// annotation's mandatory reason text.
+	Suppressed     bool
+	SuppressReason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A FactStore holds cross-package facts keyed by (package path, key).
+// Safe for concurrent reads after the writing package has been
+// processed; the driver serializes writes by processing packages one at
+// a time.
+type FactStore struct {
+	mu sync.RWMutex
+	m  map[string]map[string]any
+}
+
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[string]map[string]any)}
+}
+
+// Set records a fact for pkgPath under key.
+func (fs *FactStore) Set(pkgPath, key string, v any) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	pkg := fs.m[pkgPath]
+	if pkg == nil {
+		pkg = make(map[string]any)
+		fs.m[pkgPath] = pkg
+	}
+	pkg[key] = v
+}
+
+// Get retrieves a fact recorded by Set.
+func (fs *FactStore) Get(pkgPath, key string) (any, bool) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	v, ok := fs.m[pkgPath][key]
+	return v, ok
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer — the
+// stable presentation order for both text and JSON output.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// isTestFile reports whether a file name is a Go test file.
+func isTestFile(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}

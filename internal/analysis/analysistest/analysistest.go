@@ -1,0 +1,113 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the module's own
+// driver (internal/analysis).
+//
+// Expectations are trailing comments on the line the diagnostic is
+// reported at:
+//
+//	u := f.BeginUpdate() // want "re-begun"
+//	s.Mutate(...)        // want "acquired while" "re-acquired"
+//
+// Each quoted string is a regular expression. Every reported
+// diagnostic must match at least one expectation on its line, and
+// every expectation must match at least one diagnostic; fixtures are
+// therefore exact both ways — positive cases prove the analyzer fires,
+// clean declarations prove it stays quiet.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"natix/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantArgRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run applies a to the fixture package in dir (registered under
+// importPath) and reports any mismatch between diagnostics and // want
+// expectations as test failures.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("resolving %s: %v", dir, err)
+	}
+	findings, _, err := analysis.AnalyzeDir(abs, importPath, a)
+	if err != nil {
+		t.Fatalf("analyzing %s: %v", dir, err)
+	}
+	wants := parseWants(t, abs)
+
+	for _, d := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants scans the fixture's non-test Go files for // want
+// comments.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range wantArgRE.FindAllString(m[1], -1) {
+				pattern, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", path, i+1, q, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pattern, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re, raw: pattern})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,79 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"natix/internal/analysis"
+	"natix/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its fixture package: the want comments are
+// the positive cases, the clean declarations the negative ones.
+
+func TestWalbracket(t *testing.T) {
+	analysistest.Run(t, analysis.Walbracket,
+		"testdata/src/walbracket/a", "natix/vetfixture/walbracket")
+}
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysis.Lockorder,
+		"testdata/src/lockorder/a", "natix/vetfixture/lockorder")
+}
+
+func TestTelemetryclockEngine(t *testing.T) {
+	analysistest.Run(t, analysis.Telemetryclock,
+		"testdata/src/telemetryclock/engine", "natix/internal/enginefixture")
+}
+
+// TestTelemetryclockOutsideEngine proves behavior parity with the old
+// shell script's exemptions: the same clock reads are fine outside the
+// engine package set.
+func TestTelemetryclockOutsideEngine(t *testing.T) {
+	analysistest.Run(t, analysis.Telemetryclock,
+		"testdata/src/telemetryclock/outside", "natix/benchfixture")
+}
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysis.Noalloc,
+		"testdata/src/noalloc/a", "natix/vetfixture/noalloc")
+}
+
+func TestSentinelerr(t *testing.T) {
+	analysistest.Run(t, analysis.Sentinelerr,
+		"testdata/src/sentinelerr/a", "natix")
+}
+
+// TestSentinelerrOffRoot checks the analyzer is scoped to the module
+// root: the same source under an internal path reports nothing.
+func TestSentinelerrOffRoot(t *testing.T) {
+	findings, _, err := analysis.AnalyzeDir(
+		"testdata/src/sentinelerr/a", "natix/internal/notfacade", analysis.Sentinelerr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("sentinelerr fired off the module root: %v", findings)
+	}
+}
+
+// TestNoallocSuppression pins the vet-ignore pipeline: the suppressed
+// make in the fixture lands in the suppressed list with its reason,
+// not in the findings.
+func TestNoallocSuppression(t *testing.T) {
+	findings, suppressed, err := analysis.AnalyzeDir(
+		"testdata/src/noalloc/a", "natix/vetfixture/noalloc", analysis.Noalloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range findings {
+		if d.Suppressed {
+			t.Errorf("suppressed diagnostic in findings: %s", d)
+		}
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed = %v, want exactly 1", suppressed)
+	}
+	if got := suppressed[0].SuppressReason; got != "cold path sizing" {
+		t.Errorf("suppression reason = %q, want %q", got, "cold path sizing")
+	}
+}

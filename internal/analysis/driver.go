@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Result is one driver run: active findings plus the suppressed ones
+// (kept so callers can report suppression counts — suppressions are
+// visible, not silent).
+type Result struct {
+	Findings   []Diagnostic
+	Suppressed []Diagnostic
+}
+
+// SuppressedByAnalyzer summarizes the suppressed findings per analyzer.
+func (r *Result) SuppressedByAnalyzer() map[string]int {
+	m := make(map[string]int)
+	for _, d := range r.Suppressed {
+		m[d.Analyzer]++
+	}
+	return m
+}
+
+// Run loads the packages matched by patterns (relative to the module
+// containing dir) and applies the analyzers. Analyzers run over every
+// loaded module package in dependency order — so cross-package facts
+// are always complete — but only diagnostics for the matched packages
+// are reported.
+func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := resolvePatterns(loader, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	for _, path := range targets {
+		if _, err := loader.Load(path); err != nil {
+			return nil, err
+		}
+	}
+	// The engine set is derived from the root package's import graph;
+	// load it even when the patterns don't cover it.
+	if _, ok := loader.dirFor(loader.ModulePath); ok {
+		if _, err := loader.Load(loader.ModulePath); err != nil {
+			return nil, err
+		}
+	}
+
+	engine := engineSet(loader)
+	facts := NewFactStore()
+	targetSet := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		targetSet[t] = true
+	}
+
+	res := &Result{}
+	for _, path := range topoOrder(loader) {
+		pkg := loader.pkgs[path]
+		supp, badIgnores := collectSuppressions(loader.Fset, pkg.Files)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			ds, err := runAnalyzer(a, loader, pkg, engine[path], facts)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, path, err)
+			}
+			diags = append(diags, ds...)
+		}
+		if !targetSet[path] {
+			continue
+		}
+		active, suppressed := supp.apply(diags)
+		res.Findings = append(res.Findings, active...)
+		res.Findings = append(res.Findings, badIgnores...)
+		res.Suppressed = append(res.Suppressed, suppressed...)
+	}
+	sortDiagnostics(res.Findings)
+	sortDiagnostics(res.Suppressed)
+	return res, nil
+}
+
+// runAnalyzer applies one analyzer to one loaded package and returns
+// its raw (unsuppressed) diagnostics. Shared by the driver and the
+// analysistest fixture runner.
+func runAnalyzer(a *Analyzer, l *Loader, pkg *Package, engine bool, facts *FactStore) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       l.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		PkgPath:    pkg.Path,
+		ModulePath: l.ModulePath,
+		Engine:     engine,
+		Facts:      facts,
+		diags:      &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// engineSet computes the clock-disciplined packages: module-internal
+// packages reachable from the root package's imports, excluding
+// internal/telemetry (which implements the sanctioned clock). Derived
+// mechanically so new engine packages are covered without touching a
+// hardcoded list, while tooling packages (benchkit, this one) that the
+// engine never imports stay exempt.
+func engineSet(l *Loader) map[string]bool {
+	reachable := make(map[string]bool)
+	var visit func(path string)
+	visit = func(path string) {
+		if reachable[path] {
+			return
+		}
+		reachable[path] = true
+		pkg, ok := l.pkgs[path]
+		if !ok {
+			return
+		}
+		for _, imp := range pkg.Imports {
+			if l.isModulePath(imp) {
+				visit(imp)
+			}
+		}
+	}
+	visit(l.ModulePath)
+
+	internal := l.ModulePath + "/internal/"
+	telemetry := l.ModulePath + "/internal/telemetry"
+	set := make(map[string]bool)
+	for path := range reachable {
+		if strings.HasPrefix(path, internal) && path != telemetry {
+			set[path] = true
+		}
+	}
+	return set
+}
+
+// topoOrder returns every loaded module package in dependency order
+// (imports before importers), ties broken by path for determinism.
+func topoOrder(l *Loader) []string {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		if state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		if pkg, ok := l.pkgs[path]; ok {
+			for _, imp := range pkg.Imports {
+				if l.isModulePath(imp) {
+					visit(imp)
+				}
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
+}
+
+// resolvePatterns expands package patterns relative to the module root.
+// Supported forms: "./..." (the whole module), "dir/..." (a subtree),
+// and plain directories ("./internal/wal", "internal/wal", ".").
+func resolvePatterns(l *Loader, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" {
+			pat = "."
+		}
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			base := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			root := l.ModuleDir
+			if base != "" && base != "." {
+				root = filepath.Join(l.ModuleDir, filepath.FromSlash(base))
+			}
+			if err := walkPackages(l, root, add); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := l.ModuleDir
+		if pat != "." {
+			dir = filepath.Join(l.ModuleDir, filepath.FromSlash(pat))
+		}
+		path, ok := importPathFor(l, dir)
+		if !ok {
+			return nil, fmt.Errorf("%s is outside module %s", pat, l.ModulePath)
+		}
+		add(path)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walkPackages calls add for every directory under root that contains
+// buildable Go files, skipping testdata, vendor, and hidden trees.
+func walkPackages(l *Loader, root string, add func(string)) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		if imp, ok := importPathFor(l, path); ok {
+			add(imp)
+		}
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || isTestFile(name) {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func importPathFor(l *Loader, dir string) (string, bool) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	if rel == "." {
+		return l.ModulePath, true
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), true
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Sentinelerr keeps the public error surface navigable: callers match
+// failures with errors.Is against the facade's root sentinels
+// (ErrDocNotFound, ErrBadQuery, ErrClosed, ErrCorrupted, ...), so every
+// error constructed inside the facade package must wrap a sentinel with
+// %w rather than mint an ad-hoc error. Two patterns are flagged, in the
+// module root package only:
+//
+//   - errors.New inside a function body (package-level var declarations
+//     are exactly how root sentinels are born, and stay allowed);
+//   - fmt.Errorf whose literal format string has no %w verb.
+//
+// Engine packages keep their own package-local sentinels; the facade
+// re-exports or wraps those, which is what this analyzer pins down.
+var Sentinelerr = &Analyzer{
+	Name: "sentinelerr",
+	Doc: "check that facade errors wrap a root sentinel with %w " +
+		"instead of minting ad-hoc errors",
+	Run: runSentinelerr,
+}
+
+func runSentinelerr(pass *Pass) error {
+	if pass.PkgPath != pass.ModulePath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() + "." + fn.Name() {
+				case "errors.New":
+					pass.Reportf(call.Pos(), "ad-hoc errors.New on the public surface: wrap a root sentinel with fmt.Errorf(\"...: %%w\", Err...) so callers can errors.Is it")
+				case "fmt.Errorf":
+					if len(call.Args) == 0 {
+						return true
+					}
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok {
+						return true // dynamic format: cannot tell
+					}
+					if !strings.Contains(lit.Value, "%w") {
+						pass.Reportf(call.Pos(), "fmt.Errorf without %%w on the public surface: wrap a root sentinel so callers can errors.Is it")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Walbracket, Lockorder, Telemetryclock, Noalloc, Sentinelerr}
+}

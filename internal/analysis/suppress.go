@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// vetIgnoreMarker is the suppression annotation. Grammar:
+//
+//	//natix:vet-ignore <reason>
+//
+// The reason is mandatory. The annotation suppresses diagnostics on its
+// own line (trailing form) and on the line immediately below
+// (standalone form). The driver counts suppressed findings per analyzer
+// and reports the totals, so suppressions stay visible.
+const vetIgnoreMarker = "natix:vet-ignore"
+
+// suppressions maps filename → covered line → reason for one package.
+type suppressions struct {
+	m map[string]map[int]string
+}
+
+// collectSuppressions scans a package's comments for vet-ignore
+// annotations. Annotations with an empty reason do not suppress
+// anything; they are returned as diagnostics in their own right.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (*suppressions, []Diagnostic) {
+	s := &suppressions{m: make(map[string]map[int]string)}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, vetIgnoreMarker)
+				if !ok {
+					continue
+				}
+				reason := strings.TrimSpace(rest)
+				pos := fset.Position(c.Slash)
+				if reason == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "vet-ignore",
+						Message:  "//natix:vet-ignore requires a reason",
+					})
+					continue
+				}
+				lines := s.m[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]string)
+					s.m[pos.Filename] = lines
+				}
+				lines[pos.Line] = reason
+				if _, taken := lines[pos.Line+1]; !taken {
+					lines[pos.Line+1] = reason
+				}
+			}
+		}
+	}
+	return s, bad
+}
+
+// apply partitions diags into active findings and suppressed ones,
+// stamping the suppression reason on the latter.
+func (s *suppressions) apply(diags []Diagnostic) (active, suppressed []Diagnostic) {
+	for _, d := range diags {
+		if reason, ok := s.m[d.Pos.Filename][d.Pos.Line]; ok {
+			d.Suppressed = true
+			d.SuppressReason = reason
+			suppressed = append(suppressed, d)
+			continue
+		}
+		active = append(active, d)
+	}
+	return active, suppressed
+}

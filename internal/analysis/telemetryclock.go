@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Telemetryclock replaces scripts/vet-telemetry-clock.sh: engine
+// packages must read the clock through internal/telemetry (Now/Since),
+// never time directly, so the simulated clock used by latency tests and
+// the slow-op logger stays authoritative. The analyzer goes beyond the
+// old grep in two ways: the package set is derived from the module (the
+// internal packages reachable from the root package's import graph)
+// instead of hardcoded, and timer construction (time.NewTimer/NewTicker/
+// After/Tick/AfterFunc) is caught alongside time.Now/time.Since. Test
+// files stay exempt — the driver never loads them. Using time.Time or
+// time.Duration as types remains fine; only clock reads are flagged.
+var Telemetryclock = &Analyzer{
+	Name: "telemetryclock",
+	Doc: "check that engine packages read the clock through " +
+		"internal/telemetry instead of package time",
+	Run: runTelemetryclock,
+}
+
+// bannedTimeFuncs are the package time functions that read or schedule
+// against the real clock.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"Sleep":     true,
+}
+
+func runTelemetryclock(pass *Pass) error {
+	if !pass.Engine {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s in engine package %s: use telemetry.Now/telemetry.Since so the instrumented clock stays authoritative",
+					fn.Name(), pass.PkgPath)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Fixture for the lockorder analyzer. The tracked levels reachable
+// from outside their packages are the document lock and writer mutex
+// (through the Store.View/Mutate wrappers) and the frame latch
+// (Latch/Unlatch), which is enough to exercise inversion detection,
+// single-instance re-acquisition, summary propagation through local
+// helpers, and the goroutine and defer special cases.
+package a
+
+import (
+	"natix/internal/buffer"
+	"natix/internal/docstore"
+)
+
+// goodOrder takes the document lock (via the View wrapper) before
+// latching a frame inside the callback: levels 2 then 5.
+func goodOrder(s *docstore.Store, f *buffer.Frame) {
+	_ = s.View("doc", func() error {
+		f.Latch()
+		f.Unlatch()
+		return nil
+	})
+}
+
+// goodSequential releases the latch before the next acquisition, so
+// the two never nest.
+func goodSequential(s *docstore.Store, f *buffer.Frame) {
+	f.Latch()
+	f.Unlatch()
+	_ = s.Mutate("doc", func() error { return nil })
+}
+
+// goodMultiLatch: frame latches are multi-instance; holding two at
+// once is the legitimate page-split pattern.
+func goodMultiLatch(f, g *buffer.Frame) {
+	f.Latch()
+	g.Latch()
+	g.Unlatch()
+	f.Unlatch()
+}
+
+// goodGoroutine: the spawner holds a latch, but the goroutine starts
+// with an empty held set, so its Mutate is in order.
+func goodGoroutine(s *docstore.Store, f *buffer.Frame) {
+	f.Latch()
+	done := make(chan struct{})
+	go func() {
+		_ = s.Mutate("doc", func() error { return nil })
+		close(done)
+	}()
+	<-done
+	f.Unlatch()
+}
+
+func invertedView(s *docstore.Store, f *buffer.Frame) {
+	f.Latch()
+	_ = s.View("doc", func() error { return nil }) // want "acquired while frame latch"
+	f.Unlatch()
+}
+
+func nestedMutate(s *docstore.Store) {
+	_ = s.Mutate("a", func() error {
+		return s.Mutate("b", func() error { return nil }) // want "acquired while writer mutex" "re-acquired while already held"
+	})
+}
+
+func mutateHelper(s *docstore.Store) {
+	_ = s.Mutate("doc", func() error { return nil })
+}
+
+// invertedViaHelper: the helper's summary ({document lock, wmu})
+// propagates to the call site, where a latch is already held.
+func invertedViaHelper(s *docstore.Store, f *buffer.Frame) {
+	f.Latch()
+	mutateHelper(s) // want "call to mutateHelper acquires"
+	f.Unlatch()
+}
+
+// deferHeld: a deferred unlock does not release early, so the Mutate
+// below still inverts against the held latch.
+func deferHeld(s *docstore.Store, f *buffer.Frame) {
+	f.Latch()
+	defer f.Unlatch()
+	_ = s.View("doc", func() error { return nil }) // want "acquired while frame latch"
+}

@@ -1,0 +1,90 @@
+// Fixture for the noalloc analyzer: constructs that defeat the PR 7
+// zero-allocation discipline inside //natix:noalloc functions, and the
+// sanctioned patterns that must stay quiet.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+func sink(v any) {}
+
+// hot is the sanctioned warm-path shape: append into the caller-owned
+// buffer, no allocating constructs.
+//
+//natix:noalloc
+func hot(buf []int, n int) []int {
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+type pooled struct {
+	scratch []int
+}
+
+// hotField appends into a pooled struct field: allowed.
+//
+//natix:noalloc
+func (p *pooled) hotField(n int) {
+	p.scratch = append(p.scratch, n)
+}
+
+//natix:noalloc
+func badLiterals(n int) int {
+	s := []int{1, 2}         // want "slice literal"
+	m := map[int]int{n: n}   // want "map literal"
+	b := make([]byte, n)     // want "make"
+	return len(s) + len(m) + len(b)
+}
+
+//natix:noalloc
+func badAppend(n int) int {
+	var locals []int
+	locals = append(locals, n) // want "append to function-local slice"
+	return len(locals)
+}
+
+//natix:noalloc
+func badClosure(n int) func() int {
+	return func() int { return n } // want "closure"
+}
+
+//natix:noalloc
+func badBoxing(n int) {
+	sink(n) // want "interface conversion of non-pointer"
+}
+
+// goodBoxing passes a pointer: boxing a pointer does not allocate.
+//
+//natix:noalloc
+func goodBoxing(p *pooled) {
+	sink(p)
+}
+
+//natix:noalloc
+func badFmt() error {
+	return fmt.Errorf("boom") // want "fmt.Errorf"
+}
+
+//natix:noalloc
+func badErrorsNew() error {
+	return errors.New("boom") // want "errors.New"
+}
+
+// suppressed shows the vet-ignore escape hatch for deliberate
+// cold-path allocations; the driver reports it in the suppression
+// count instead of failing.
+//
+//natix:noalloc
+func suppressed(n int) []int {
+	out := make([]int, n) //natix:vet-ignore cold path sizing
+	return out
+}
+
+// unannotated functions allocate freely.
+func cold(n int) []int {
+	return make([]int, n)
+}

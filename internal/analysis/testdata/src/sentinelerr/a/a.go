@@ -1,0 +1,29 @@
+// Fixture for sentinelerr, loaded under the module root import path:
+// the facade may declare package-level sentinels and wrap them with
+// %w, but never mint ad-hoc errors inside function bodies.
+package natix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRoot is how root sentinels are declared: package-level errors.New
+// stays allowed.
+var ErrRoot = errors.New("natix: root failure")
+
+func adHoc() error {
+	return errors.New("natix: oops") // want "ad-hoc errors.New"
+}
+
+func unwrapped(n int) error {
+	return fmt.Errorf("natix: bad page %d", n) // want "without %w"
+}
+
+func wrapped(n int) error {
+	return fmt.Errorf("natix: bad page %d: %w", n, ErrRoot)
+}
+
+func passthrough(err error) error {
+	return fmt.Errorf("natix: open: %w", err)
+}

@@ -1,0 +1,5 @@
+// Fixture: a vet-ignore with no reason must be reported, not honored.
+package bare
+
+//natix:vet-ignore
+func shrug() {}

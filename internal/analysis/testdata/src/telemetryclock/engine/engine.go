@@ -1,0 +1,34 @@
+// Fixture for telemetryclock, loaded under an engine import path
+// (natix/internal/...): direct clock reads are flagged; using
+// time.Time and time.Duration as types is fine.
+package engine
+
+import "time"
+
+const tick = 50 * time.Millisecond
+
+type span struct {
+	start time.Time
+	d     time.Duration
+}
+
+func (s *span) age() time.Duration {
+	return time.Since(s.start) // want "time.Since"
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func timer() *time.Timer {
+	return time.NewTimer(tick) // want "time.NewTimer"
+}
+
+func nap() {
+	time.Sleep(tick) // want "time.Sleep"
+}
+
+// typesOnly uses time purely for types and arithmetic: allowed.
+func typesOnly(d time.Duration) time.Duration {
+	return d + tick
+}

@@ -1,0 +1,14 @@
+// Fixture for telemetryclock, loaded under a non-engine import path:
+// packages outside the engine set (the bench harness, cmd/ tooling)
+// may read the real clock freely.
+package outside
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func nap() {
+	time.Sleep(time.Millisecond)
+}

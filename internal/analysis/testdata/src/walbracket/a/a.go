@@ -1,0 +1,126 @@
+// Fixture for the walbracket analyzer: positive cases carry want
+// expectations, the clean brackets prove the analyzer stays quiet on
+// the idiomatic shapes used across internal/records and
+// internal/segment.
+package a
+
+import (
+	"errors"
+
+	"natix/internal/buffer"
+)
+
+var errBad = errors.New("bad")
+
+func cond() bool { return false }
+
+// goodBranch is the canonical bracket: EndUpdate on success,
+// CancelUpdate on the failure path.
+func goodBranch(f *buffer.Frame) error {
+	u := f.BeginUpdate()
+	if cond() {
+		f.CancelUpdate(u)
+		return errBad
+	}
+	return f.EndUpdate(u)
+}
+
+// goodIfElse closes on both arms before the common exit.
+func goodIfElse(f *buffer.Frame) error {
+	u := f.BeginUpdate()
+	var err error
+	if cond() {
+		err = f.EndUpdate(u)
+	} else {
+		f.CancelUpdate(u)
+	}
+	return err
+}
+
+// goodDefer: a deferred close covers every exit.
+func goodDefer(f *buffer.Frame) error {
+	u := f.BeginUpdate()
+	defer f.CancelUpdate(u)
+	if cond() {
+		return errBad
+	}
+	return nil
+}
+
+// goodReuse re-begins a closed token, the records.Update stub-path
+// shape.
+func goodReuse(f *buffer.Frame) error {
+	u := f.BeginUpdate()
+	f.CancelUpdate(u)
+	u = f.BeginUpdate()
+	return f.EndUpdate(u)
+}
+
+// goodLoop opens and closes within each iteration.
+func goodLoop(f *buffer.Frame) error {
+	for i := 0; i < 3; i++ {
+		u := f.BeginUpdate()
+		if cond() {
+			f.CancelUpdate(u)
+			continue
+		}
+		if err := f.EndUpdate(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func leakOnError(f *buffer.Frame) error {
+	u := f.BeginUpdate()
+	if cond() {
+		return errBad // want "still open at this return"
+	}
+	return f.EndUpdate(u)
+}
+
+func leakAtEnd(f *buffer.Frame) {
+	u := f.BeginUpdate()
+	if cond() {
+		f.CancelUpdate(u)
+		return
+	}
+} // want "still open at the end of the function"
+
+func leakOnPanic(f *buffer.Frame) error {
+	u := f.BeginUpdate()
+	if cond() {
+		panic("boom") // want "still open at this panic"
+	}
+	return f.EndUpdate(u)
+}
+
+func doubleClose(f *buffer.Frame) {
+	u := f.BeginUpdate()
+	_ = f.EndUpdate(u)
+	f.CancelUpdate(u) // want "closed twice"
+}
+
+func discarded(f *buffer.Frame) {
+	_ = f.BeginUpdate() // want "discarded"
+}
+
+func unassigned(f *buffer.Frame) {
+	f.BeginUpdate() // want "must be assigned"
+}
+
+func rebegun(f *buffer.Frame) {
+	u := f.BeginUpdate()
+	u = f.BeginUpdate() // want "re-begun while still open"
+	f.CancelUpdate(u)
+}
+
+func loopLeak(f *buffer.Frame) {
+	for i := 0; i < 3; i++ {
+		u := f.BeginUpdate() // want "begun in a loop body"
+		if cond() {
+			f.CancelUpdate(u)
+			continue
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import "strings"
+
+// AnalyzeDir loads the single package in dir under importPath, runs one
+// analyzer over it, and applies //natix:vet-ignore suppressions.
+// This is the entry point for the analysistest fixture runner: the
+// import path is the fixture's knob for path-sensitive analyzers
+// (sentinelerr fires only on the module root package; telemetryclock
+// only on engine packages, approximated here as module-internal paths
+// outside internal/telemetry — the real driver derives the set from the
+// root package's import graph).
+func AnalyzeDir(dir, importPath string, a *Analyzer) (findings, suppressed []Diagnostic, err error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine := strings.HasPrefix(importPath, loader.ModulePath+"/internal/") &&
+		importPath != loader.ModulePath+"/internal/telemetry"
+	diags, err := runAnalyzer(a, loader, pkg, engine, NewFactStore())
+	if err != nil {
+		return nil, nil, err
+	}
+	supp, badIgnores := collectSuppressions(loader.Fset, pkg.Files)
+	findings, suppressed = supp.apply(diags)
+	findings = append(findings, badIgnores...)
+	sortDiagnostics(findings)
+	sortDiagnostics(suppressed)
+	return findings, suppressed, nil
+}

@@ -124,6 +124,8 @@ func (fi *FacadeIndexer) Index(ref NodeRef) (int, error) {
 // cursor's per-match resolver, so on a warm record it must not
 // allocate: the facade walk is a plain recursion, no closures, no
 // memo.
+//
+//natix:noalloc
 func (s *Store) RefByFacadeIndex(rid records.RID, idx int) (NodeRef, error) {
 	rec, err := s.loadRecord(rid)
 	if err != nil {
@@ -132,7 +134,7 @@ func (s *Store) RefByFacadeIndex(rid records.RID, idx int) (NodeRef, error) {
 	seq := idx
 	n := findFacade(rec.Root, &seq)
 	if n == nil {
-		return NodeRef{}, fmt.Errorf("core: facade node %d missing in record %s", idx, rid)
+		return NodeRef{}, fmt.Errorf("core: facade node %d missing in record %s", idx, rid) //natix:vet-ignore corrupt-record path
 	}
 	return NodeRef{rid: rid, node: n, rec: rec}, nil
 }
@@ -140,6 +142,8 @@ func (s *Store) RefByFacadeIndex(rid records.RID, idx int) (NodeRef, error) {
 // findFacade returns the *seq-th facade node of the pre-order walk
 // under n (proxies are leaves of the walk), counting *seq down as it
 // goes; nil if the subtree has fewer facade nodes.
+//
+//natix:noalloc
 func findFacade(n *noderep.Node, seq *int) *noderep.Node {
 	if isFacade(n) {
 		if *seq == 0 {
@@ -270,6 +274,8 @@ func (s *Store) Children(ref NodeRef) ([]NodeRef, error) {
 // extended slice — the allocation-free variant of Children for callers
 // that recycle traversal buffers. Unlike childEntries it carries no
 // physical slot information, which is all the read paths need.
+//
+//natix:noalloc
 func (s *Store) ChildrenAppend(ref NodeRef, buf []NodeRef) ([]NodeRef, error) {
 	if ref.node.Kind != noderep.KindAggregate {
 		return buf, nil
@@ -279,12 +285,14 @@ func (s *Store) ChildrenAppend(ref NodeRef, buf []NodeRef) ([]NodeRef, error) {
 
 // appendChildRefs is collectEntries minus the slot bookkeeping,
 // appending bare refs into a caller-owned buffer.
+//
+//natix:noalloc
 func (s *Store) appendChildRefs(rid records.RID, rec *noderep.Record, agg *noderep.Node, out []NodeRef) ([]NodeRef, error) {
 	for _, n := range agg.Children {
 		if n.Kind == noderep.KindProxy {
 			child, err := s.loadRecord(n.Target)
 			if err != nil {
-				return out, fmt.Errorf("resolving proxy to %s: %w", n.Target, err)
+				return out, fmt.Errorf("resolving proxy to %s: %w", n.Target, err) //natix:vet-ignore I/O error path
 			}
 			if child.Root.Scaffold && child.Root.Kind == noderep.KindAggregate {
 				if out, err = s.appendChildRefs(n.Target, child, child.Root, out); err != nil {

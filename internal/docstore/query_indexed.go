@@ -174,6 +174,8 @@ func feedPostings(list []pathindex.Posting, sink func(pathindex.Posting) error) 
 // so the records of unconsumed matches are never loaded. Consecutive
 // matches in one record cost one record load each; the parsed-record
 // cache makes the repeats decode-free.
+//
+//natix:noalloc
 func (s *Store) resolvePosting(p pathindex.Posting) (core.NodeRef, error) {
 	return s.trees.RefByFacadeIndex(p.RID, int(p.Local))
 }
@@ -185,18 +187,20 @@ func (s *Store) resolvePosting(p pathindex.Posting) (core.NodeRef, error) {
 // RID map, and one scratch buffer carries every run's facade indices.
 // A duplicate posting from a nested descendant context can split a
 // run; the repeat load hits the parsed-record cache.
+//
+//natix:noalloc
 func (s *Store) resolvePostings(posts []pathindex.Posting) ([]core.NodeRef, error) {
 	if len(posts) == 0 {
 		return nil, nil
 	}
-	out := make([]core.NodeRef, len(posts))
+	out := make([]core.NodeRef, len(posts)) //natix:vet-ignore result buffer, one allocation per query
 	var locals []int // reused across runs
 	for i := 0; i < len(posts); {
 		rid := posts[i].RID
 		j := i
 		locals = locals[:0]
 		for j < len(posts) && posts[j].RID == rid {
-			locals = append(locals, int(posts[j].Local))
+			locals = append(locals, int(posts[j].Local)) //natix:vet-ignore run scratch, grows to longest run then reused
 			j++
 		}
 		refs, err := s.trees.RefsByFacadeIndex(rid, locals)

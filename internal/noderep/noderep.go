@@ -567,19 +567,21 @@ func encodeContent(buf []byte, pos int, n *Node, hdrOff int, order []typeKey) (i
 // node. Child slices and payloads are capacity-clamped to their carved
 // region, so post-decode mutation (AppendChild, payload growth) causes a
 // plain reallocation rather than clobbering a sibling's backing.
+//
+//natix:noalloc
 func Decode(buf []byte) (*Record, error) {
 	if len(buf) < recHeaderSize+StandaloneHeaderSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptRecord, len(buf))
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptRecord, len(buf)) //natix:vet-ignore cold corrupt-input path
 	}
 	if buf[0] != formatVersion {
-		return nil, fmt.Errorf("%w: version %d", ErrCorruptRecord, buf[0])
+		return nil, fmt.Errorf("%w: version %d", ErrCorruptRecord, buf[0]) //natix:vet-ignore cold corrupt-input path
 	}
 	ttCount := int(binary.LittleEndian.Uint16(buf[2:]))
 	pos := recHeaderSize
 	if pos+ttEntrySize*ttCount+StandaloneHeaderSize > len(buf) {
-		return nil, fmt.Errorf("%w: truncated type table", ErrCorruptRecord)
+		return nil, fmt.Errorf("%w: truncated type table", ErrCorruptRecord) //natix:vet-ignore cold corrupt-input path
 	}
-	types := make([]typeKey, ttCount)
+	types := make([]typeKey, ttCount) //natix:vet-ignore type table, part of the record's allocation budget
 	for i := range types {
 		types[i] = typeKey{
 			kindFlags: buf[pos],
@@ -591,7 +593,7 @@ func Decode(buf []byte) (*Record, error) {
 	rootOff := pos
 	rootIdx := int(binary.LittleEndian.Uint16(buf[pos:]))
 	if rootIdx >= ttCount {
-		return nil, fmt.Errorf("%w: root type index %d of %d", ErrCorruptRecord, rootIdx, ttCount)
+		return nil, fmt.Errorf("%w: root type index %d of %d", ErrCorruptRecord, rootIdx, ttCount) //natix:vet-ignore cold corrupt-input path
 	}
 	parentRID := records.DecodeRID(buf[pos+2 : pos+10])
 	pos += StandaloneHeaderSize
@@ -600,9 +602,9 @@ func Decode(buf []byte) (*Record, error) {
 		return nil, err
 	}
 	a := &decodeArena{
-		nodes:   make([]Node, 0, nNodes+1),
-		kids:    make([]*Node, 0, nNodes),
-		payload: make([]byte, 0, nPayload),
+		nodes:   make([]Node, 0, nNodes+1), //natix:vet-ignore arena backing, part of the record's allocation budget
+		kids:    make([]*Node, 0, nNodes),  //natix:vet-ignore arena backing, part of the record's allocation budget
+		payload: make([]byte, 0, nPayload), //natix:vet-ignore arena backing, part of the record's allocation budget
 	}
 	root, err := a.newNode(types[rootIdx])
 	if err != nil {
@@ -662,12 +664,14 @@ type decodeArena struct {
 // newNode carves one node out of the arena (falling back to a fresh
 // allocation if the pre-pass undercounted, which only a logic bug could
 // cause).
+//
+//natix:noalloc
 func (a *decodeArena) newNode(t typeKey) (*Node, error) {
 	k := Kind(t.kindFlags & kindMask)
 	switch k {
 	case KindAggregate, KindLiteral, KindProxy:
 	default:
-		return nil, fmt.Errorf("%w: node kind %d", ErrCorruptRecord, k)
+		return nil, fmt.Errorf("%w: node kind %d", ErrCorruptRecord, k) //natix:vet-ignore cold corrupt-input path
 	}
 	n := &Node{}
 	if len(a.nodes) < cap(a.nodes) {

@@ -26,9 +26,9 @@
 // Now and Since are the only sanctioned time sources in instrumented
 // hot paths (internal/buffer, internal/wal, internal/docstore,
 // internal/core, internal/records, internal/pathindex, internal/segment):
-// scripts/vet-telemetry-clock.sh fails the build on a direct time.Now
-// there, which keeps every clock read auditable when reasoning about
-// instrumentation overhead.
+// the telemetryclock analyzer (cmd/natix-vet, in the lint job) fails
+// the build on a direct time.Now there, which keeps every clock read
+// auditable when reasoning about instrumentation overhead.
 package telemetry
 
 import "time"

@@ -83,7 +83,6 @@ package natix
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -316,7 +315,7 @@ func (db *DB) Recovery() (RecoveryStats, error) {
 func Open(opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	if !pagedev.ValidPageSize(opts.PageSize) {
-		return nil, fmt.Errorf("natix: invalid page size %d", opts.PageSize)
+		return nil, fmt.Errorf("%w: invalid page size %d", ErrBadOptions, opts.PageSize)
 	}
 
 	var (
@@ -341,7 +340,7 @@ func Open(opts Options) (*DB, error) {
 		}
 	} else {
 		if opts.SimulateDisk {
-			return nil, errors.New("natix: SimulateDisk requires an in-memory store")
+			return nil, fmt.Errorf("%w: SimulateDisk requires an in-memory store", ErrBadOptions)
 		}
 		if st, err := os.Stat(opts.Path); err == nil && st.Size() > 0 {
 			existing = true
@@ -769,7 +768,7 @@ func (db *DB) Stats() (Stats, error) {
 func (db *DB) SimStats() (pagedev.SimStats, error) {
 	return viewE(db, func() (pagedev.SimStats, error) {
 		if db.sim == nil {
-			return pagedev.SimStats{}, errors.New("natix: store was opened without SimulateDisk")
+			return pagedev.SimStats{}, fmt.Errorf("%w: store was opened without SimulateDisk", ErrBadOptions)
 		}
 		return db.sim.Stats(), nil
 	})

@@ -2,6 +2,7 @@ package natix
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -240,14 +241,23 @@ func TestSimulateDisk(t *testing.T) {
 		t.Fatalf("sim stats = %+v", st)
 	}
 	// SimulateDisk with a file store is rejected.
-	if _, err := Open(Options{SimulateDisk: true, Path: filepath.Join(t.TempDir(), "x.natix")}); err == nil {
-		t.Fatal("SimulateDisk with file store succeeded")
+	if _, err := Open(Options{SimulateDisk: true, Path: filepath.Join(t.TempDir(), "x.natix")}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("SimulateDisk with file store: err = %v, want ErrBadOptions", err)
 	}
 	// SimStats without simulation is rejected.
 	plain, _ := Open(Options{})
 	defer plain.Close()
-	if _, err := plain.SimStats(); err == nil {
-		t.Fatal("SimStats without SimulateDisk succeeded")
+	if _, err := plain.SimStats(); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("SimStats without SimulateDisk: err = %v, want ErrBadOptions", err)
+	}
+}
+
+// TestErrBadOptions pins the sentinel-wrapping contract enforced by
+// the sentinelerr analyzer: options failures are matchable with
+// errors.Is rather than string inspection.
+func TestErrBadOptions(t *testing.T) {
+	if _, err := Open(Options{PageSize: 1000}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("invalid page size: err = %v, want ErrBadOptions", err)
 	}
 }
 
