@@ -5,6 +5,7 @@ import (
 
 	"natix/internal/buffer"
 	"natix/internal/docstore"
+	"natix/internal/pagedev"
 )
 
 // ErrClosed is returned by operations on a closed DB.
@@ -30,8 +31,27 @@ var ErrBadOptions = errors.New("natix: invalid options")
 // ErrCorrupted reports a page that failed its checksum when read from
 // the device — a torn write or external damage. Every page carries a
 // CRC-32C refreshed on write-back and verified on fetch, so corruption
-// surfaces as this typed error instead of decoded garbage. Stores with
-// a write-ahead log repair torn pages during Open's restart recovery;
-// seeing ErrCorrupted at runtime means damage outside the log's reach.
+// surfaces as this typed error instead of decoded garbage. It is a
+// detection signal, not a verdict: a scrub pass (DB.ScrubNow, or the
+// background scrubber via Options.ScrubInterval) rebuilds pages the
+// write-ahead log holds a full image for and quarantines the documents
+// touching any it cannot, so a persistent ErrCorrupted from a document
+// operation usually resolves into ErrQuarantined after the next pass.
 // Test with errors.Is(err, natix.ErrCorrupted).
 var ErrCorrupted = buffer.ErrCorrupted
+
+// ErrQuarantined reports an operation against a document the integrity
+// scrubber has quarantined: one of its pages is corrupt and the
+// write-ahead log holds no image to rebuild it from. The error carries
+// the document name and the reason recorded at quarantine time; other
+// documents keep serving normally. Quarantine is in-memory — a reopen
+// starts clean and the next scrub re-establishes the set if the damage
+// persists. Test with errors.Is(err, natix.ErrQuarantined).
+var ErrQuarantined = docstore.ErrQuarantined
+
+// ErrTransientIO is the device-level transient I/O failure sentinel.
+// The engine absorbs transient errors with bounded retry and backoff at
+// every I/O site, so user-facing operations return it only after the
+// retry budget is exhausted — seeing it means the device misbehaved
+// repeatedly, not once. Test with errors.Is(err, natix.ErrTransientIO).
+var ErrTransientIO = pagedev.ErrTransient

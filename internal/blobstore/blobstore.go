@@ -136,6 +136,39 @@ func (s *Store) Size(id ID) (int64, error) {
 	return total, nil
 }
 
+// Pages returns every page holding a chunk of the blob, in chain order
+// (duplicates possible when chunks share a page). The integrity
+// scrubber walks these to attribute corrupt pages to the documents that
+// own them; a read error mid-chain returns the pages reached so far
+// along with the error, so the caller still learns which pages the
+// intact prefix occupies.
+func (s *Store) Pages(id ID) ([]pagedev.PageNo, error) {
+	var out []pagedev.PageNo
+	cur := id
+	for n := 0; !cur.IsNil(); n++ {
+		if n >= maxChunks {
+			return out, ErrTooManyChunks
+		}
+		out = append(out, cur.Page)
+		p, err := s.rm.PageOf(cur)
+		if err != nil {
+			return out, err
+		}
+		if p != cur.Page { // forwarded: the body lives elsewhere
+			out = append(out, p)
+		}
+		body, err := s.rm.Read(cur)
+		if err != nil {
+			return out, fmt.Errorf("blobstore: chunk %d at %s: %w", n, cur, err)
+		}
+		if len(body) < chunkHeader {
+			return out, fmt.Errorf("blobstore: chunk %d at %s is short", n, cur)
+		}
+		cur = records.DecodeRID(body[:chunkHeader])
+	}
+	return out, nil
+}
+
 // Delete removes the blob and all its chunks.
 func (s *Store) Delete(id ID) error {
 	cur := id

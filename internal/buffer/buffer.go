@@ -49,6 +49,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"natix/internal/ioretry"
 	"natix/internal/pagedev"
 	"natix/internal/pageformat"
 	"natix/internal/telemetry"
@@ -108,6 +109,11 @@ type Pool struct {
 	// sweep starts at, persisting the clock position across evictions.
 	evictMu   sync.Mutex
 	handShard int
+
+	// retry absorbs transient device errors at the two physical I/O
+	// sites (page load, write-back): a momentary EIO costs a counter
+	// tick and a short backoff instead of failing the operation.
+	retry ioretry.Retryer
 
 	// Hit-path counters are sharded: every Get on every goroutine
 	// bumps them, so a single cache line would be the pool's hottest
@@ -236,7 +242,12 @@ func (p *Pool) AttachTelemetry(reg *telemetry.Registry) {
 	reg.Func("buffer.evictions", p.evictions.Load)
 	reg.Func("buffer.latch_waits", p.latchWaits.Load)
 	reg.Func("buffer.resident_frames", func() int64 { return p.size.Load() })
+	reg.Func("buffer.io_retries", p.retry.Retries)
 }
+
+// IORetries returns the number of transient device errors the pool has
+// absorbed by retrying (each costed one backoff, none failed a caller).
+func (p *Pool) IORetries() int64 { return p.retry.Retries() }
 
 // Get pins the frame for page pn, reading it from the device on a miss.
 func (p *Pool) Get(pn pagedev.PageNo) (*Frame, error) {
@@ -297,7 +308,7 @@ func (p *Pool) get(pn pagedev.PageNo, read bool) (*Frame, error) {
 	f := &Frame{pool: p, page: pn, data: make([]byte, p.dev.PageSize()), fresh: !read}
 	f.pins.Store(1)
 	if read {
-		if err := p.dev.Read(pn, f.data); err != nil {
+		if err := p.retry.Do(func() error { return p.dev.Read(pn, f.data) }); err != nil {
 			sh.mu.Unlock()
 			p.size.Add(-1)
 			return nil, err
@@ -447,7 +458,7 @@ func (p *Pool) writeBack(f *Frame) error {
 	if pageformat.TypeOf(f.data) != pageformat.TypeInvalid {
 		pageformat.UpdateChecksum(f.data)
 	}
-	if err := p.dev.Write(f.page, f.data); err != nil {
+	if err := p.retry.Do(func() error { return p.dev.Write(f.page, f.data) }); err != nil {
 		return err
 	}
 	p.physWrites.Add(1)
@@ -575,6 +586,43 @@ func (p *Pool) Clear() error {
 
 // Cached returns the number of frames currently held (pinned or not).
 func (p *Pool) Cached() int { return int(p.size.Load()) }
+
+// Resident reports whether page pn currently has a frame in the pool.
+// The integrity scrubber skips resident pages: their frame is the
+// authoritative copy and the device bytes may be legitimately stale.
+func (p *Pool) Resident(pn pagedev.PageNo) bool {
+	sh := p.shardOf(pn)
+	sh.mu.RLock()
+	_, ok := sh.frames[pn]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Restore installs img as the content of page pn, bypassing the frame
+// path: the checksum is refreshed on a private copy and the page is
+// written straight to the device. It is the repair primitive — the
+// scrubber calls it with a WAL-reconstructed image after the device
+// copy failed verification. Restoring a resident page is refused: a
+// frame in the pool means the page is live and its bytes authoritative,
+// and a scrubber honoring Resident never gets here.
+func (p *Pool) Restore(pn pagedev.PageNo, img []byte) error {
+	if len(img) != p.dev.PageSize() {
+		return fmt.Errorf("buffer: restore page %d: image size %d, want %d", pn, len(img), p.dev.PageSize())
+	}
+	if p.Resident(pn) {
+		return fmt.Errorf("buffer: restore page %d: page is resident", pn)
+	}
+	buf := make([]byte, len(img))
+	copy(buf, img)
+	if pageformat.TypeOf(buf) != pageformat.TypeInvalid {
+		pageformat.UpdateChecksum(buf)
+	}
+	if err := p.retry.Do(func() error { return p.dev.Write(pn, buf) }); err != nil {
+		return err
+	}
+	p.physWrites.Add(1)
+	return p.dev.Sync()
+}
 
 // Page returns the page number this frame images.
 func (f *Frame) Page() pagedev.PageNo { return f.page }

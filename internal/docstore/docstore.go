@@ -117,6 +117,23 @@ type Store struct {
 	catalog   map[string]*DocInfo // entries are mutated only under cmu
 	catalogID records.RID         // catalog blob RID; touched only under wmu
 
+	// qmu guards quarantined: documents the integrity scrubber found
+	// damaged beyond repair. Operations against them fail fast with
+	// ErrQuarantined; every other document keeps serving (see
+	// quarantine.go). The set is in-memory only — a reopen rescans.
+	qmu         sync.RWMutex
+	quarantined map[string]string // name -> reason
+
+	// headerCopy is the last-known-good image of the segment header
+	// (page 0), captured at AttachWAL and refreshed at every checkpoint
+	// while everything is flushed and wmu is held. It is the scrubber's
+	// repair source for a corrupt header when the log holds no page-0
+	// image — and the absence of such an image is exactly what proves
+	// the header unchanged since the capture (any later change would
+	// have logged a first-update image, which repair prefers).
+	hmu        sync.RWMutex
+	headerCopy []byte
+
 	// bulkFill is the bulk-load fill factor (0 = DefaultBulkFill).
 	bulkFill float64
 
@@ -206,6 +223,9 @@ func (s *Store) View(name string, fn func() error) error {
 // its page effects become durable atomically at commit, and an error
 // (or a crash) rolls every one of them back — see wal.go.
 func (s *Store) Mutate(name string, fn func() error) error {
+	if err := s.checkQuarantine(name); err != nil {
+		return err
+	}
 	s.mMutations.Inc()
 	l := s.lockFor(name)
 	l.Lock()
@@ -890,6 +910,9 @@ func (s *Store) ExportXML(name string, w io.Writer) error {
 // ExportXMLContext is ExportXML honoring a context, checked per record
 // while the stored tree is materialized.
 func (s *Store) ExportXMLContext(cx context.Context, name string, w io.Writer) error {
+	if err := s.checkQuarantine(name); err != nil {
+		return err
+	}
 	sp := s.startOp("export", name)
 	defer sp.End()
 	l := s.lockFor(name)
@@ -1059,6 +1082,9 @@ type TreeStats struct {
 // Stats computes physical statistics for a tree-mode document by
 // walking its record tree.
 func (s *Store) Stats(name string) (TreeStats, error) {
+	if err := s.checkQuarantine(name); err != nil {
+		return TreeStats{}, err
+	}
 	l := s.lockFor(name)
 	l.RLock()
 	defer l.RUnlock()

@@ -82,6 +82,9 @@ func (s *Store) QueryIter(cx context.Context, name string, steps []Step, opts It
 	if len(steps) == 0 {
 		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
 	}
+	if err := s.checkQuarantine(name); err != nil {
+		return nil, err
+	}
 	if err := ctxErr(cx); err != nil {
 		return nil, err
 	}

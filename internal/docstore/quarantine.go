@@ -1,0 +1,183 @@
+package docstore
+
+// Document quarantine: the containment half of the integrity story.
+// When the scrubber finds a corrupt page that the log cannot rebuild,
+// losing the whole store to one bad platter region is the wrong
+// granularity — the blast radius is the set of documents whose record
+// graphs touch the page. Those documents are quarantined: every
+// operation against them fails fast with ErrQuarantined, while every
+// other document keeps serving reads and writes.
+//
+// Quarantine is deliberately in-memory only. Persisting it would mean
+// writing to a store already known damaged; instead a reopen starts
+// clean and the next scrub re-establishes the set (the corruption, if
+// still there, is found again). Unquarantine exists for the repair
+// path: a document whose pages were all reconstructed comes back
+// without a restart.
+
+import (
+	"errors"
+	"fmt"
+
+	"natix/internal/noderep"
+	"natix/internal/pagedev"
+	"natix/internal/records"
+)
+
+// ErrQuarantined reports an operation against a quarantined document.
+// The error string carries the document name and the reason recorded
+// at quarantine time.
+var ErrQuarantined = errors.New("docstore: document quarantined")
+
+// Quarantine marks name as damaged: subsequent operations against it
+// fail with ErrQuarantined until Unquarantine or reopen.
+func (s *Store) Quarantine(name, reason string) {
+	s.qmu.Lock()
+	if s.quarantined == nil {
+		s.quarantined = make(map[string]string)
+	}
+	s.quarantined[name] = reason
+	s.qmu.Unlock()
+}
+
+// Unquarantine lifts the quarantine from name (a no-op if it was not
+// quarantined). The repair path calls it after reconstructing every
+// damaged page a document owns.
+func (s *Store) Unquarantine(name string) {
+	s.qmu.Lock()
+	delete(s.quarantined, name)
+	s.qmu.Unlock()
+}
+
+// Quarantined returns the reason name is quarantined, if it is.
+func (s *Store) Quarantined(name string) (string, bool) {
+	s.qmu.RLock()
+	reason, ok := s.quarantined[name]
+	s.qmu.RUnlock()
+	return reason, ok
+}
+
+// QuarantinedDocs returns a copy of the quarantine set.
+func (s *Store) QuarantinedDocs() map[string]string {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	out := make(map[string]string, len(s.quarantined))
+	for k, v := range s.quarantined {
+		out[k] = v
+	}
+	return out
+}
+
+// ExclusiveMaintenance runs fn holding the store-wide writer mutex,
+// excluding every mutator (all of which take wmu) without blocking
+// readers. The integrity scrubber runs inside it so no page it
+// examines has an update in flight; unlike Mutate it brackets no WAL
+// operation — maintenance must not write through the log.
+func (s *Store) ExclusiveMaintenance(fn func() error) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return fn()
+}
+
+// checkQuarantine is the fail-fast gate every document operation passes
+// through before touching storage.
+func (s *Store) checkQuarantine(name string) error {
+	s.qmu.RLock()
+	reason, ok := s.quarantined[name]
+	s.qmu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return fmt.Errorf("%w: %q (%s)", ErrQuarantined, name, reason)
+}
+
+// PageOwners returns every data page the named document's on-disk
+// representation touches: its record graph (tree mode) or blob chain
+// (flat mode), overflow-literal blobs, and its path-index blobs. A page
+// that cannot be walked past (a corrupt record mid-graph) ends the walk
+// early: the pages collected so far are returned together with the
+// error, so the scrubber can still attribute the intact prefix — and
+// the error itself tells it the document is implicated in whatever page
+// broke the walk.
+//
+// Callers must hold at least the document's read lock (the scrubber
+// holds wmu, which excludes all mutators).
+func (s *Store) PageOwners(name string) ([]pagedev.PageNo, error) {
+	info, ok := s.lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	seen := make(map[pagedev.PageNo]bool)
+	var pages []pagedev.PageNo
+	add := func(ps ...pagedev.PageNo) {
+		for _, p := range ps {
+			if !seen[p] {
+				seen[p] = true
+				pages = append(pages, p)
+			}
+		}
+	}
+
+	var firstErr error
+	if info.Mode == ModeFlat {
+		ps, err := s.blobs.Pages(info.Root)
+		add(ps...)
+		firstErr = err
+	} else {
+		visited := make(map[records.RID]bool)
+		var walk func(rid records.RID) error
+		walk = func(rid records.RID) error {
+			if visited[rid] {
+				return nil
+			}
+			visited[rid] = true
+			add(rid.Page)
+			if p, err := s.trees.Records().PageOf(rid); err == nil {
+				add(p)
+			}
+			rec, err := s.trees.LoadRecordForInspection(rid)
+			if err != nil {
+				return err
+			}
+			var inner error
+			rec.Root.Walk(func(n *noderep.Node) bool {
+				switch n.Kind {
+				case noderep.KindProxy:
+					if err := walk(n.Target); err != nil && inner == nil {
+						inner = err
+						return false
+					}
+				case noderep.KindLiteral:
+					if n.LitType == noderep.LitLongString {
+						if id, err := n.BlobID(); err == nil {
+							ps, err := s.blobs.Pages(id)
+							add(ps...)
+							if err != nil && inner == nil {
+								inner = err
+							}
+						}
+					}
+				}
+				return true
+			})
+			return inner
+		}
+		firstErr = walk(info.Root)
+	}
+
+	// Path-index blobs belong to the document too: a corrupt posting
+	// page quarantines the document it indexes (a reindex could instead
+	// rebuild it — that is the scrubber's call, not ours).
+	if s.pindex != nil {
+		if rids, err := s.pindex.BlobRIDs(name); err == nil {
+			for _, rid := range rids {
+				ps, err := s.blobs.Pages(rid)
+				add(ps...)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return pages, firstErr
+}

@@ -196,6 +196,9 @@ func (s *Store) QuerySteps(cx context.Context, name string, steps []Step) ([]Res
 	if len(steps) == 0 {
 		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
 	}
+	if err := s.checkQuarantine(name); err != nil {
+		return nil, err
+	}
 	l := s.lockFor(name)
 	l.RLock()
 	defer l.RUnlock()
@@ -280,6 +283,9 @@ func (s *Store) QueryCountContext(cx context.Context, name, query string) (int, 
 func (s *Store) QueryCountSteps(cx context.Context, name string, steps []Step) (int, error) {
 	if len(steps) == 0 {
 		return 0, fmt.Errorf("%w: empty query", ErrBadQuery)
+	}
+	if err := s.checkQuarantine(name); err != nil {
+		return 0, err
 	}
 	l := s.lockFor(name)
 	l.RLock()

@@ -40,7 +40,36 @@ const checkpointLogSize = 8 << 20
 // AttachWAL connects the write-ahead log. The caller must also attach
 // the same writer to the buffer pool; from then on every Mutate runs
 // as a logged operation.
-func (s *Store) AttachWAL(w *wal.Writer) { s.walW = w }
+func (s *Store) AttachWAL(w *wal.Writer) {
+	s.walW = w
+	s.captureHeader()
+}
+
+// captureHeader refreshes the last-known-good copy of the segment
+// header page. Best effort: an unreadable header simply leaves the
+// previous copy (or none), and the scrubber falls back to quarantine.
+func (s *Store) captureHeader() {
+	f, err := s.seg.Pool().Get(0)
+	if err != nil {
+		return
+	}
+	f.RLatch()
+	hc := make([]byte, len(f.Data()))
+	copy(hc, f.Data())
+	f.RUnlatch()
+	f.Release()
+	s.hmu.Lock()
+	s.headerCopy = hc
+	s.hmu.Unlock()
+}
+
+// HeaderSnapshot returns the captured header image, nil if none. The
+// caller must not mutate it.
+func (s *Store) HeaderSnapshot() []byte {
+	s.hmu.RLock()
+	defer s.hmu.RUnlock()
+	return s.headerCopy
+}
 
 // WALEnabled reports whether mutations run as logged operations.
 func (s *Store) WALEnabled() bool { return s.walW != nil }
@@ -77,6 +106,9 @@ func (s *Store) checkpointLocked() error {
 		return err
 	}
 	pool.AdvanceWALEpoch()
+	// The checkpoint cleared the log's page images; re-capture the
+	// header so page 0 stays repairable in the fresh epoch.
+	s.captureHeader()
 	s.mCheckpointNS.Observe(int64(telemetry.Since(start)))
 	return nil
 }

@@ -1,0 +1,108 @@
+package integrity
+
+// Unit tests of the scrubber's page-verification judgment, against a
+// fake segment. End-to-end scrub/repair/quarantine behavior is covered
+// by the fault-injection tests in the root package (integrity_test.go);
+// these pin the per-page rules in isolation.
+
+import (
+	"testing"
+
+	"natix/internal/pagedev"
+	"natix/internal/pageformat"
+)
+
+const testPageSize = 2048
+
+// fakeSeg implements segmentIface with an explicit layout: page 0 is
+// the header, page 1 the inventory covering everything after it.
+type fakeSeg struct {
+	free map[pagedev.PageNo]int
+}
+
+func (f *fakeSeg) IsFSIPage(p pagedev.PageNo) bool  { return p == 1 }
+func (f *fakeSeg) IsDataPage(p pagedev.PageNo) bool { return p > 1 }
+func (f *fakeSeg) FreeHint(p pagedev.PageNo) (int, error) {
+	return f.free[p], nil
+}
+func (f *fakeSeg) MaxRecordSize() int                       { return testPageSize - 64 }
+func (f *fakeSeg) RebuildFSIPage(p pagedev.PageNo) error    { return nil }
+func (f *fakeSeg) NotifyFree(p pagedev.PageNo, n int) error { return nil }
+
+// page builds a checksummed page of the given type.
+func page(t pageformat.PageType) []byte {
+	b := make([]byte, testPageSize)
+	pageformat.InitCommon(b, t)
+	pageformat.UpdateChecksum(b)
+	return b
+}
+
+func TestVerifyPage(t *testing.T) {
+	s := New(Config{})
+	maxFree := (&fakeSeg{}).MaxRecordSize() + pageformat.SlotOverhead
+	seg := &fakeSeg{free: map[pagedev.PageNo]int{2: maxFree, 3: 16}}
+
+	corrupt := func(b []byte) []byte {
+		c := append([]byte(nil), b...)
+		c[testPageSize/2] ^= 0x40
+		return c
+	}
+	blank := make([]byte, testPageSize) // no magic: reads as TypeInvalid
+
+	cases := []struct {
+		name string
+		p    pagedev.PageNo
+		buf  []byte
+		ok   bool
+	}{
+		{"header ok", 0, page(pageformat.TypeHeader), true},
+		{"header crc", 0, corrupt(page(pageformat.TypeHeader)), false},
+		{"header wrong type", 0, page(pageformat.TypeSlotted), false},
+		{"fsi ok", 1, page(pageformat.TypeFSI), true},
+		{"fsi crc", 1, corrupt(page(pageformat.TypeFSI)), false},
+		{"fsi wrong type", 1, page(pageformat.TypePlain), false},
+		{"data slotted ok", 2, page(pageformat.TypeSlotted), true},
+		{"data plain ok", 2, page(pageformat.TypePlain), true},
+		{"data crc", 2, corrupt(page(pageformat.TypeSlotted)), false},
+		// A data page with no magic is benign only while the inventory
+		// says it was never used: a corrupted magic on a live page makes
+		// every header field unverifiable, so the free hint is the
+		// deciding signal.
+		{"data unformatted free", 2, blank, true},
+		{"data unformatted live", 3, blank, false},
+		// A data page wearing a header/FSI type is misplaced whatever
+		// its checksum says.
+		{"data wrong type", 2, page(pageformat.TypeHeader), false},
+	}
+	for _, tc := range cases {
+		if got := s.verifyPage(seg, tc.p, tc.buf); got != tc.ok {
+			t.Errorf("%s: verifyPage = %v, want %v", tc.name, got, tc.ok)
+		}
+	}
+}
+
+func TestReportClean(t *testing.T) {
+	r := &Report{}
+	if !r.Clean() {
+		t.Error("empty report not clean")
+	}
+	if (&Report{CorruptFound: 1}).Clean() {
+		t.Error("corruption reported clean")
+	}
+	if (&Report{BadRIDs: 1}).Clean() {
+		t.Error("broken references reported clean")
+	}
+	if (&Report{Quarantined: map[string]string{"d": "x"}}).Clean() {
+		t.Error("active quarantine reported clean")
+	}
+}
+
+func TestPacerDisabled(t *testing.T) {
+	if newPacer(0) != nil {
+		t.Error("rate 0 must disable pacing")
+	}
+	p := newPacer(1000)
+	for i := 0; i < 3*pacerChunk; i++ {
+		p.tick() // must not panic or hang; sleeps are sub-millisecond
+	}
+}

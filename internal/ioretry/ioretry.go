@@ -1,0 +1,134 @@
+// Package ioretry retries transient device I/O failures with bounded,
+// jittered exponential backoff. A flaky read — a momentary EIO, a
+// controller hiccup, an injected pagedev.ErrTransient — should cost one
+// retry counter tick, not a failed import; a genuinely broken device
+// should surface after a handful of attempts, not hang the caller.
+//
+// The helper is deliberately conservative about what it retries:
+// only errors classified transient by IsTransient. Corruption
+// (checksum failures), ENOSPC, out-of-range accesses and closed
+// devices are permanent — retrying them wastes time and, worse, can
+// mask real damage the integrity scrubber should be repairing instead.
+package ioretry
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"natix/internal/pagedev"
+	"natix/internal/telemetry"
+)
+
+// Default policy values, used when the corresponding Retryer field is
+// zero.
+const (
+	DefaultAttempts = 4
+	DefaultBase     = 500 * time.Microsecond
+	DefaultMax      = 20 * time.Millisecond
+)
+
+// IsTransient reports whether err is worth retrying: the injected
+// transient sentinel, or the errno family a flaky disk or interrupted
+// syscall produces. Everything else — corruption, ENOSPC, closed or
+// out-of-range devices — is permanent.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, pagedev.ErrTransient) {
+		return true
+	}
+	return errors.Is(err, syscall.EIO) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.ETIMEDOUT)
+}
+
+// Retryer runs operations with bounded retry. The zero value is ready
+// to use with the default policy. It is safe for concurrent use; the
+// retry counter and jitter state are atomics.
+type Retryer struct {
+	// Attempts is the total number of tries (first call included).
+	// 0 means DefaultAttempts; 1 disables retries.
+	Attempts int
+	// Base is the delay before the first retry; each subsequent retry
+	// doubles it, capped at Max. 0 means DefaultBase / DefaultMax.
+	Base time.Duration
+	Max  time.Duration
+
+	retries atomic.Int64
+	jitter  atomic.Uint64 // xorshift state, lazily seeded
+}
+
+// Retries returns the number of retried attempts since construction —
+// the integrity.io_retries telemetry counter reads it.
+func (r *Retryer) Retries() int64 { return r.retries.Load() }
+
+// Do runs op, retrying transient failures with jittered exponential
+// backoff until it succeeds, fails permanently, or the attempt budget
+// is exhausted (the last error is returned).
+func (r *Retryer) Do(op func() error) error {
+	return r.DoCtx(context.Background(), op)
+}
+
+// DoCtx is Do honoring a context: a cancelled context stops the retry
+// loop at the next backoff and returns the context error joined with
+// the last I/O error.
+func (r *Retryer) DoCtx(ctx context.Context, op func() error) error {
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = DefaultAttempts
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return errors.Join(cerr, err)
+		}
+		r.retries.Add(1)
+		telemetry.Sleep(r.backoff(i))
+	}
+	return err
+}
+
+// backoff returns the delay before retry i (0-based): Base<<i capped
+// at Max, with ±25% deterministic jitter so synchronized retriers
+// don't hammer the device in lockstep.
+func (r *Retryer) backoff(i int) time.Duration {
+	base := r.Base
+	if base <= 0 {
+		base = DefaultBase
+	}
+	max := r.Max
+	if max <= 0 {
+		max = DefaultMax
+	}
+	d := base << uint(i)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// Deterministic xorshift jitter (ioretry is an engine package:
+	// telemetry owns the clock, so no time-based seeding). Identical
+	// Retryers jitter identically, which keeps failing runs replayable.
+	s := r.jitter.Load()
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	r.jitter.Store(s)
+	quarter := int64(d) / 4
+	if quarter > 0 {
+		d += time.Duration(int64(s%uint64(2*quarter)) - quarter)
+	}
+	return d
+}

@@ -1,0 +1,126 @@
+package ioretry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+
+	"natix/internal/pagedev"
+)
+
+func TestDoRetriesTransient(t *testing.T) {
+	r := &Retryer{Attempts: 4, Base: time.Microsecond, Max: time.Microsecond}
+	calls := 0
+	err := r.Do(func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("%w: read page 7", pagedev.ErrTransient)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if got := r.Retries(); got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+}
+
+func TestDoPermanentErrorNotRetried(t *testing.T) {
+	perm := errors.New("checksum mismatch")
+	r := &Retryer{Base: time.Microsecond, Max: time.Microsecond}
+	calls := 0
+	err := r.Do(func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) {
+		t.Fatalf("err = %v, want the permanent error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries on permanent errors)", calls)
+	}
+	if got := r.Retries(); got != 0 {
+		t.Fatalf("Retries = %d, want 0", got)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	r := &Retryer{Attempts: 3, Base: time.Microsecond, Max: time.Microsecond}
+	calls := 0
+	err := r.Do(func() error {
+		calls++
+		return fmt.Errorf("%w: write page 1", pagedev.ErrTransient)
+	})
+	if !errors.Is(err, pagedev.ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient after exhaustion", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if got := r.Retries(); got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+}
+
+func TestDoCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Retryer{Attempts: 5, Base: time.Microsecond, Max: time.Microsecond}
+	calls := 0
+	err := r.DoCtx(ctx, func() error {
+		calls++
+		return fmt.Errorf("%w: read page 2", pagedev.ErrTransient)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(err, pagedev.ErrTransient) {
+		t.Fatalf("err = %v, should also carry the I/O error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled before first retry)", calls)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{pagedev.ErrTransient, true},
+		{fmt.Errorf("wrap: %w", pagedev.ErrTransient), true},
+		{syscall.EIO, true},
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+		{syscall.ETIMEDOUT, true},
+		{pagedev.ErrNoSpace, false},
+		{syscall.ENOSPC, false},
+		{errors.New("page 3: checksum mismatch"), false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestBackoffBoundedAndJittered(t *testing.T) {
+	r := &Retryer{Base: time.Millisecond, Max: 8 * time.Millisecond}
+	for i := 0; i < 20; i++ {
+		d := r.backoff(i)
+		if d <= 0 {
+			t.Fatalf("backoff(%d) = %v, want > 0", i, d)
+		}
+		if d > 10*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, exceeds Max plus jitter", i, d)
+		}
+	}
+}

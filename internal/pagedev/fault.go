@@ -15,11 +15,22 @@ package pagedev
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 )
 
 // ErrInjected is returned by every operation after an injected crash.
 var ErrInjected = errors.New("pagedev: injected crash")
+
+// ErrTransient is a transient device error: the operation failed but
+// retrying it may succeed (a flaky cable, a momentary EIO). The Fault
+// wrapper injects it; the ioretry helper classifies it as retryable.
+var ErrTransient = errors.New("pagedev: transient I/O error")
+
+// ErrNoSpace reports a device that cannot grow — the page-device
+// equivalent of ENOSPC. Unlike ErrTransient it is not retryable on the
+// spot: the operation must fail (and roll back) until space returns.
+var ErrNoSpace = errors.New("pagedev: no space left on device")
 
 // CrashClock is a shared write budget. The zero value never crashes
 // until SetBudget arms it.
@@ -90,14 +101,127 @@ func (c *CrashClock) Check() bool {
 // once it crashes every operation fails with ErrInjected. Reads and
 // metadata operations do not consume budget but fail after the crash,
 // matching a process that is simply gone.
+//
+// Beyond the crash clock, a Fault injects three further failure modes,
+// all deterministic so test runs replay identically:
+//
+//   - transient errors: InjectReadErrors/InjectWriteErrors arm a
+//     fail-N-then-succeed episode on one page, and SeedTransient arms a
+//     seeded pseudo-random sprinkling of such episodes across all I/O;
+//   - silent corruption: FlipBit flips one bit of a page on the inner
+//     device, bypassing the clock — the damage page checksums and the
+//     integrity scrubber exist to catch;
+//   - exhaustion: FailGrow makes the next N Grow calls fail with
+//     ErrNoSpace, the mid-operation ENOSPC the WAL must roll back.
 type Fault struct {
 	inner Device
 	clock *CrashClock
+
+	mu        sync.Mutex
+	readErrs  map[PageNo]int // remaining transient failures per page
+	writeErrs map[PageNo]int
+	growErrs  int    // remaining Grow calls that fail with ErrNoSpace
+	rng       uint64 // xorshift state; 0 = seeded injection off
+	every     uint64 // ~1-in-every I/O starts an episode
+	episodeN  int    // failures per seeded episode
 }
 
 // NewFault wraps dev with fault injection driven by clock.
 func NewFault(dev Device, clock *CrashClock) *Fault {
 	return &Fault{inner: dev, clock: clock}
+}
+
+// InjectReadErrors arms page p to fail its next n reads with
+// ErrTransient, then succeed again.
+func (f *Fault) InjectReadErrors(p PageNo, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.readErrs == nil {
+		f.readErrs = make(map[PageNo]int)
+	}
+	f.readErrs[p] = n
+}
+
+// InjectWriteErrors arms page p to fail its next n writes with
+// ErrTransient, then succeed again.
+func (f *Fault) InjectWriteErrors(p PageNo, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.writeErrs == nil {
+		f.writeErrs = make(map[PageNo]int)
+	}
+	f.writeErrs[p] = n
+}
+
+// SeedTransient arms deterministic pseudo-random transient errors:
+// roughly one in every I/O operations begins an episode in which that
+// page fails failN times (reads and writes alike) before succeeding.
+// seed 0 or every 0 disarms. The same seed always selects the same
+// operations, so a failing run replays exactly.
+func (f *Fault) SeedTransient(seed uint64, every uint64, failN int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rng = seed
+	f.every = every
+	f.episodeN = failN
+}
+
+// FailGrow makes the next n calls to Grow fail with ErrNoSpace.
+func (f *Fault) FailGrow(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.growErrs = n
+}
+
+// FlipBit flips one bit of page p on the inner device, bypassing the
+// crash clock and the transient model: silent corruption, as a decaying
+// platter or a buggy controller would produce it.
+func (f *Fault) FlipBit(p PageNo, bit int) error {
+	buf := make([]byte, f.inner.PageSize())
+	if err := f.inner.Read(p, buf); err != nil {
+		return err
+	}
+	buf[bit/8] ^= 1 << (bit % 8)
+	return f.inner.Write(p, buf)
+}
+
+// transientFor consumes one transient-failure token for (p, write) and
+// reports whether the operation must fail.
+func (f *Fault) transientFor(p PageNo, write bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.readErrs
+	if write {
+		m = f.writeErrs
+	}
+	if n, ok := m[p]; ok && n > 0 {
+		m[p] = n - 1
+		return true
+	}
+	if f.rng != 0 && f.every != 0 {
+		// xorshift64: cheap, deterministic, good enough to scatter
+		// episodes across a run.
+		f.rng ^= f.rng << 13
+		f.rng ^= f.rng >> 7
+		f.rng ^= f.rng << 17
+		if f.rng%f.every == 0 {
+			// Start an episode: this operation and the next episodeN-1
+			// touches of the same page fail.
+			if write {
+				if f.writeErrs == nil {
+					f.writeErrs = make(map[PageNo]int)
+				}
+				f.writeErrs[p] = f.episodeN - 1
+			} else {
+				if f.readErrs == nil {
+					f.readErrs = make(map[PageNo]int)
+				}
+				f.readErrs[p] = f.episodeN - 1
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // PageSize implements Device.
@@ -111,6 +235,9 @@ func (f *Fault) Read(p PageNo, buf []byte) error {
 	if f.clock.Check() {
 		return ErrInjected
 	}
+	if f.transientFor(p, false) {
+		return fmt.Errorf("%w: read page %d", ErrTransient, p)
+	}
 	return f.inner.Read(p, buf)
 }
 
@@ -118,6 +245,9 @@ func (f *Fault) Read(p PageNo, buf []byte) error {
 // tick either drops the write or, in torn mode, applies only the first
 // half of the page.
 func (f *Fault) Write(p PageNo, buf []byte) error {
+	if f.transientFor(p, true) {
+		return fmt.Errorf("%w: write page %d", ErrTransient, p)
+	}
 	crash, torn := f.clock.Tick()
 	if !crash {
 		return f.inner.Write(p, buf)
@@ -137,6 +267,13 @@ func (f *Fault) Grow(n PageNo) error {
 	if f.clock.Check() {
 		return ErrInjected
 	}
+	f.mu.Lock()
+	if f.growErrs > 0 {
+		f.growErrs--
+		f.mu.Unlock()
+		return fmt.Errorf("%w: grow to %d pages", ErrNoSpace, n)
+	}
+	f.mu.Unlock()
 	return f.inner.Grow(n)
 }
 

@@ -78,6 +78,132 @@ func TestFaultTornWrite(t *testing.T) {
 	}
 }
 
+func TestFaultTransientEpisodes(t *testing.T) {
+	mem, _ := NewMem(512)
+	var clock CrashClock
+	dev := NewFault(mem, &clock)
+	if err := dev.Grow(4); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+
+	// fail-2-then-succeed on reads of page 1.
+	dev.InjectReadErrors(1, 2)
+	for i := 0; i < 2; i++ {
+		if err := dev.Read(1, buf); !errors.Is(err, ErrTransient) {
+			t.Fatalf("read %d: want ErrTransient, got %v", i, err)
+		}
+	}
+	if err := dev.Read(1, buf); err != nil {
+		t.Fatalf("read after episode: %v", err)
+	}
+	// Other pages were never affected.
+	if err := dev.Read(0, buf); err != nil {
+		t.Fatalf("read page 0: %v", err)
+	}
+
+	// fail-1-then-succeed on writes of page 2; must not tick the crash
+	// clock while failing.
+	clock.SetBudget(100, false)
+	dev.InjectWriteErrors(2, 1)
+	if err := dev.Write(2, buf); !errors.Is(err, ErrTransient) {
+		t.Fatalf("write: want ErrTransient, got %v", err)
+	}
+	if err := dev.Write(2, buf); err != nil {
+		t.Fatalf("write after episode: %v", err)
+	}
+	clock.Disarm()
+}
+
+func TestFaultSeededTransientDeterministic(t *testing.T) {
+	run := func() []int {
+		mem, _ := NewMem(512)
+		var clock CrashClock
+		dev := NewFault(mem, &clock)
+		if err := dev.Grow(8); err != nil {
+			t.Fatal(err)
+		}
+		dev.SeedTransient(42, 16, 2)
+		buf := make([]byte, 512)
+		var failed []int
+		for i := 0; i < 400; i++ {
+			p := PageNo(i % 8)
+			var err error
+			if i%2 == 0 {
+				err = dev.Read(p, buf)
+			} else {
+				err = dev.Write(p, buf)
+			}
+			if errors.Is(err, ErrTransient) {
+				failed = append(failed, i)
+			} else if err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+		return failed
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("seeded injection produced no failures in 400 ops")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %d vs %d failures", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at failure %d: op %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultFlipBit(t *testing.T) {
+	mem, _ := NewMem(512)
+	var clock CrashClock
+	dev := NewFault(mem, &clock)
+	if err := dev.Grow(1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	buf[10] = 0x0F
+	if err := dev.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.FlipBit(0, 10*8+2); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := dev.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[10] != 0x0B {
+		t.Fatalf("byte 10 = %#x after flipping bit 2, want 0x0b", got[10])
+	}
+}
+
+func TestFaultFailGrow(t *testing.T) {
+	mem, _ := NewMem(512)
+	var clock CrashClock
+	dev := NewFault(mem, &clock)
+	if err := dev.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	dev.FailGrow(2)
+	for i := 0; i < 2; i++ {
+		if err := dev.Grow(4); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("grow %d: want ErrNoSpace, got %v", i, err)
+		}
+	}
+	if n := dev.NumPages(); n != 2 {
+		t.Fatalf("NumPages = %d after failed grows, want 2", n)
+	}
+	if err := dev.Grow(4); err != nil {
+		t.Fatalf("grow after space returns: %v", err)
+	}
+	if n := dev.NumPages(); n != 4 {
+		t.Fatalf("NumPages = %d, want 4", n)
+	}
+}
+
 func TestShrink(t *testing.T) {
 	mem, _ := NewMem(512)
 	if err := mem.Grow(8); err != nil {

@@ -336,6 +336,14 @@ func (s *Store) blobRIDs(name string) ([]records.RID, error) {
 	return append(rids, id), nil
 }
 
+// BlobRIDs lists every blob of name's stored index (posting lists and
+// summary); nil when name has no index. The integrity scrubber uses it
+// to attribute index pages to their document and to verify postings
+// still point at live blobs.
+func (s *Store) BlobRIDs(name string) ([]records.RID, error) {
+	return s.blobRIDs(name)
+}
+
 // BlobSize returns the total serialized size of name's index in bytes
 // (summary plus all posting blobs).
 func (s *Store) BlobSize(name string) (int64, error) {

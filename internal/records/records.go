@@ -227,6 +227,15 @@ func (m *Manager) Read(rid RID) ([]byte, error) {
 	return append([]byte(nil), cell...), nil
 }
 
+// VerifyRID checks that rid resolves to a readable record body —
+// forwarding stub intact, target slot live, cell bounds valid — without
+// copying the body out. The integrity scrubber uses it to confirm that
+// catalog and index entries still point at live records.
+func (m *Manager) VerifyRID(rid RID) error {
+	_, err := m.Size(rid)
+	return err
+}
+
 // Size returns the record body length in bytes.
 func (m *Manager) Size(rid RID) (int, error) {
 	loc, _, err := m.resolve(rid)

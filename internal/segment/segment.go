@@ -465,3 +465,49 @@ func (s *Segment) ForEachDataPage(fn func(p pagedev.PageNo) error) error {
 	}
 	return nil
 }
+
+// FSIPageFor returns the inventory page covering data page p.
+func (s *Segment) FSIPageFor(p pagedev.PageNo) (pagedev.PageNo, error) {
+	fsiPage, _, err := s.fsiLocation(p)
+	return fsiPage, err
+}
+
+// RebuildFSIPage reconstructs one free-space-inventory page from the
+// ground truth: the slot directories of the data pages it covers. The
+// integrity scrubber calls it when an FSI page fails verification and
+// the log holds no image of it — unlike record pages, inventory pages
+// are fully derivable, so "unrepairable" never applies to them. Pages
+// that cannot be read (corrupt themselves, or never yet written) are
+// recorded as having no free space, which fences them from allocation
+// without affecting existing records.
+//
+// The rebuilt page is installed through the pool's restore path —
+// straight to the device, no log record: the content is derived state,
+// and a crash before the write simply leaves the page for the next
+// scrub. The page must not be resident; the single-mutator rule for
+// the allocation path applies.
+func (s *Segment) RebuildFSIPage(fsiPage pagedev.PageNo) error {
+	if !s.IsFSIPage(fsiPage) {
+		return fmt.Errorf("segment: page %d is not an FSI page", fsiPage)
+	}
+	buf := make([]byte, s.pageSize)
+	pageformat.InitCommon(buf, pageformat.TypeFSI)
+	numPages := s.pool.Device().NumPages()
+	for i := 0; i < s.fsiCap; i++ {
+		p := fsiPage + 1 + pagedev.PageNo(i)
+		if p >= numPages {
+			break
+		}
+		free := 0
+		if f, err := s.pool.Get(p); err == nil {
+			f.RLatch()
+			if sl, err := pageformat.AsSlotted(f.Data()); err == nil {
+				free = sl.FreeBytes()
+			}
+			f.RUnlatch()
+			f.Release()
+		}
+		buf[pageformat.CommonHeaderSize+i] = encodeFree(free, s.pageSize)
+	}
+	return s.pool.Restore(fsiPage, buf)
+}

@@ -41,3 +41,15 @@ func Now() time.Time { return time.Now() }
 
 // Since returns the time elapsed since t, using the monotonic clock.
 func Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Sleep pauses the calling goroutine for d. It is the sanctioned delay
+// primitive for engine packages that must pace themselves (the
+// integrity scrubber's rate limiter, the I/O retry backoff): routing
+// the pause through here keeps every sleep auditable alongside every
+// clock read. Non-positive durations return immediately.
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d)
+}

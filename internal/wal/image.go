@@ -1,0 +1,139 @@
+package wal
+
+import (
+	"fmt"
+
+	"natix/internal/pagedev"
+)
+
+// Page-image index: the repair half of the log's contract.
+//
+// The physiological protocol guarantees that the first record touching
+// a page after a checkpoint carries a full image — RecFirstUpdate's
+// before-image for an existing page, RecImage's after-image for a
+// freshly allocated one. Every later change to the page is a RecUpdate
+// whose ranges carry both before and after bytes. So for any page with
+// an image-bearing record in the current checkpoint epoch, the log
+// alone determines the page's current content: start from the image,
+// replay the after-bytes of everything that follows. That is exactly
+// what the integrity scrubber needs when the device copy fails its
+// checksum — the log reaches further than undo/redo recovery: it can
+// rebuild a page the device has silently destroyed.
+
+// LatestImage returns the LSN of the most recent image-bearing record
+// (RecImage or RecFirstUpdate) for page p in the current checkpoint
+// epoch, or false if the log holds no image of p — in which case the
+// page cannot be reconstructed and damage to it is permanent.
+func (w *Writer) LatestImage(p pagedev.PageNo) (LSN, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsn, ok := w.images[p]
+	return lsn, ok
+}
+
+// ImagedPages returns every page the current checkpoint epoch holds a
+// full image for — the set ReconstructPage can repair.
+func (w *Writer) ImagedPages() []pagedev.PageNo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]pagedev.PageNo, 0, len(w.images))
+	for p := range w.images {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ReconstructPage rebuilds the current content of page p from the log:
+// the latest full image, plus the after-bytes of every subsequent
+// record touching p, applied in log order. Compensating updates from
+// aborted operations are ordinary records and replay like any other,
+// so the result reflects all committed state and no aborted state —
+// byte-identical to what the buffer pool would write back.
+//
+// Returns (nil, false, nil) when the log holds no image of p.
+func (w *Writer) ReconstructPage(p pagedev.PageNo, pageSize int) ([]byte, bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	start, ok := w.images[p]
+	if !ok {
+		return nil, false, nil
+	}
+	buf := make([]byte, pageSize)
+	lsn := start
+	end := w.endLocked()
+	first := true
+	for lsn < end {
+		payload, n, err := w.readFrameLocked(lsn)
+		if err != nil {
+			return nil, false, fmt.Errorf("wal: reconstruct page %d: %w", p, err)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return nil, false, fmt.Errorf("wal: reconstruct page %d: %w", p, err)
+		}
+		if first {
+			// The index points at an image-bearing record for p.
+			first = false
+			switch rec.Type {
+			case RecImage:
+				if len(rec.Image) != pageSize {
+					return nil, false, fmt.Errorf("wal: reconstruct page %d: image size %d, want %d", p, len(rec.Image), pageSize)
+				}
+				copy(buf, rec.Image)
+			case RecFirstUpdate:
+				if len(rec.BeforeImage) != pageSize {
+					return nil, false, fmt.Errorf("wal: reconstruct page %d: before-image size %d, want %d", p, len(rec.BeforeImage), pageSize)
+				}
+				copy(buf, rec.BeforeImage)
+				applyAfter(buf, rec.Ranges)
+			default:
+				return nil, false, fmt.Errorf("wal: reconstruct page %d: index points at %s record", p, TypeName(rec.Type))
+			}
+		} else if rec.Page == p {
+			switch rec.Type {
+			case RecUpdate, RecFirstUpdate:
+				applyAfter(buf, rec.Ranges)
+			case RecImage:
+				if len(rec.Image) != pageSize {
+					return nil, false, fmt.Errorf("wal: reconstruct page %d: image size %d, want %d", p, len(rec.Image), pageSize)
+				}
+				copy(buf, rec.Image)
+			}
+		}
+		lsn += LSN(n)
+	}
+	return buf, true, nil
+}
+
+// applyAfter overlays the after-bytes of ranges onto page content.
+func applyAfter(buf []byte, ranges []Range) {
+	for _, r := range ranges {
+		if int(r.Off)+len(r.After) <= len(buf) {
+			copy(buf[r.Off:], r.After)
+		}
+	}
+}
+
+// rebuildImageIndex scans the log and repopulates the image index, for
+// a writer opened over a non-empty log (after recovery replayed it but
+// before the next checkpoint resets it). A torn or bad tail frame ends
+// the scan, mirroring Scan's tolerance: records past the tear were
+// never durable.
+func (w *Writer) rebuildImageIndex() {
+	lsn := w.base
+	end := w.endLocked()
+	for lsn < end {
+		payload, n, err := w.readFrameLocked(lsn)
+		if err != nil {
+			return
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return
+		}
+		if rec.Type == RecImage || rec.Type == RecFirstUpdate {
+			w.images[rec.Page] = lsn
+		}
+		lsn += LSN(n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"sync"
 
+	"natix/internal/ioretry"
 	"natix/internal/pagedev"
 	"natix/internal/telemetry"
 )
@@ -55,12 +56,24 @@ type Writer struct {
 	syncs       int64
 	checkpoints int64
 
+	// retry absorbs transient storage errors on the append path: a
+	// momentary EIO while flushing the buffer retries with backoff
+	// instead of aborting the operation.
+	retry ioretry.Retryer
+
 	// Telemetry histograms (nil until AttachTelemetry; Observe on nil
 	// no-ops). opAppends counts the records of the active operation so
 	// endOp can observe the group-commit batch size.
 	fsyncNS   *telemetry.Histogram
 	batchRecs *telemetry.Histogram
 	opAppends int64
+
+	// images maps each page to the LSN of the latest image-bearing
+	// record (RecImage or RecFirstUpdate) appended for it this
+	// checkpoint epoch — the repair path's index: any page listed here
+	// can be reconstructed from the log alone. Cleared at checkpoint,
+	// when the log resets and the device becomes the authority.
+	images map[pagedev.PageNo]LSN
 }
 
 // bufFlushLimit bounds the in-memory append buffer; a bigger buffer is
@@ -109,6 +122,8 @@ func OpenWriter(st Storage, opts Options) (*Writer, error) {
 		w.fileEnd = size
 	}
 	w.synced = w.endLocked()
+	w.images = make(map[pagedev.PageNo]LSN)
+	w.rebuildImageIndex()
 	return w, nil
 }
 
@@ -161,9 +176,14 @@ func (w *Writer) AttachTelemetry(reg *telemetry.Registry) {
 	reg.Func("wal.syncs", read(&w.syncs))
 	reg.Func("wal.checkpoints", read(&w.checkpoints))
 	reg.Func("wal.size_bytes", w.Size)
+	reg.Func("wal.io_retries", w.retry.Retries)
 	w.fsyncNS = reg.Histogram("wal.fsync_ns")
 	w.batchRecs = reg.Histogram("wal.commit_batch_records")
 }
+
+// IORetries returns the number of transient storage errors the writer
+// has absorbed by retrying.
+func (w *Writer) IORetries() int64 { return w.retry.Retries() }
 
 // appendLocked frames rec into the buffer and returns its LSN.
 func (w *Writer) appendLocked(rec *Record) (LSN, error) {
@@ -172,6 +192,9 @@ func (w *Writer) appendLocked(rec *Record) (LSN, error) {
 	w.buf = appendRecord(w.buf, payload)
 	w.appends++
 	w.bytes += int64(len(payload))
+	if rec.Type == RecImage || rec.Type == RecFirstUpdate {
+		w.images[rec.Page] = lsn
+	}
 	if len(w.buf) >= w.opts.BufferLimit {
 		if err := w.flushLocked(); err != nil {
 			return 0, err
@@ -185,7 +208,10 @@ func (w *Writer) flushLocked() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
-	if _, err := w.st.WriteAt(w.buf, w.fileEnd); err != nil {
+	if err := w.retry.Do(func() error {
+		_, err := w.st.WriteAt(w.buf, w.fileEnd)
+		return err
+	}); err != nil {
 		return err
 	}
 	w.fileEnd += int64(len(w.buf))
@@ -356,6 +382,10 @@ func (w *Writer) Checkpoint(numPages uint64) error {
 	w.buf = w.buf[:0]
 	w.synced = newBase
 	w.checkpoints++
+	// The truncated log holds no images: every page is now durable on
+	// the device, which becomes the sole authority until the next
+	// first-update re-images it.
+	clear(w.images)
 	return nil
 }
 

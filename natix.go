@@ -77,6 +77,34 @@
 // carries a checksum, verified on read (ErrCorrupted), so torn writes
 // are detected rather than decoded as garbage.
 //
+// # Integrity and self-healing
+//
+// The store verifies itself, not just its reads. An integrity scrub
+// (DB.ScrubNow, or continuously via Options.ScrubInterval) sweeps
+// every allocated page, verifies checksums and cross-structure
+// invariants, and heals what it can: pages covered by a full image in
+// the current write-ahead-log epoch are rebuilt byte-for-byte in
+// place, free-space-inventory pages are recomputed from the pages they
+// cover, and damage with no repair source quarantines exactly the
+// affected documents — their operations fail fast with ErrQuarantined
+// while every other document keeps serving reads and writes.
+// Transient device errors (a momentary EIO) are absorbed by bounded
+// retry with backoff at every I/O site, visible only as a counter.
+//
+//	db, _ := natix.Open(natix.Options{
+//		Path: "plays.natix", WAL: true,
+//		ScrubInterval: 10 * time.Minute, ScrubRateLimit: 5000,
+//	})
+//	rep, err := db.ScrubNow() // or wait for the background pass
+//	if err == nil && !rep.Clean() {
+//		log.Printf("repaired %d pages, quarantined %v",
+//			len(rep.Repaired), rep.Quarantined)
+//	}
+//
+// The cmd/natix-check tool runs the same verification offline against
+// a closed database file and exits 0 (clean), 1 (repaired) or 2
+// (quarantine-level damage).
+//
 // See the examples directory for runnable programs and DESIGN.md for
 // the system inventory.
 package natix
@@ -93,6 +121,7 @@ import (
 	"natix/internal/core"
 	"natix/internal/dict"
 	"natix/internal/docstore"
+	"natix/internal/integrity"
 	"natix/internal/pagedev"
 	"natix/internal/pathindex"
 	"natix/internal/records"
@@ -226,6 +255,20 @@ type Options struct {
 	// operation and document.
 	PprofLabels bool
 
+	// ScrubInterval, when positive, runs the integrity scrubber in the
+	// background every interval: allocated pages are verified against
+	// their checksums and the cross-structure invariants, damage is
+	// repaired from the write-ahead log where an image exists, and
+	// unrepairable damage quarantines the affected documents (see
+	// DB.ScrubNow). Zero disables background scrubbing; DB.ScrubNow
+	// remains available either way.
+	ScrubInterval time.Duration
+
+	// ScrubRateLimit bounds each scrub pass at this many pages per
+	// second (0 = unlimited), so background verification cannot
+	// monopolize the device under foreground load.
+	ScrubRateLimit int
+
 	// walBufLimit overrides the log append-buffer size (crash tests
 	// shrink it so every log record is a separate write, and therefore
 	// a separate injectable crash point).
@@ -287,6 +330,14 @@ type DB struct {
 	tracer   *telemetry.Tracer // nil unless Tracing or a slow-op log is on
 	recovery RecoveryStats
 	closed   bool
+
+	// scrubber is the integrity subsystem; always constructed (ScrubNow
+	// works on every store), with the background loop running only when
+	// Options.ScrubInterval is set.
+	scrubber  *integrity.Scrubber
+	scrubStop chan struct{} // nil when no background loop was started
+	scrubDone chan struct{}
+	stopOnce  sync.Once
 }
 
 // RecoveryStats describes what restart recovery did when the store was
@@ -505,9 +556,93 @@ func openWith(opts Options, dev pagedev.Device, sim *pagedev.SimDisk, walSt wal.
 	}
 	trees.AttachTelemetry(reg)
 	store.AttachTelemetry(reg, tracer)
-	return &DB{opts: opts, dev: dev, sim: sim, pool: pool, store: store,
+	scrubber := integrity.New(integrity.Config{
+		Pool:      pool,
+		Store:     store,
+		WAL:       w,
+		RateLimit: opts.ScrubRateLimit,
+	})
+	scrubber.AttachTelemetry(reg)
+	db := &DB{opts: opts, dev: dev, sim: sim, pool: pool, store: store,
 		matrix: matrix, wal: w, walSt: walSt, reg: reg, tracer: tracer,
-		recovery: recovery}, nil
+		recovery: recovery, scrubber: scrubber}
+	if opts.ScrubInterval > 0 {
+		db.scrubStop = make(chan struct{})
+		db.scrubDone = make(chan struct{})
+		go db.scrubLoop(opts.ScrubInterval)
+	}
+	return db, nil
+}
+
+// scrubLoop runs background integrity scrubs until Close. It lives in
+// the facade (not the engine) deliberately: the engine's clock
+// discipline routes all time through the telemetry package, while the
+// facade may own a ticker.
+func (db *DB) scrubLoop(interval time.Duration) {
+	defer close(db.scrubDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.scrubStop:
+			return
+		case <-t.C:
+			// Failures surface through DB.Integrity counters and the
+			// next explicit ScrubNow; a background pass has no caller
+			// to return an error to.
+			_, _ = db.ScrubNow()
+		}
+	}
+}
+
+// stopScrubLoop signals the background scrubber and waits for the
+// in-flight pass, if any, to finish.
+func (db *DB) stopScrubLoop() {
+	db.stopOnce.Do(func() {
+		if db.scrubStop != nil {
+			close(db.scrubStop)
+			<-db.scrubDone
+		}
+	})
+}
+
+// ScrubReport describes one integrity scrub pass: pages verified,
+// repairs made in place from the write-ahead log or by recomputation,
+// and documents quarantined because their pages could not be healed.
+type ScrubReport = integrity.Report
+
+// IntegrityStats are the integrity subsystem's cumulative counters.
+type IntegrityStats = integrity.Stats
+
+// ScrubNow runs one full integrity scrub synchronously and returns its
+// report. The pass excludes mutations (they queue behind it) but runs
+// concurrently with readers; Options.ScrubRateLimit bounds its I/O
+// rate. A non-nil error reports a failure of the scrub machinery
+// itself — corruption found is not an error, it is the report's
+// content.
+func (db *DB) ScrubNow() (*ScrubReport, error) {
+	return viewE(db, func() (*ScrubReport, error) {
+		return db.scrubber.Scrub(context.Background())
+	})
+}
+
+// Integrity returns the integrity subsystem's cumulative counters:
+// scrub passes, pages verified, repairs, quarantines, and transient
+// I/O errors absorbed by retry.
+func (db *DB) Integrity() (IntegrityStats, error) {
+	return viewE(db, func() (IntegrityStats, error) {
+		return db.scrubber.Stats(), nil
+	})
+}
+
+// Quarantined lists the currently quarantined documents and the reason
+// each was quarantined. Operations against these fail fast with
+// ErrQuarantined; the set empties when their pages are repaired (a
+// later scrub lifts the quarantine) or the store is reopened.
+func (db *DB) Quarantined() (map[string]string, error) {
+	return viewE(db, func() (map[string]string, error) {
+		return db.store.QuarantinedDocs(), nil
+	})
 }
 
 // view runs fn holding the lifecycle lock shared, failing fast with
@@ -683,6 +818,10 @@ func (db *DB) Flush() error {
 // exclusively, so it waits for every in-flight operation to finish;
 // operations started after Close fail with ErrClosed.
 func (db *DB) Close() error {
+	// Stop the background scrubber before taking the lifecycle lock
+	// exclusively: an in-flight pass holds the lock shared, and closing
+	// under it would deadlock against ourselves.
+	db.stopScrubLoop()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
