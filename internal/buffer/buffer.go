@@ -73,6 +73,13 @@ type Stats struct {
 	PhysWrites   int64 // pages written to the device
 	Evictions    int64 // frames evicted to make room
 	LatchWaits   int64 // latch acquisitions that had to block
+
+	Tier2Hits          int64 // misses served by decompressing a tier-2 entry
+	Tier2Misses        int64 // tier-2 lookups that fell through to the device
+	PrefetchIssued     int64 // pages loaded by background read-ahead
+	PrefetchUsed       int64 // prefetched pages later hit by a foreground read
+	PrefetchWasted     int64 // prefetched pages evicted untouched
+	CoalescedWriteRuns int64 // multi-page vectored writes issued by flushes
 }
 
 // numShards is the page-table shard count. Pages are numbered densely,
@@ -115,6 +122,14 @@ type Pool struct {
 	// tick and a short backoff instead of failing the operation.
 	retry ioretry.Retryer
 
+	// t2 is the optional compressed victim cache (tier-2, see
+	// tier2.go); nil until EnableCompressedCache.
+	t2 *tier2
+
+	// prefetchInflight counts running background read-ahead batches
+	// (bounded by maxPrefetchInflight, see prefetch.go).
+	prefetchInflight atomic.Int32
+
 	// Hit-path counters are sharded: every Get on every goroutine
 	// bumps them, so a single cache line would be the pool's hottest
 	// contention point. The rest increment only around physical I/O.
@@ -124,6 +139,18 @@ type Pool struct {
 	physWrites   telemetry.Counter
 	evictions    telemetry.Counter
 	latchWaits   telemetry.Counter
+
+	// Memory-hierarchy counters; all off the tier-1 hit path except
+	// prefetchUsed, which costs one relaxed atomic load per hit.
+	tier2Hits      telemetry.Counter
+	tier2Misses    telemetry.Counter
+	tier2Admits    telemetry.Counter
+	tier2Evictions telemetry.Counter
+	tier2Corrupt   telemetry.Counter
+	prefetchIssued telemetry.Counter
+	prefetchUsed   telemetry.Counter
+	prefetchWasted telemetry.Counter
+	coalescedRuns  telemetry.Counter
 }
 
 // Frame is a pinned page image. Callers must Release every frame they
@@ -149,6 +176,11 @@ type Frame struct {
 	pageLSN  atomic.Uint64
 	fresh    bool
 	logEpoch uint64
+
+	// prefetched marks a frame loaded by background read-ahead that no
+	// foreground read has touched yet; the first hit clears it (counted
+	// as used), eviction with it still set counts as wasted.
+	prefetched atomic.Bool
 }
 
 // New creates a pool of numFrames frames over dev.
@@ -217,6 +249,13 @@ func (p *Pool) Stats() Stats {
 		PhysWrites:   p.physWrites.Load(),
 		Evictions:    p.evictions.Load(),
 		LatchWaits:   p.latchWaits.Load(),
+
+		Tier2Hits:          p.tier2Hits.Load(),
+		Tier2Misses:        p.tier2Misses.Load(),
+		PrefetchIssued:     p.prefetchIssued.Load(),
+		PrefetchUsed:       p.prefetchUsed.Load(),
+		PrefetchWasted:     p.prefetchWasted.Load(),
+		CoalescedWriteRuns: p.coalescedRuns.Load(),
 	}
 }
 
@@ -228,6 +267,15 @@ func (p *Pool) ResetStats() {
 	p.physWrites.Store(0)
 	p.evictions.Store(0)
 	p.latchWaits.Store(0)
+	p.tier2Hits.Store(0)
+	p.tier2Misses.Store(0)
+	p.tier2Admits.Store(0)
+	p.tier2Evictions.Store(0)
+	p.tier2Corrupt.Store(0)
+	p.prefetchIssued.Store(0)
+	p.prefetchUsed.Store(0)
+	p.prefetchWasted.Store(0)
+	p.coalescedRuns.Store(0)
 }
 
 // AttachTelemetry registers the pool's counters with a metrics
@@ -243,6 +291,27 @@ func (p *Pool) AttachTelemetry(reg *telemetry.Registry) {
 	reg.Func("buffer.latch_waits", p.latchWaits.Load)
 	reg.Func("buffer.resident_frames", func() int64 { return p.size.Load() })
 	reg.Func("buffer.io_retries", p.retry.Retries)
+	reg.Func("buffer.tier2_hits", p.tier2Hits.Load)
+	reg.Func("buffer.tier2_misses", p.tier2Misses.Load)
+	reg.Func("buffer.tier2_admitted", p.tier2Admits.Load)
+	reg.Func("buffer.tier2_evictions", p.tier2Evictions.Load)
+	reg.Func("buffer.tier2_corrupt", p.tier2Corrupt.Load)
+	reg.Func("buffer.tier2_bytes", func() int64 {
+		if p.t2 == nil {
+			return 0
+		}
+		return p.t2.bytes()
+	})
+	reg.Func("buffer.tier2_pages", func() int64 {
+		if p.t2 == nil {
+			return 0
+		}
+		return p.t2.pages()
+	})
+	reg.Func("buffer.prefetch_issued", p.prefetchIssued.Load)
+	reg.Func("buffer.prefetch_used", p.prefetchUsed.Load)
+	reg.Func("buffer.prefetch_wasted", p.prefetchWasted.Load)
+	reg.Func("buffer.coalesced_write_runs", p.coalescedRuns.Load)
 }
 
 // IORetries returns the number of transient device errors the pool has
@@ -272,6 +341,7 @@ func (p *Pool) get(pn pagedev.PageNo, read bool) (*Frame, error) {
 		f.ref.Store(true)
 		sh.mu.RUnlock()
 		p.hits.Add(1)
+		f.notePrefetchHit()
 		return f, nil
 	}
 	sh.mu.RUnlock()
@@ -303,30 +373,73 @@ func (p *Pool) get(pn pagedev.PageNo, read bool) (*Frame, error) {
 		sh.mu.Unlock()
 		p.size.Add(-1)
 		p.hits.Add(1)
+		f.notePrefetchHit()
 		return f, nil
 	}
 	f := &Frame{pool: p, page: pn, data: make([]byte, p.dev.PageSize()), fresh: !read}
 	f.pins.Store(1)
 	if read {
-		if err := p.retry.Do(func() error { return p.dev.Read(pn, f.data) }); err != nil {
+		if err := p.loadInto(f); err != nil {
 			sh.mu.Unlock()
 			p.size.Add(-1)
 			return nil, err
 		}
-		p.physReads.Add(1)
-		if p.verify.Load() {
-			if err := pageformat.VerifyChecksum(f.data); err != nil {
-				sh.mu.Unlock()
-				p.size.Add(-1)
-				return nil, fmt.Errorf("%w: page %d: %v", ErrCorrupted, pn, err)
-			}
-		}
+	} else if p.t2 != nil {
+		// The caller is re-formatting the page from scratch; a cached
+		// image of its previous life must never resurface.
+		p.t2.drop(pn)
 	}
 	sh.frames[pn] = f
 	f.ringIdx = len(sh.ring)
 	sh.ring = append(sh.ring, f)
 	sh.mu.Unlock()
 	return f, nil
+}
+
+// loadInto fills f.data for page f.page, serving from the compressed
+// victim cache when it holds the page and falling back to a physical
+// read. Either way the image is checksum-verified (when verification
+// is on) before the caller may see it: tier-2 is not trusted — a bit
+// flipped while the page sat compressed is detected here and the load
+// falls back to the device copy, so corruption is never served.
+func (p *Pool) loadInto(f *Frame) error {
+	pn := f.page
+	if p.t2 != nil {
+		switch p.t2.lookup(pn, f.data) {
+		case t2Hit:
+			if !p.verify.Load() {
+				p.tier2Hits.Inc()
+				return nil
+			}
+			if err := pageformat.VerifyChecksum(f.data); err == nil {
+				p.tier2Hits.Inc()
+				return nil
+			}
+			p.tier2Corrupt.Inc()
+		case t2Corrupt:
+			p.tier2Corrupt.Inc()
+		default:
+			p.tier2Misses.Inc()
+		}
+	}
+	if err := p.retry.Do(func() error { return p.dev.Read(pn, f.data) }); err != nil {
+		return err
+	}
+	p.physReads.Add(1)
+	if p.verify.Load() {
+		if err := pageformat.VerifyChecksum(f.data); err != nil {
+			return fmt.Errorf("%w: page %d: %v", ErrCorrupted, pn, err)
+		}
+	}
+	return nil
+}
+
+// notePrefetchHit counts the first foreground hit on a prefetched
+// frame. The common case (not prefetched) is one atomic load.
+func (f *Frame) notePrefetchHit() {
+	if f.prefetched.Load() && f.prefetched.CompareAndSwap(true, false) {
+		f.pool.prefetchUsed.Inc()
+	}
 }
 
 // Touch registers a logical access to a page without keeping it pinned.
@@ -392,13 +505,35 @@ func (p *Pool) evictOne() error {
 	return ErrPoolFull
 }
 
-// sweepShard advances the shard's clock hand over its ring once,
-// evicting the first second-chance victim it finds. A non-zero
-// durableLSN makes the pass selective: dirty frames the log does not
-// yet cover are passed over (their reference bits untouched), so a
-// cheaper victim can be found before paying for a log sync. Caller
-// holds evictMu.
+// sweepShard advances the shard's clock hand once (see
+// sweepShardLocked) and, when a frame was evicted, admits its image to
+// the compressed victim cache. Admission runs after the shard lock is
+// released — the frame is off the page table with zero pins, so its
+// image is exclusively ours and the compression cost never stalls
+// same-shard hits. Caller holds evictMu.
 func (p *Pool) sweepShard(sh *shard, durableLSN wal.LSN) (bool, error) {
+	victim, admissible, err := p.sweepShardLocked(sh, durableLSN)
+	if victim == nil || err != nil {
+		return false, err
+	}
+	if p.t2 != nil && admissible {
+		p.t2.admit(p, victim.page, victim.data)
+	}
+	return true, nil
+}
+
+// sweepShardLocked advances the shard's clock hand over its ring once,
+// evicting the first second-chance victim it finds and returning it. A
+// non-zero durableLSN makes the pass selective: dirty frames the log
+// does not yet cover are passed over (their reference bits untouched),
+// so a cheaper victim can be found before paying for a log sync.
+// admissible reports whether the victim's image matches the device copy
+// and may therefore enter tier-2: true for anything written back and
+// for clean frames loaded from the device, false for a fresh (GetNew)
+// frame that was never dirtied — its bytes never reached the device and
+// caching them would resurrect content the device does not hold. Caller
+// holds evictMu.
+func (p *Pool) sweepShardLocked(sh *shard, durableLSN wal.LSN) (victim *Frame, admissible bool, err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	n := len(sh.ring)
@@ -422,10 +557,14 @@ func (p *Pool) sweepShard(sh *shard, durableLSN wal.LSN) (bool, error) {
 		// Victim: write back if dirty, then drop. No pins and the shard
 		// lock is held, so no caller can hold the frame's latch or pin
 		// it concurrently.
-		if f.dirty.Load() {
+		wasDirty := f.dirty.Load()
+		if wasDirty {
 			if err := p.writeBack(f); err != nil {
-				return false, err
+				return nil, false, err
 			}
+		}
+		if f.prefetched.Load() {
+			p.prefetchWasted.Inc()
 		}
 		delete(sh.frames, f.page)
 		last := len(sh.ring) - 1
@@ -437,9 +576,9 @@ func (p *Pool) sweepShard(sh *shard, durableLSN wal.LSN) (bool, error) {
 		}
 		p.size.Add(-1)
 		p.evictions.Add(1)
-		return true, nil
+		return f, wasDirty || !f.fresh, nil
 	}
-	return false, nil
+	return nil, false, nil
 }
 
 // writeBack flushes one frame's bytes to the device. The caller must
@@ -507,21 +646,108 @@ func (p *Pool) pinDirty() []*Frame {
 	return dirty
 }
 
-// flushPinned writes back the given pinned frames and unpins them all,
-// returning the first write error.
+// maxCoalesce caps the pages merged into one vectored write. It bounds
+// the run copy buffer and how long a flush holds multiple frame latches
+// at once.
+const maxCoalesce = 32
+
+// flushPinned writes back the given pinned frames (sorted by page
+// number) and unpins them all, returning the first write error. Runs
+// of adjacent dirty pages are merged into single vectored writes: a
+// checkpoint of a freshly loaded document flushes hundreds of
+// consecutive pages, and one pagedev.WriteRange per run replaces one
+// syscall (and one simulated seek) per page.
 func (p *Pool) flushPinned(frames []*Frame) error {
-	var firstErr error
-	for _, f := range frames {
-		f.latch.Lock()
-		if f.dirty.Load() && firstErr == nil {
-			if err := p.writeBack(f); err != nil {
-				firstErr = err
-			}
+	var (
+		firstErr error
+		buf      []byte
+	)
+	ps := p.dev.PageSize()
+	for i := 0; i < len(frames); {
+		j := i + 1
+		for j < len(frames) && j-i < maxCoalesce && frames[j].page == frames[j-1].page+1 {
+			j++
 		}
-		f.latch.Unlock()
-		f.Release()
+		run := frames[i:j]
+		i = j
+		if firstErr != nil {
+			for _, f := range run {
+				f.Release()
+			}
+			continue
+		}
+		if len(run) == 1 {
+			f := run[0]
+			f.latch.Lock()
+			if f.dirty.Load() {
+				if err := p.writeBack(f); err != nil {
+					firstErr = err
+				}
+			}
+			f.latch.Unlock()
+			f.Release()
+			continue
+		}
+		if buf == nil {
+			buf = make([]byte, maxCoalesce*ps)
+		}
+		// Latch the whole run (frames arrive in ascending page order, so
+		// the acquisition order is deterministic) so the vectored write
+		// captures a page-atomic state of every frame in it.
+		for _, f := range run {
+			f.latch.Lock()
+		}
+		if err := p.writeBackRun(run, buf); err != nil {
+			firstErr = err
+		}
+		for k := len(run) - 1; k >= 0; k-- {
+			run[k].latch.Unlock()
+		}
+		for _, f := range run {
+			f.Release()
+		}
 	}
 	return firstErr
+}
+
+// writeBackRun flushes a run of frames imaging adjacent pages with one
+// vectored device write. The caller must guarantee exclusive access to
+// every frame's data (latches held, or all shard locks with zero
+// pins): checksum refresh mutates the page images. The WAL rule is
+// honored for the run as a whole with one FlushTo through the highest
+// page LSN in it.
+func (p *Pool) writeBackRun(run []*Frame, buf []byte) error {
+	if p.wal != nil {
+		var maxLSN uint64
+		for _, f := range run {
+			if lsn := f.pageLSN.Load(); lsn > maxLSN {
+				maxLSN = lsn
+			}
+		}
+		if maxLSN > 0 {
+			if err := p.wal.FlushTo(wal.LSN(maxLSN)); err != nil {
+				return err
+			}
+		}
+	}
+	ps := p.dev.PageSize()
+	for k, f := range run {
+		if pageformat.TypeOf(f.data) != pageformat.TypeInvalid {
+			pageformat.UpdateChecksum(f.data)
+		}
+		copy(buf[k*ps:(k+1)*ps], f.data)
+	}
+	start := run[0].page
+	n := len(run) * ps
+	if err := p.retry.Do(func() error { return pagedev.WriteRange(p.dev, start, buf[:n]) }); err != nil {
+		return err
+	}
+	p.physWrites.Add(int64(len(run)))
+	p.coalescedRuns.Inc()
+	for _, f := range run {
+		f.dirty.Store(false)
+	}
+	return nil
 }
 
 // lockAll takes every shard lock (in index order; Clear is the only
@@ -542,6 +768,9 @@ func (p *Pool) unlockAll() {
 // ErrPinned if any frame is still pinned. The paper clears the buffer at
 // the start of each measured operation.
 func (p *Pool) Clear() error {
+	// Wait out background read-ahead first: a straggler batch finishing
+	// after the wipe would leave the "cold" pool partially warm.
+	p.DrainPrefetch()
 	if p.wal != nil {
 		if err := p.wal.Sync(); err != nil {
 			return err
@@ -561,13 +790,37 @@ func (p *Pool) Clear() error {
 		}
 	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].page < dirty[j].page })
-	for _, f := range dirty {
-		if err := p.writeBack(f); err != nil {
+	var buf []byte
+	ps := p.dev.PageSize()
+	for i := 0; i < len(dirty); {
+		j := i + 1
+		for j < len(dirty) && j-i < maxCoalesce && dirty[j].page == dirty[j-1].page+1 {
+			j++
+		}
+		run := dirty[i:j]
+		i = j
+		if len(run) == 1 {
+			if err := p.writeBack(run[0]); err != nil {
+				return err
+			}
+			continue
+		}
+		if buf == nil {
+			buf = make([]byte, maxCoalesce*ps)
+		}
+		// All shard locks are held and every frame is unpinned, so the
+		// run frames are exclusively ours without latching.
+		if err := p.writeBackRun(run, buf); err != nil {
 			return err
 		}
 	}
 	if err := p.dev.Sync(); err != nil {
 		return err
+	}
+	if p.t2 != nil {
+		// The paper clears the buffer to make measurements cold; that
+		// must empty both tiers of the hierarchy.
+		p.t2.reset()
 	}
 	var removed int64
 	for i := range p.shards {
@@ -611,6 +864,11 @@ func (p *Pool) Restore(pn pagedev.PageNo, img []byte) error {
 	}
 	if p.Resident(pn) {
 		return fmt.Errorf("buffer: restore page %d: page is resident", pn)
+	}
+	if p.t2 != nil {
+		// The device copy is being rewritten; a compressed image of the
+		// (possibly corrupt) previous content must not resurface.
+		p.t2.drop(pn)
 	}
 	buf := make([]byte, len(img))
 	copy(buf, img)
@@ -819,6 +1077,9 @@ func diffRanges(old, new []byte) []wal.Range {
 // the check-then-drop so a pinned frame fails the call before any
 // frame (with possibly newer dirty bytes) has been discarded.
 func (p *Pool) ShrinkTo(n pagedev.PageNo) error {
+	// Settle background read-ahead before dropping frames: a batch
+	// loading soon-to-be-truncated pages would race the shrink.
+	p.DrainPrefetch()
 	p.lockAll()
 	for i := range p.shards {
 		for pn, f := range p.shards[i].frames {
@@ -849,6 +1110,9 @@ func (p *Pool) ShrinkTo(n pagedev.PageNo) error {
 		}
 	}
 	p.unlockAll()
+	if p.t2 != nil {
+		p.t2.dropFrom(n)
+	}
 	if p.wal != nil {
 		if _, err := p.wal.AppendShrink(uint64(n)); err != nil {
 			return err

@@ -1,0 +1,241 @@
+package buffer
+
+// Tier-2 of the pool's memory hierarchy: a compressed victim cache.
+// When the clock evicts a frame, its (clean, just-written-back) page
+// image is compressed and kept in tier-2 instead of vanishing; a later
+// miss on that page decompresses it back into a frame in microseconds
+// instead of paying a physical read. Page images that do not deflate
+// are kept raw — whichever form is smaller wins.
+//
+// Trust model: tier-2 is a cache of bytes that were checksum-valid when
+// admitted, but it is NOT trusted on the way out. Every image leaving
+// tier-2 is re-verified against its page checksum (when verification is
+// on) exactly like a physical read, so a bit flipped while a page sat
+// compressed in memory is detected and the pool falls back to the
+// device copy — corruption is never served. The integrity scrubber's
+// model is unchanged: only resident tier-1 frames are authoritative;
+// tier-2 entries are dropped whenever the device copy is repaired
+// (Restore), truncated (ShrinkTo) or the pool is reset (Clear).
+
+import (
+	"sync"
+
+	"natix/internal/compress"
+	"natix/internal/pagedev"
+)
+
+// Outcomes of a tier-2 lookup.
+const (
+	t2Miss = iota
+	t2Hit
+	t2Corrupt
+)
+
+// rawCodec decodes entries the admission path stored uncompressed.
+var rawCodec compress.Raw
+
+// t2entry is one cached page image, linked into the LRU list.
+type t2entry struct {
+	page       pagedev.PageNo
+	data       []byte // compressed (or raw) image
+	raw        bool   // data is the uncompressed page
+	prev, next *t2entry
+}
+
+// tier2 is the compressed victim cache. All methods are safe for
+// concurrent use; the mutex is held only for map/list bookkeeping —
+// compression and decompression run outside it.
+type tier2 struct {
+	codec   compress.Codec
+	scratch sync.Pool // *[]byte compression scratch
+
+	mu         sync.Mutex
+	capBytes   int64
+	usedBytes  int64
+	entries    map[pagedev.PageNo]*t2entry
+	head, tail *t2entry // LRU: head = most recently admitted/renewed
+}
+
+func newTier2(capBytes int64, codec compress.Codec) *tier2 {
+	t := &tier2{
+		codec:    codec,
+		capBytes: capBytes,
+		entries:  make(map[pagedev.PageNo]*t2entry),
+	}
+	t.scratch.New = func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	}
+	return t
+}
+
+// EnableCompressedCache attaches a tier-2 compressed victim cache of
+// approximately capBytes to the pool, using codec for page images that
+// compress (images that do not are kept raw). Must be called before
+// traffic; capBytes < 1 or a nil codec leaves the cache disabled.
+func (p *Pool) EnableCompressedCache(capBytes int64, codec compress.Codec) {
+	if capBytes < 1 || codec == nil {
+		return
+	}
+	p.t2 = newTier2(capBytes, codec)
+}
+
+// CompressedCacheEnabled reports whether a tier-2 cache is attached.
+func (p *Pool) CompressedCacheEnabled() bool { return p.t2 != nil }
+
+// admit stores a copy of the evicted page image src, compressed if that
+// is smaller, evicting least-recently-admitted entries over budget. The
+// caller owns src exclusively (the frame is already off the page table).
+func (t *tier2) admit(p *Pool, pn pagedev.PageNo, src []byte) {
+	sb := t.scratch.Get().(*[]byte)
+	enc, err := t.codec.Compress(*sb, src)
+	if enc != nil {
+		*sb = enc[:0] // keep the (possibly grown) buffer for reuse
+	}
+	raw := err != nil || len(enc) >= len(src)
+	if raw {
+		enc = src
+	}
+	if int64(len(enc)) > t.capBytes {
+		t.scratch.Put(sb)
+		return
+	}
+	data := make([]byte, len(enc))
+	copy(data, enc)
+	t.scratch.Put(sb)
+
+	e := &t2entry{page: pn, data: data, raw: raw}
+	var evicted int64
+	t.mu.Lock()
+	if old := t.entries[pn]; old != nil {
+		t.unlinkLocked(old)
+	}
+	t.entries[pn] = e
+	t.pushFrontLocked(e)
+	t.usedBytes += int64(len(data))
+	for t.usedBytes > t.capBytes && t.tail != nil && t.tail != e {
+		victim := t.tail
+		t.unlinkLocked(victim)
+		delete(t.entries, victim.page)
+		evicted++
+	}
+	t.mu.Unlock()
+	p.tier2Admits.Inc()
+	p.tier2Evictions.Add(evicted)
+}
+
+// lookup removes the entry for pn (the frame being loaded becomes the
+// authoritative copy) and decodes it into dst. It returns t2Miss when
+// the page is not cached, t2Hit on success, and t2Corrupt when the
+// stored bytes fail to decode — the caller falls back to the device.
+// The page-checksum re-verification happens in the caller, which knows
+// whether verification is enabled.
+//
+//natix:noalloc
+func (t *tier2) lookup(pn pagedev.PageNo, dst []byte) int {
+	t.mu.Lock()
+	e := t.entries[pn]
+	if e == nil {
+		t.mu.Unlock()
+		return t2Miss
+	}
+	t.unlinkLocked(e)
+	delete(t.entries, pn)
+	t.mu.Unlock()
+	var err error
+	if e.raw {
+		err = rawCodec.Decompress(dst, e.data)
+	} else {
+		err = t.codec.Decompress(dst, e.data)
+	}
+	if err != nil {
+		return t2Corrupt
+	}
+	return t2Hit
+}
+
+// contains reports whether pn has a tier-2 entry.
+func (t *tier2) contains(pn pagedev.PageNo) bool {
+	t.mu.Lock()
+	_, ok := t.entries[pn]
+	t.mu.Unlock()
+	return ok
+}
+
+// drop discards the entry for pn, if any. Called when the device copy
+// is rewritten behind the cache's back (Restore) or the page becomes
+// freshly allocated (GetNew).
+func (t *tier2) drop(pn pagedev.PageNo) {
+	t.mu.Lock()
+	if e := t.entries[pn]; e != nil {
+		t.unlinkLocked(e)
+		delete(t.entries, pn)
+	}
+	t.mu.Unlock()
+}
+
+// dropFrom discards every entry for pages >= n (device truncation).
+func (t *tier2) dropFrom(n pagedev.PageNo) {
+	t.mu.Lock()
+	for pn, e := range t.entries {
+		if pn >= n {
+			t.unlinkLocked(e)
+			delete(t.entries, pn)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// reset empties the cache (pool Clear: measurements start cold).
+func (t *tier2) reset() {
+	t.mu.Lock()
+	t.entries = make(map[pagedev.PageNo]*t2entry)
+	t.head, t.tail = nil, nil
+	t.usedBytes = 0
+	t.mu.Unlock()
+}
+
+// bytes returns the cache's current compressed payload size.
+func (t *tier2) bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.usedBytes
+}
+
+// pages returns the number of cached entries.
+func (t *tier2) pages() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(len(t.entries))
+}
+
+// unlinkLocked removes e from the LRU list and the byte accounting
+// (but not the map). Caller holds t.mu.
+func (t *tier2) unlinkLocked(e *t2entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	t.usedBytes -= int64(len(e.data))
+}
+
+// pushFrontLocked links e at the head of the LRU list. Caller holds
+// t.mu.
+func (t *tier2) pushFrontLocked(e *t2entry) {
+	e.next = t.head
+	e.prev = nil
+	if t.head != nil {
+		t.head.prev = e
+	}
+	t.head = e
+	if t.tail == nil {
+		t.tail = e
+	}
+}

@@ -950,8 +950,16 @@ func (s *Store) exportXMLLocked(cx context.Context, name string, w io.Writer) er
 
 // xmlFromRef materializes the logical subtree at ref as an XML tree,
 // folding "@name" aggregates back into attributes. The context is
-// checked before each record access.
+// checked before each record access. The walk visits records in
+// document order, so it announces page read-ahead to the buffer pool
+// as it crosses pages (a fresh cursor per call; Markup on a single
+// match and a whole-document export both stream sequentially).
 func (s *Store) xmlFromRef(cx context.Context, ref core.NodeRef) (*xmlkit.Node, error) {
+	var cur pageCursor
+	return s.xmlFromRefCur(cx, ref, &cur)
+}
+
+func (s *Store) xmlFromRefCur(cx context.Context, ref core.NodeRef, cur *pageCursor) (*xmlkit.Node, error) {
 	if ref.IsLiteral() {
 		v, err := ref.Literal().StringValue()
 		if err != nil {
@@ -967,6 +975,7 @@ func (s *Store) xmlFromRef(cx context.Context, ref core.NodeRef) (*xmlkit.Node, 
 	if err := ctxErr(cx); err != nil {
 		return nil, err
 	}
+	s.notePage(cx, cur, ref)
 	kids, err := s.trees.Children(ref)
 	if err != nil {
 		return nil, err
@@ -986,7 +995,7 @@ func (s *Store) xmlFromRef(cx context.Context, ref core.NodeRef) (*xmlkit.Node, 
 				continue
 			}
 		}
-		child, err := s.xmlFromRef(cx, k)
+		child, err := s.xmlFromRefCur(cx, k, cur)
 		if err != nil {
 			return nil, err
 		}

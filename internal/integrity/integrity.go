@@ -192,20 +192,122 @@ func (p *pacer) tick() {
 	}
 }
 
+// sweepWindow serves a sweep's page reads from a sliding read-ahead
+// window: when the sweep asks for a page outside the window, the
+// window advances and fetches every contiguous run of wanted,
+// non-resident pages inside it with one vectored pagedev.ReadRange
+// (through the scrubber's ioretry policy). The scrubber deliberately
+// does NOT use the pool's Prefetch for this: prefetched pages become
+// resident, and the sweep skips resident pages — pool-level read-ahead
+// would collapse the scrub's own coverage. Device-level batching gives
+// the same sequential I/O without touching the frame table.
+//
+// A failed vectored read is not an error: the affected pages fall back
+// to individual reads at consumption time, so a single unreadable page
+// surfaces exactly the per-page error the unbatched sweep produced.
+type sweepWindow struct {
+	s        *Scrubber
+	dev      pagedev.Device
+	pageSize int
+	want     func(pagedev.PageNo) bool // pages this sweep pass verifies
+
+	base pagedev.PageNo // first page covered by the window
+	n    int            // pages covered (0 until the first fill)
+	have []bool         // per-slot: filled by a successful batch read
+	buf  []byte
+}
+
+// sweepWindowPages matches the pacer chunk, so one window fill is one
+// rate-limited burst of device work.
+const sweepWindowPages = pacerChunk
+
+func newSweepWindow(s *Scrubber, dev pagedev.Device, pageSize int, want func(pagedev.PageNo) bool) *sweepWindow {
+	return &sweepWindow{
+		s:        s,
+		dev:      dev,
+		pageSize: pageSize,
+		want:     want,
+		have:     make([]bool, sweepWindowPages),
+		buf:      make([]byte, sweepWindowPages*pageSize),
+	}
+}
+
+// page returns the device image of p, valid until the next page call
+// that advances the window.
+func (w *sweepWindow) page(ctx context.Context, p pagedev.PageNo) ([]byte, error) {
+	if w.n == 0 || p < w.base || p >= w.base+pagedev.PageNo(w.n) {
+		w.fill(ctx, p)
+	}
+	idx := int(p - w.base)
+	b := w.buf[idx*w.pageSize : (idx+1)*w.pageSize]
+	if !w.have[idx] {
+		// Not covered by a batch read (resident at fill time, filtered
+		// out, or the vectored read failed): read it individually.
+		if err := w.s.retry.DoCtx(ctx, func() error { return w.dev.Read(p, b) }); err != nil {
+			return nil, err
+		}
+		w.have[idx] = true
+	}
+	return b, nil
+}
+
+// fill advances the window to start at p and batch-reads the contiguous
+// runs of wanted, non-resident pages it covers. Read failures are left
+// for page to retry individually.
+func (w *sweepWindow) fill(ctx context.Context, p pagedev.PageNo) {
+	n := sweepWindowPages
+	if rest := w.dev.NumPages() - p; pagedev.PageNo(n) > rest {
+		n = int(rest)
+	}
+	w.base, w.n = p, n
+	for i := range w.have {
+		w.have[i] = false
+	}
+	for i := 0; i < n; {
+		pn := p + pagedev.PageNo(i)
+		if !w.want(pn) || w.s.cfg.Pool.Resident(pn) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n {
+			pj := p + pagedev.PageNo(j)
+			if !w.want(pj) || w.s.cfg.Pool.Resident(pj) {
+				break
+			}
+			j++
+		}
+		b := w.buf[i*w.pageSize : j*w.pageSize]
+		start := pn
+		if err := w.s.retry.DoCtx(ctx, func() error { return pagedev.ReadRange(w.dev, start, b) }); err == nil {
+			for k := i; k < j; k++ {
+				w.have[k] = true
+			}
+		}
+		i = j
+	}
+}
+
 func (s *Scrubber) scrubLocked(ctx context.Context, rep *Report) error {
 	dev := s.cfg.Pool.Device()
 	seg := s.cfg.Store.Trees().Records().Segment()
 	pageSize := dev.PageSize()
 	numPages := dev.NumPages()
-	buf := make([]byte, pageSize)
 	pace := newPacer(s.cfg.RateLimit)
 
 	var corrupt []pagedev.PageNo
 
 	// Pass 1: the segment header and every FSI page, so that pass 2 can
 	// trust free-space hints when judging data pages. Then the data
-	// pages themselves.
+	// pages themselves. Each pass pulls its device reads through a
+	// sliding read-ahead window (sweepWindow): contiguous runs of
+	// pages the pass will verify are fetched with single vectored
+	// reads, so sweeping a large store is a few sequential transfers
+	// per pacer chunk instead of one random read per page.
 	sweep := func(wantFSI bool) error {
+		win := newSweepWindow(s, dev, pageSize, func(p pagedev.PageNo) bool {
+			return (p == 0 || seg.IsFSIPage(p)) == wantFSI
+		})
 		for p := pagedev.PageNo(0); p < numPages; p++ {
 			isFSI := p == 0 || seg.IsFSIPage(p)
 			if isFSI != wantFSI {
@@ -222,7 +324,8 @@ func (s *Scrubber) scrubLocked(ctx context.Context, rep *Report) error {
 			}
 			rep.PagesChecked++
 			s.pagesVerified.Add(1)
-			if err := s.retry.DoCtx(ctx, func() error { return dev.Read(p, buf) }); err != nil {
+			buf, err := win.page(ctx, p)
+			if err != nil {
 				return fmt.Errorf("integrity: read page %d: %w", p, err)
 			}
 			if s.verifyPage(seg, p, buf) {

@@ -3,6 +3,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"natix/internal/pagedev"
 	"natix/internal/pageformat"
@@ -164,6 +165,52 @@ func Recover(dev pagedev.Device, st Storage) (Result, error) {
 	// others; replay them as finished.
 	finished := func(i int) bool { return owner[i] == 0 || closed[owner[i]] }
 
+	// Read-ahead: the replay below touches pages in record order, which
+	// is effectively random on the device. Walk the records in replay
+	// order first (redo forward, undo backward) to learn, per page,
+	// whether its first touch needs the device copy at all — RecImage
+	// and RecFirstUpdate overwrite the whole page, only RecUpdate
+	// patches on top of device bytes — then load the needed pages in
+	// ascending page order, adjacent runs batched into single vectored
+	// reads. On the simulated disk that is one seek plus sequential
+	// transfers instead of one seek per page; load() then always hits
+	// the pages map.
+	seen := make(map[pagedev.PageNo]bool)
+	needDevice := make(map[pagedev.PageNo]bool)
+	note := func(p pagedev.PageNo, wantsDevice bool) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		if wantsDevice {
+			needDevice[p] = true
+		}
+	}
+	for i, r := range recs {
+		if !finished(i) {
+			continue
+		}
+		switch r.Type {
+		case RecImage, RecFirstUpdate:
+			note(r.Page, false)
+		case RecUpdate:
+			note(r.Page, true)
+		}
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if finished(i) {
+			continue
+		}
+		switch r.Type {
+		case RecImage, RecFirstUpdate:
+			note(r.Page, false)
+		case RecUpdate:
+			note(r.Page, true)
+		}
+	}
+	preload(dev, pages, seen, needDevice, pageSize)
+
 	// Redo: replay records of finished operations in log order.
 	// (Records of aborted operations replay too: their compensating
 	// updates follow their originals in the log, so the net effect is
@@ -256,12 +303,17 @@ func Recover(dev pagedev.Device, st Storage) (Result, error) {
 		virtual = undoShrink
 	}
 
-	// Write the reconstructed pages, checksummed and LSN-stamped.
+	// Write the reconstructed pages, checksummed and LSN-stamped, in
+	// ascending page order with adjacent runs coalesced into vectored
+	// writes — recovery after a crashed bulk load rewrites long
+	// contiguous stretches, and elevator order plus pagedev.WriteRange
+	// turns those into sequential transfers.
 	if pagedev.PageNo(virtual) > dev.NumPages() {
 		if err := dev.Grow(pagedev.PageNo(virtual)); err != nil {
 			return res, err
 		}
 	}
+	order := make([]pagedev.PageNo, 0, len(pages))
 	for p, pg := range pages {
 		if pg.dead || !pg.dirty || uint64(p) >= virtual {
 			continue
@@ -273,10 +325,34 @@ func Recover(dev pagedev.Device, st Storage) (Result, error) {
 			pageformat.SetPageLSN(pg.buf, uint64(pg.lsn))
 			pageformat.UpdateChecksum(pg.buf)
 		}
-		if err := dev.Write(p, pg.buf); err != nil {
+		order = append(order, p)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	var runBuf []byte
+	for i := 0; i < len(order); {
+		j := i + 1
+		for j < len(order) && j-i < maxRecoveryRun && order[j] == order[j-1]+1 {
+			j++
+		}
+		run := order[i:j]
+		i = j
+		if len(run) == 1 {
+			if err := dev.Write(run[0], pages[run[0]].buf); err != nil {
+				return res, err
+			}
+			res.PagesWritten++
+			continue
+		}
+		if runBuf == nil {
+			runBuf = make([]byte, maxRecoveryRun*pageSize)
+		}
+		for k, p := range run {
+			copy(runBuf[k*pageSize:], pages[p].buf)
+		}
+		if err := pagedev.WriteRange(dev, run[0], runBuf[:len(run)*pageSize]); err != nil {
 			return res, err
 		}
-		res.PagesWritten++
+		res.PagesWritten += len(run)
 	}
 	if dev.NumPages() > pagedev.PageNo(virtual) {
 		if err := dev.Shrink(pagedev.PageNo(virtual)); err != nil {
@@ -287,6 +363,72 @@ func Recover(dev pagedev.Device, st Storage) (Result, error) {
 		return res, err
 	}
 	return res, resetLog(st, pageSize)
+}
+
+// maxRecoveryRun caps the pages moved per vectored recovery I/O.
+const maxRecoveryRun = 64
+
+// preload populates pages for every page the replay will touch: pages
+// whose first touch overwrites them fully get a blank entry (no device
+// read at all), pages whose first touch patches byte ranges get their
+// device copy, fetched in ascending order with adjacent runs batched
+// through pagedev.ReadRange. A failed vectored read falls back to
+// per-page loads so a single unreadable page only marks itself torn,
+// exactly as the unbatched path would.
+func preload(dev pagedev.Device, pages map[pagedev.PageNo]*recPage, seen, needDevice map[pagedev.PageNo]bool, pageSize int) {
+	blank := func(p pagedev.PageNo) {
+		pages[p] = &recPage{buf: make([]byte, pageSize)}
+	}
+	loadOne := func(p pagedev.PageNo) {
+		pg := &recPage{buf: make([]byte, pageSize)}
+		if err := dev.Read(p, pg.buf); err != nil {
+			pg.torn = true
+		} else if err := pageformat.VerifyChecksum(pg.buf); err != nil {
+			pg.torn = true
+		}
+		pages[p] = pg
+	}
+	numPages := uint64(dev.NumPages())
+	need := make([]pagedev.PageNo, 0, len(needDevice))
+	for p := range seen {
+		if !needDevice[p] || uint64(p) >= numPages {
+			blank(p)
+			continue
+		}
+		need = append(need, p)
+	}
+	sort.Slice(need, func(i, j int) bool { return need[i] < need[j] })
+	var runBuf []byte
+	for i := 0; i < len(need); {
+		j := i + 1
+		for j < len(need) && j-i < maxRecoveryRun && need[j] == need[j-1]+1 {
+			j++
+		}
+		run := need[i:j]
+		i = j
+		if len(run) == 1 {
+			loadOne(run[0])
+			continue
+		}
+		if runBuf == nil {
+			runBuf = make([]byte, maxRecoveryRun*pageSize)
+		}
+		b := runBuf[:len(run)*pageSize]
+		if err := pagedev.ReadRange(dev, run[0], b); err != nil {
+			for _, p := range run {
+				loadOne(p)
+			}
+			continue
+		}
+		for k, p := range run {
+			pg := &recPage{buf: make([]byte, pageSize)}
+			copy(pg.buf, b[k*pageSize:])
+			if err := pageformat.VerifyChecksum(pg.buf); err != nil {
+				pg.torn = true
+			}
+			pages[p] = pg
+		}
+	}
 }
 
 // resetLog truncates the log to an empty state whose base LSN continues

@@ -1,0 +1,116 @@
+package natix
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// readpathCorpus builds a document big enough that, under a deliberately
+// tiny buffer pool, query evaluation churns the clock and (with the
+// tier attached) runs real traffic through the compressed victim cache.
+func readpathCorpus(items int) string {
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < items; i++ {
+		fmt.Fprintf(&b, "<item n=\"%d\"><name>thing-%d</name><desc>", i, i)
+		for w := 0; w < 12; w++ {
+			fmt.Fprintf(&b, "word%d-%d ", i, w)
+		}
+		b.WriteString("</desc></item>")
+	}
+	b.WriteString("</root>")
+	return b.String()
+}
+
+// TestQueryResultsIdenticalWithTier2 pins the tier-2 victim cache's
+// transparency: for each evaluator route — navigating scan, path-index
+// postings, flat byte stream — query results must be byte-identical
+// with the compressed cache off and on, under a pool small enough that
+// the "on" run actually serves pages from the tier.
+func TestQueryResultsIdenticalWithTier2(t *testing.T) {
+	src := readpathCorpus(300)
+	queries := []string{"//item", "//item/name", "//desc"}
+
+	run := func(t *testing.T, pathIndex, flat bool, tierBytes int) map[string][]string {
+		t.Helper()
+		db, err := Open(Options{
+			PageSize:             2048,
+			BufferBytes:          8 * 2048, // ~8 frames: the corpus cannot stay resident
+			PathIndex:            pathIndex,
+			CompressedCacheBytes: tierBytes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		if flat {
+			err = db.ImportXMLFlat("d", strings.NewReader(src))
+		} else {
+			err = db.ImportXML("d", strings.NewReader(src))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][]string)
+		// Two passes: the first populates tier-2 through evictions, the
+		// second re-reads through it.
+		for pass := 0; pass < 2; pass++ {
+			for _, q := range queries {
+				ms, err := db.Query("d", q)
+				if err != nil {
+					t.Fatalf("query %q: %v", q, err)
+				}
+				got := make([]string, len(ms))
+				for i, m := range ms {
+					s, err := m.Markup()
+					if err != nil {
+						t.Fatalf("markup %q[%d]: %v", q, i, err)
+					}
+					got[i] = s
+				}
+				key := fmt.Sprintf("%s#%d", q, pass)
+				out[key] = got
+			}
+		}
+		if tierBytes > 0 {
+			st, err := db.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Tier2Hits == 0 {
+				t.Fatalf("test premise: expected tier-2 traffic, got 0 hits (misses=%d)", st.Tier2Misses)
+			}
+		}
+		return out
+	}
+
+	routes := []struct {
+		name            string
+		pathIndex, flat bool
+	}{
+		{"scan", false, false},
+		{"indexed", true, false},
+		{"flat", false, true},
+	}
+	for _, r := range routes {
+		t.Run(r.name, func(t *testing.T) {
+			off := run(t, r.pathIndex, r.flat, 0)
+			on := run(t, r.pathIndex, r.flat, 1<<20)
+			if len(off) != len(on) {
+				t.Fatalf("result-set count differs: %d off vs %d on", len(off), len(on))
+			}
+			for key, want := range off {
+				got := on[key]
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d matches with tier on, %d with tier off", key, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s match %d differs with tier on:\n off: %q\n on:  %q", key, i, want[i], got[i])
+					}
+				}
+			}
+		})
+	}
+}
